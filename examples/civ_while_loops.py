@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Parallelizing while-loops with conditionally incremented induction
+variables (CIVs) -- the paper's track benchmark scenario (Section 3.3).
+
+The loop below compacts variable-length records into an output buffer
+through a running offset ``civ`` that only advances when a record is
+non-empty.  No closed form exists for ``civ``, so classical dependence
+tests (and our commercial-compiler baseline) give up.  The hybrid
+framework:
+
+1. models ``civ``'s value at iteration entry as an opaque prefix array
+   (the paper's ``CIV@k`` names in Fig. 7(b));
+2. rewrites the gated write interval ``[civ+1, civ+NHITS(i)]`` into the
+   ungated ``[civ@i + 1, civ@(i+1)]`` (CIVagg), which makes output
+   independence provable *statically* from the prefix's monotonicity;
+3. at run time precomputes the prefix values with a loop slice
+   (CIV-COMP) -- the overhead the paper measures at 47% for track --
+   and runs the iterations in parallel.
+
+Run:  python examples/civ_while_loops.py
+"""
+
+import random
+
+from repro.baselines import StaticAffineCompiler
+from repro.core import HybridAnalyzer
+from repro.ir import parse_program
+from repro.runtime import CostModel, HybridExecutor
+
+SOURCE = """
+program track_extend
+param NTRKS
+array TRK(8192), OUT(16384), NHITS(4096)
+
+main
+  i = 1
+  civ = 0
+  while i <= NTRKS @ extend_do400
+    if NHITS[i] > 0 then
+      do j = 1, NHITS[i]
+        OUT[civ + j] = TRK[i] + j
+      end
+      civ = civ + NHITS[i]
+    end
+    i = i + 1
+  end
+end
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+
+    plan = HybridAnalyzer(program).analyze("extend_do400")
+    print(f"classification: {plan.classification()}")
+    print(f"techniques:     {', '.join(plan.techniques())}")
+    for info in plan.civs:
+        print(f"CIV detected:   {info.name} -> prefix array {info.prefix_array}")
+
+    baseline = StaticAffineCompiler(program)
+    verdict = baseline.analyze("extend_do400")
+    print(f"baseline:       parallel={verdict.parallel} ({verdict.reason})")
+
+    rng = random.Random(42)
+    params = {"NTRKS": 40}
+    arrays = {
+        "NHITS": [rng.randrange(0, 5) for _ in range(4096)],
+        "TRK": [i % 9 for i in range(1, 8193)],
+    }
+    report = HybridExecutor(program, plan).run(params, arrays)
+    cost = CostModel(spawn_overhead=10)
+    print(f"\nparallelized:   {report.parallel}, correct: {report.correct}")
+    print(f"CIV-COMP slice: {report.civ_overhead:.0f} work units "
+          f"of {report.seq_work:.0f} "
+          f"({report.civ_overhead / report.seq_work:.0%} -- the paper's "
+          f"track overhead is 47%)")
+    for procs in (2, 4, 8, 16):
+        print(f"speedup on {procs:2d} procs: {report.speedup(procs, cost):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

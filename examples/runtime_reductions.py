@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Runtime reduction optimization and BOUNDS-COMP (Section 4).
+
+Three progressively harder histogram/force-accumulation loops:
+
+1. ``RRED``: the updates go through an index array.  The monotonicity
+   predicate (footnote 5 of the paper: ``B(i) < B(i+1)``) is evaluated
+   at run time; when the index array happens to be monotone the loop is
+   proven fully independent and runs with *direct* shared access -- no
+   reduction machinery at all.
+2. ``SRED`` fallback: with colliding indexes the same loop runs as a
+   classic parallel reduction (private partial sums, merged after).
+3. ``BOUNDS-COMP``: the reduced array is assumed-size (its extent is a
+   runtime parameter, like gromacs's C-allocated force array), so the
+   runtime first MIN/MAX-reduces the touched index range in parallel --
+   Fig. 7(a) -- and only then allocates/zeroes the private copies.
+
+Run:  python examples/runtime_reductions.py
+"""
+
+from repro.core import HybridAnalyzer
+from repro.ir import parse_program
+from repro.runtime import HybridExecutor
+
+SOURCE = """
+program reductions
+param N, FSIZE
+array A(4096), B(4096), W(4096), F(FSIZE), SHIFT(4096), X(8192)
+
+main
+  do i = 1, N @ histogram
+    A[B[i]] = A[B[i]] + W[i]
+  end
+  do n = 1, N @ forces
+    do j = 1, 12
+      W[j] = X[n] * j
+    end
+    F[3*SHIFT[n] + 1] = F[3*SHIFT[n] + 1] + W[1]
+    F[3*SHIFT[n] + 2] = F[3*SHIFT[n] + 2] + W[2]
+  end
+end
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    analyzer = HybridAnalyzer(program)
+
+    # --- 1+2: the histogram loop under two datasets -------------------
+    plan = analyzer.analyze("histogram")
+    print("histogram loop:", plan.classification())
+    executor = HybridExecutor(program, plan)
+
+    monotone = {"B": [3 * i + 1 for i in range(4096)], "W": [1] * 4096}
+    r1 = executor.run({"N": 32, "FSIZE": 4096}, monotone)
+    print(f"  monotone index array -> {r1.decisions['A'].strategy} "
+          f"(via {r1.decisions['A'].via}, stage {r1.decisions['A'].passed_stage}); "
+          f"correct={r1.correct}")
+
+    colliding = {"B": [(i % 7) + 1 for i in range(4096)], "W": [1] * 4096}
+    r2 = executor.run({"N": 32, "FSIZE": 4096}, colliding)
+    print(f"  colliding index array -> {r2.decisions['A'].strategy}; "
+          f"correct={r2.correct}")
+
+    # --- 3: assumed-size reduction needs BOUNDS-COMP -------------------
+    plan_f = analyzer.analyze("forces")
+    aplan = plan_f.arrays["F"]
+    print(f"\nforces loop: {plan_f.classification()} "
+          f"(needs BOUNDS-COMP: {aplan.needs_bounds_comp})")
+    exec_f = HybridExecutor(program, plan_f)
+    data = {
+        "SHIFT": [((i * 389) % 1000) for i in range(4096)],
+        "X": [i % 5 for i in range(1, 8193)],
+        # The histogram loop also runs in main: give it valid indexes.
+        "B": [(i % 7) + 1 for i in range(4096)],
+        "W": [1] * 4096,
+    }
+    r3 = exec_f.run({"N": 48, "FSIZE": 4096}, data)
+    print(f"  bounds estimation cost: {r3.bounds_overhead:.0f} iterations "
+          f"(vs {r3.seq_work:.0f} loop work units "
+          f"-> {r3.bounds_overhead / r3.seq_work:.1%}; the paper's gromacs "
+          f"overhead is 3.4%)")
+    print(f"  parallel={r3.parallel}, correct={r3.correct}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: reproduction of "Logical Inference Techniques for Loop
+Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+
+Layers, bottom-up:
+
+* :mod:`repro.symbolic` -- symbolic integer/boolean algebra, ranges,
+  Fourier-Motzkin elimination;
+* :mod:`repro.lmad` -- linear memory access descriptors and their
+  predicate extraction;
+* :mod:`repro.usr` -- the USR set-expression language, data-flow summary
+  construction, reshaping, estimates, BOUNDS-COMP;
+* :mod:`repro.pdag` -- the predicate language, simplification and the
+  complexity-ordered cascade;
+* :mod:`repro.core` -- the FACTOR inference algorithm, independence
+  equations and the hybrid analyzer (the paper's contribution);
+* :mod:`repro.ir` -- the mini-Fortran loop IR: parser, interpreter,
+  interprocedural summarizer;
+* :mod:`repro.runtime` -- simulated multiprocessor, conditional
+  parallelization executor, LRPD speculation, inspector;
+* :mod:`repro.baselines` -- the commercial-compiler model and classical
+  dependence tests;
+* :mod:`repro.workloads` -- the 26 benchmark models of Tables 1-3;
+* :mod:`repro.evaluation` -- regenerates every table and figure.
+
+Quickstart::
+
+    from repro.ir import parse_program
+    from repro.core import analyze_loop
+    from repro.runtime import HybridExecutor
+
+    program = parse_program(SOURCE)
+    plan = analyze_loop(program, "my_loop")
+    report = HybridExecutor(program, plan).run(params, arrays)
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, evaluation, ir, lmad, pdag, runtime, symbolic, usr, workloads
+
+__all__ = [
+    "symbolic", "lmad", "usr", "pdag", "core", "ir", "runtime",
+    "baselines", "workloads", "evaluation", "__version__",
+]

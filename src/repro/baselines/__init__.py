@@ -1,0 +1,19 @@
+"""Baseline analyzers: a commercial-compiler model (static-only,
+intra-procedural) and the classical GCD/Banerjee/Range dependence tests."""
+
+from .dependence_tests import (
+    DependenceVerdict,
+    banerjee_test,
+    gcd_test,
+    range_test,
+)
+from .static_affine import BaselineVerdict, StaticAffineCompiler
+
+__all__ = [
+    "StaticAffineCompiler",
+    "BaselineVerdict",
+    "DependenceVerdict",
+    "gcd_test",
+    "banerjee_test",
+    "range_test",
+]

@@ -1,0 +1,121 @@
+"""Classical dependence tests: GCD, Banerjee, and a Range Test.
+
+These are the Section 1/7 points of comparison: the affine tests that
+static analyzers (and our baseline compiler model) are built from, plus
+Blume & Eigenmann's Range Test which handles a class of symbolic
+non-linear subscripts via monotonicity.  They operate on single
+subscript pairs ``a1*i + b1`` (write) vs ``a2*i + b2`` (read) over an
+iteration range, and on per-iteration symbolic access ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from ..symbolic import (
+    BoolExpr,
+    Expr,
+    ExprLike,
+    as_expr,
+    b_and,
+    cmp_gt,
+    sym,
+)
+from ..symbolic.monotone import provably_nonneg, provably_positive
+from ..symbolic.ranges import bounds_of, try_sign
+
+__all__ = ["gcd_test", "banerjee_test", "range_test", "DependenceVerdict"]
+
+
+@dataclass(frozen=True)
+class DependenceVerdict:
+    """Outcome of a dependence test: ``independent`` is definitive only
+    when True; False means 'could not disprove'."""
+
+    independent: bool
+    reason: str
+
+
+def gcd_test(a1: int, b1: int, a2: int, b2: int) -> DependenceVerdict:
+    """GCD test for ``a1*i + b1 == a2*j + b2`` having integer solutions.
+
+    If ``gcd(a1, a2)`` does not divide ``b2 - b1`` the subscripts can
+    never collide, for any iteration pair.
+    """
+    g = gcd(abs(a1), abs(a2))
+    if g == 0:
+        return DependenceVerdict(b1 != b2, "degenerate: constant subscripts")
+    if (b2 - b1) % g != 0:
+        return DependenceVerdict(True, f"gcd {g} does not divide {b2 - b1}")
+    return DependenceVerdict(False, "gcd test inconclusive")
+
+
+def banerjee_test(
+    a1: int, b1: int, a2: int, b2: int, lower: int, upper: int
+) -> DependenceVerdict:
+    """Banerjee's inequality for a single-index subscript pair.
+
+    Dependence requires ``a1*i - a2*j = b2 - b1`` for some
+    ``lower <= i, j <= upper``; if ``b2 - b1`` falls outside the
+    attainable ``[min, max]`` of the left side, no dependence exists.
+    """
+    if upper < lower:
+        return DependenceVerdict(True, "empty iteration space")
+
+    def term_range(a: int) -> tuple[int, int]:
+        lo, hi = a * lower, a * upper
+        return (min(lo, hi), max(lo, hi))
+
+    lo1, hi1 = term_range(a1)
+    lo2, hi2 = term_range(a2)
+    lo, hi = lo1 - hi2, hi1 - lo2
+    diff = b2 - b1
+    if diff < lo or diff > hi:
+        return DependenceVerdict(True, f"{diff} outside Banerjee bounds [{lo},{hi}]")
+    return DependenceVerdict(False, "Banerjee bounds admit a solution")
+
+
+def range_test(
+    low: ExprLike,
+    high: ExprLike,
+    index: str,
+    lower: ExprLike,
+    upper: ExprLike,
+    monotone: frozenset[str] = frozenset(),
+) -> DependenceVerdict:
+    """Blume-Eigenmann-style Range Test over symbolic access ranges.
+
+    The per-iteration access range of the loop ``index`` is
+    ``[low(index), high(index)]``; if the ranges of consecutive
+    iterations are provably separated (``low(i+1) > high(i)`` and the
+    range is monotone), no two iterations overlap.
+    """
+    low_e, high_e = as_expr(low), as_expr(high)
+    shift = {index: sym(index) + 1}
+    step_gap = low_e.substitute(shift) - high_e
+    step_lo = low_e.substitute(shift) - low_e
+    bounds = {index: (as_expr(lower), as_expr(upper))}
+    gap_ok = (
+        try_sign(step_gap, bounds) == "+"
+        or provably_positive(step_gap, monotone, bounds)
+    )
+    mono_ok = (
+        try_sign(step_lo, bounds) in ("+", "0")
+        or provably_nonneg(step_lo, monotone, bounds)
+    )
+    if gap_ok and mono_ok:
+        return DependenceVerdict(True, "ranges strictly increasing and disjoint")
+    # Symmetric decreasing case.
+    step_gap_d = low_e - high_e.substitute(shift)
+    step_hi_d = high_e - high_e.substitute(shift)
+    gap_ok_d = (
+        try_sign(step_gap_d, bounds) == "+"
+        or provably_positive(step_gap_d, monotone, bounds)
+    )
+    mono_ok_d = (
+        try_sign(step_hi_d, bounds) in ("+", "0")
+        or provably_nonneg(step_hi_d, monotone, bounds)
+    )
+    if gap_ok_d and mono_ok_d:
+        return DependenceVerdict(True, "ranges strictly decreasing and disjoint")
+    return DependenceVerdict(False, "range test inconclusive")

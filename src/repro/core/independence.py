@@ -1,0 +1,115 @@
+"""Loop-independence equations in the USR domain (Sections 2.2 and 4).
+
+Given the per-iteration and aggregate summaries of an array in a loop
+(:class:`repro.usr.dataflow.LoopSummaries`), this module builds the USRs
+whose emptiness characterizes:
+
+* **output independence** (Eq. 2): no two iterations write the same
+  location first -- ``U_i (WF_i ^ U_{k<i} WF_k) = {}``;
+* **flow/anti independence** (Eq. 3): writes never meet reads across
+  iterations -- four pairwise terms over the aggregate WF/RO/RW sets plus
+  the RW self-overlap recurrence;
+* **static last value** (SLV, Section 4): the loop's whole write-first
+  set is covered by the last iteration's -- ``U_i WF_i - WF_N = {}``;
+* **runtime reduction** (RRED): the reduction accesses of distinct
+  iterations do not overlap -- same self-overlap shape over RW.
+
+Each equation is translated by :func:`repro.core.factor.factor` into a
+sufficient predicate and cascaded by complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..pdag import PDAG, simplify
+from ..usr import (
+    EMPTY,
+    LoopSummaries,
+    USR,
+    usr_intersect,
+    usr_recurrence,
+    usr_subtract,
+    usr_union,
+)
+from .factor import FactorContext, factor
+
+__all__ = [
+    "output_independence_usr",
+    "flow_independence_usr",
+    "static_last_value_usr",
+    "rw_self_overlap_usr",
+    "ext_rred_usr",
+    "independence_predicate",
+]
+
+
+def _self_overlap(ls: LoopSummaries, per_iter: USR, prefix: USR) -> USR:
+    """``U_i (S_i ^ U_{k<i} S_k)`` -- the cross-iteration overlap set."""
+    if per_iter.is_empty_leaf():
+        return EMPTY
+    body = usr_intersect(per_iter, prefix)
+    return usr_recurrence(ls.index, ls.lower, ls.upper, body)
+
+
+def output_independence_usr(ls: LoopSummaries) -> USR:
+    """Eq. 2: the OIND-USR of the array in the loop."""
+    return _self_overlap(ls, ls.per_iteration.wf, ls.prefix_writes)
+
+
+def rw_self_overlap_usr(ls: LoopSummaries) -> USR:
+    """``U_i (RW_i ^ U_{k<i} RW_k)``: reduction-access overlap (Sec. 4)."""
+    return _self_overlap(ls, ls.per_iteration.rw, ls.prefix_rw)
+
+
+def _whole_loop(ls: LoopSummaries, per_iter: USR) -> USR:
+    if per_iter.is_empty_leaf():
+        return EMPTY
+    return usr_recurrence(ls.index, ls.lower, ls.upper, per_iter)
+
+
+def flow_independence_usr(ls: LoopSummaries) -> USR:
+    """Eq. 3: the FIND-USR of the array in the loop."""
+    all_wf = _whole_loop(ls, ls.per_iteration.wf)
+    all_ro = _whole_loop(ls, ls.per_iteration.ro)
+    all_rw = _whole_loop(ls, ls.per_iteration.rw)
+    terms = [
+        usr_intersect(all_wf, all_ro),
+        usr_intersect(all_wf, all_rw),
+        usr_intersect(all_ro, all_rw),
+        rw_self_overlap_usr(ls),
+    ]
+    live = [t for t in terms if not t.is_empty_leaf()]
+    return usr_union(*live) if live else EMPTY
+
+
+def ext_rred_usr(ls: LoopSummaries) -> USR:
+    """The EXT-RRED enabling equation (Section 4): flow independence of
+    the write-first accesses against everything, plus their output
+    independence -- but NOT the RW self-overlap, which the reduction
+    transform tolerates by construction."""
+    all_wf = _whole_loop(ls, ls.per_iteration.wf)
+    all_ro = _whole_loop(ls, ls.per_iteration.ro)
+    all_rw = _whole_loop(ls, ls.per_iteration.rw)
+    terms = [
+        usr_intersect(all_wf, all_ro),
+        usr_intersect(all_wf, all_rw),
+        usr_intersect(all_ro, all_rw),
+        _self_overlap(ls, ls.per_iteration.wf, ls.prefix_writes),
+    ]
+    live = [t for t in terms if not t.is_empty_leaf()]
+    return usr_union(*live) if live else EMPTY
+
+
+def static_last_value_usr(ls: LoopSummaries) -> USR:
+    """Section 4's SLV equation: ``U_i WF_i  -  WF_{i=N}``."""
+    all_wf = _whole_loop(ls, ls.per_iteration.wf)
+    last = ls.per_iteration.wf.substitute({ls.index: ls.upper})
+    return usr_subtract(all_wf, last)
+
+
+def independence_predicate(
+    usr: USR, ctx: Optional[FactorContext] = None
+) -> PDAG:
+    """Factor an independence USR into its simplified predicate."""
+    return simplify(factor(usr, ctx))

@@ -1,0 +1,22 @@
+"""Evaluation harness: regenerates Tables 1-3 and Figures 10-13."""
+
+from .figures import FIGURES, FigureSeries, format_figure, generate_figure
+from .model import (
+    BenchmarkMeasurement,
+    LoopMeasurement,
+    measure_benchmark,
+)
+from .tables import (
+    TableReport,
+    TableRow,
+    classification_compatible,
+    format_table,
+    generate_table,
+)
+
+__all__ = [
+    "measure_benchmark", "BenchmarkMeasurement", "LoopMeasurement",
+    "generate_table", "format_table", "TableReport", "TableRow",
+    "classification_compatible",
+    "generate_figure", "format_figure", "FigureSeries", "FIGURES",
+]

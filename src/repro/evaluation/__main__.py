@@ -1,0 +1,8 @@
+"""``python -m repro.evaluation table1 fig13 ...``"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Regenerate Figures 10-13: program-level timings and scalability.
+
+* Fig. 10: PERFECT-CLUB normalized parallel time on 4 processors,
+  factorization (hybrid) vs the commercial-compiler baseline;
+* Fig. 11: SPEC89/92, same on 4 processors;
+* Fig. 12: SPEC2000/2006 on 8 processors vs the xlf stand-in;
+* Fig. 13: hybrid speedups at 1/2/4/8/16 processors for SPEC2000/2006.
+
+The *shape* claims under test: the hybrid beats the baseline everywhere
+except the microsecond-granularity codes (dyfesm, ocean, and the small
+qcd loop), slowdowns (>1) appear exactly there, and scalability flattens
+from 8 to 16 processors (shared memory bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..workloads import ALL_BENCHMARKS
+from .model import measure_benchmark
+
+__all__ = ["FigureSeries", "generate_figure", "format_figure", "FIGURES"]
+
+#: figure id -> (suite, procs, include speedup curve)
+FIGURES = {
+    "fig10": ("perfect", 4, False),
+    "fig11": ("spec92", 4, False),
+    "fig12": ("spec2000", 8, False),
+    "fig13": ("spec2000", 16, True),
+}
+
+_SCALABILITY_PROCS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class FigureSeries:
+    """Data series of one figure."""
+
+    figure: str
+    suite: str
+    procs: int
+    benchmarks: list[str] = field(default_factory=list)
+    hybrid_norm: dict[str, float] = field(default_factory=dict)
+    baseline_norm: dict[str, float] = field(default_factory=dict)
+    paper_norm: dict[str, Optional[float]] = field(default_factory=dict)
+    #: fig13 only: procs -> benchmark -> speedup
+    scalability: dict[int, dict[str, float]] = field(default_factory=dict)
+    paper_speedup16: dict[str, Optional[float]] = field(default_factory=dict)
+
+
+def generate_figure(figure: str, scale: int = 1) -> FigureSeries:
+    """Regenerate one figure's data series."""
+    suite, procs, scalability = FIGURES[figure]
+    series = FigureSeries(figure=figure, suite=suite, procs=procs)
+    specs = [s for s in ALL_BENCHMARKS if s.suite == suite]
+    if figure in ("fig12", "fig13"):
+        # The paper's Fig. 12/13 exclude gamess (not measured).
+        specs = [s for s in specs if s.name != "gamess"]
+    for spec in specs:
+        hybrid = measure_benchmark(spec, system="hybrid", scale=scale)
+        base = measure_benchmark(spec, system="baseline", scale=scale)
+        series.benchmarks.append(spec.name)
+        series.hybrid_norm[spec.name] = hybrid.norm_time(procs)
+        series.baseline_norm[spec.name] = base.norm_time(procs)
+        series.paper_norm[spec.name] = spec.paper_norm_time
+        series.paper_speedup16[spec.name] = spec.paper_speedup16
+        if scalability:
+            for p in _SCALABILITY_PROCS:
+                series.scalability.setdefault(p, {})[spec.name] = hybrid.speedup(p)
+    return series
+
+
+def format_figure(series: FigureSeries) -> str:
+    """Pretty-print one figure's series, paper numbers alongside."""
+    lines = [f"{series.figure}: {series.suite} suite, {series.procs} processors"]
+    if not series.scalability:
+        lines.append(
+            f"{'BENCH':<12}{'hybrid':>9}{'baseline':>10}{'paper':>8}   (normalized parallel time, seq = 1)"
+        )
+        for name in series.benchmarks:
+            paper = series.paper_norm[name]
+            paper_s = f"{paper:7.2f}" if paper is not None else "    n/a"
+            lines.append(
+                f"{name:<12}{series.hybrid_norm[name]:>9.2f}"
+                f"{series.baseline_norm[name]:>10.2f}{paper_s:>8}"
+            )
+    else:
+        header = f"{'BENCH':<12}" + "".join(f"{p:>7}p" for p in _SCALABILITY_PROCS)
+        lines.append(header + f"{'paper@16':>10}")
+        for name in series.benchmarks:
+            row = f"{name:<12}"
+            for p in _SCALABILITY_PROCS:
+                row += f"{series.scalability[p][name]:>8.2f}"
+            paper = series.paper_speedup16[name]
+            row += f"{paper:>10.2f}" if paper is not None else "       n/a"
+            lines.append(row)
+    return "\n".join(lines)

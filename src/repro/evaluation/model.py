@@ -1,0 +1,191 @@
+"""Measurement model: run the hybrid system and the baseline on every
+benchmark loop and compose program-level timings.
+
+Granularity calibration: the tables give each loop's real granularity GR
+in milliseconds.  A loop's simulated work units are mapped to
+milliseconds via ``unit_ms = GR / seq_work``, so the fixed thread-spawn
+cost (``SPAWN_MS``) has the same *relative* weight it had on the paper's
+machines -- this is what reproduces the PERFECT-CLUB slowdowns on
+microsecond-granularity loops (dyfesm, ocean) while the large SPEC2006
+loops scale.
+
+Program-level normalized time (Figures 10-12) follows Amdahl over the
+measured loops::
+
+    norm(P) = (1 - sum(LSC)) + sum_l LSC_l / speedup_l(P)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..baselines import StaticAffineCompiler
+from ..core import HybridAnalyzer, LoopPlan
+from ..runtime import CostModel, ExecutionReport, HybridExecutor, Inspector
+from ..workloads import TLS_LOOPS, BenchmarkSpec, LoopSpec
+
+__all__ = ["LoopMeasurement", "BenchmarkMeasurement", "measure_benchmark", "SPAWN_MS"]
+
+#: modelled OpenMP fork/join cost, in milliseconds (tens of microseconds
+#: on the paper's machines).
+SPAWN_MS = 0.008
+
+#: repeated loop invocations modelled for HOIST-USR amortization: the
+#: paper's hoistable loops execute many times per program run.
+HOIST_INVOCATIONS = 50
+
+
+@dataclass
+class LoopMeasurement:
+    """One loop under one system ('hybrid' or 'baseline')."""
+
+    spec: LoopSpec
+    plan: Optional[LoopPlan]
+    report: Optional[ExecutionReport]
+    parallel: bool
+    correct: bool
+    runtime_label: str
+    cost: CostModel
+
+    def speedup(self, procs: int) -> float:
+        if not self.parallel or self.report is None:
+            return 1.0
+        return max(
+            self.report.seq_work / self.report.parallel_time(procs, self.cost),
+            1e-9,
+        )
+
+    def rtov(self, procs: int) -> float:
+        if self.report is None or not self.parallel:
+            return 0.0
+        return self.report.rtov(procs, self.cost)
+
+
+@dataclass
+class BenchmarkMeasurement:
+    """All loops of one benchmark under one system."""
+
+    spec: BenchmarkSpec
+    system: str
+    loops: dict[str, LoopMeasurement] = field(default_factory=dict)
+
+    def norm_time(self, procs: int) -> float:
+        """Program time on *procs* processors, sequential = 1.
+
+        The tables measure selected loops (sum LSC), but the benchmark's
+        parallelized coverage is SC; the covered-but-unmeasured fraction
+        behaves like the blend of the measured loops (they are chosen as
+        representative), and only ``1 - SC`` stays strictly sequential.
+        """
+        covered = 0.0
+        total = 0.0
+        for m in self.loops.values():
+            lsc = m.spec.lsc
+            covered += lsc
+            total += lsc / m.speedup(procs)
+        sc = max(self.spec.sc, covered)
+        blended_ratio = total / covered if covered > 0 else 1.0
+        unmeasured = sc - covered
+        return (1.0 - sc) + unmeasured * blended_ratio + total
+
+    def speedup(self, procs: int) -> float:
+        return 1.0 / self.norm_time(procs)
+
+    def rtov(self, procs: int) -> float:
+        """Coverage-weighted runtime-test overhead fraction."""
+        num = 0.0
+        den = 0.0
+        for m in self.loops.values():
+            if m.report is None or not m.parallel:
+                continue
+            par = m.report.parallel_time(procs, m.cost)
+            scale = m.spec.lsc / max(m.report.seq_work, 1.0)
+            num += m.report.overhead_time(procs, m.cost) * scale
+            den += par * scale
+        return num / den if den > 0 else 0.0
+
+    def measured_scrt(self) -> float:
+        """Coverage of loops that needed any runtime work."""
+        out = 0.0
+        for m in self.loops.values():
+            if m.report is not None and m.report.total_overhead > 0:
+                out += m.spec.lsc
+        return out
+
+
+def _runtime_label(plan: LoopPlan, report: ExecutionReport) -> str:
+    if not report.parallel:
+        return "SEQ"
+    vias = {d.via for d in report.decisions.values()}
+    if "speculation" in vias:
+        return "TLS"
+    if "inspector" in vias:
+        return "HOIST-USR"
+    if "predicate" in vias:
+        return plan.classification()
+    return plan.classification()
+
+
+def _loop_cost_model(spec: LoopSpec, seq_work: float) -> CostModel:
+    unit_ms = spec.gr_ms / max(seq_work, 1.0)
+    spawn_units = SPAWN_MS / unit_ms if unit_ms > 0 else 40.0
+    return CostModel(spawn_overhead=spawn_units)
+
+
+def measure_benchmark(
+    spec: BenchmarkSpec,
+    system: str = "hybrid",
+    scale: int = 1,
+    inspector: Optional[Inspector] = None,
+) -> BenchmarkMeasurement:
+    """Analyze + execute every measured loop of *spec* under *system*."""
+    if system not in ("hybrid", "baseline"):
+        raise ValueError(f"unknown system {system!r}")
+    params, arrays = spec.dataset(scale)
+    out = BenchmarkMeasurement(spec=spec, system=system)
+    analyzer = HybridAnalyzer(spec.program)
+    baseline = StaticAffineCompiler(spec.program) if system == "baseline" else None
+    shared_inspector = inspector or Inspector()
+    for loop in spec.loops:
+        plan = analyzer.analyze(loop.label)
+        if system == "baseline":
+            verdict = baseline.analyze(loop.label)
+            if not verdict.parallel:
+                out.loops[loop.label] = LoopMeasurement(
+                    spec=loop,
+                    plan=plan,
+                    report=None,
+                    parallel=False,
+                    correct=True,
+                    runtime_label="SEQ",
+                    cost=CostModel(),
+                )
+                continue
+        strategy = "tls" if loop.label in TLS_LOOPS else "inspector"
+        executor = HybridExecutor(
+            spec.program, plan, inspector=shared_inspector, exact_strategy=strategy
+        )
+        report = executor.run(params, arrays)
+        if report.inspector_overhead > 0:
+            # HOIST-USR: the evaluation is hoisted across the loop's many
+            # executions in a real run; amortize it.
+            report.inspector_overhead /= HOIST_INVOCATIONS
+        if system == "baseline" and report.parallel:
+            # The baseline parallelizes statically: no runtime machinery.
+            report.test_overhead = 0.0
+            report.civ_overhead = 0.0
+            report.bounds_overhead = 0.0
+            report.inspector_overhead = 0.0
+            report.speculation_overhead = 0.0
+        cost = _loop_cost_model(loop, report.seq_work)
+        out.loops[loop.label] = LoopMeasurement(
+            spec=loop,
+            plan=plan,
+            report=report,
+            parallel=report.parallel,
+            correct=report.correct,
+            runtime_label=_runtime_label(plan, report),
+            cost=cost,
+        )
+    return out

@@ -1,0 +1,46 @@
+"""The loop IR substrate: mini-Fortran AST, parser, interpreter and the
+interprocedural USR summarizer."""
+
+from .ast import (
+    ArrayDecl,
+    ArrayRead,
+    AssignArray,
+    AssignScalar,
+    BinOp,
+    Call,
+    CallArg,
+    Do,
+    If,
+    Intrinsic,
+    IRExpr,
+    IRStmt,
+    Num,
+    Program,
+    Subroutine,
+    UnaryOp,
+    Var,
+    While,
+)
+from .convert import to_bool, to_expr
+from .interp import InterpError, IterationRecord, LoopTrace, Machine, RunResult
+from .parser import ParseError, parse_expression, parse_program
+from .summarize import (
+    CIVInfo,
+    LoopAnalysisInput,
+    ReductionInfo,
+    RegionSummary,
+    Summarizer,
+    summarize_loop,
+)
+
+__all__ = [
+    "Program", "Subroutine", "ArrayDecl",
+    "IRExpr", "Num", "Var", "ArrayRead", "BinOp", "UnaryOp", "Intrinsic",
+    "IRStmt", "AssignScalar", "AssignArray", "If", "Do", "While", "Call",
+    "CallArg",
+    "parse_program", "parse_expression", "ParseError",
+    "Machine", "RunResult", "LoopTrace", "IterationRecord", "InterpError",
+    "to_expr", "to_bool",
+    "Summarizer", "summarize_loop", "LoopAnalysisInput", "RegionSummary",
+    "CIVInfo", "ReductionInfo",
+]

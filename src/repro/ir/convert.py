@@ -1,0 +1,138 @@
+"""IR-expression to symbolic-expression conversion.
+
+The summarizer symbolically executes scalar code; this module lowers IR
+expressions into the canonical :class:`~repro.symbolic.Expr` /
+:class:`~repro.symbolic.BoolExpr` domains.  Conversion can fail (``None``)
+on constructs outside the symbolic language (boolean-valued arithmetic
+positions and the like); callers then fall back to conservative
+summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..symbolic import (
+    ArrayRef,
+    BoolExpr,
+    Expr,
+    b_and,
+    b_not,
+    b_or,
+    cmp_eq,
+    cmp_ge,
+    cmp_gt,
+    cmp_le,
+    cmp_lt,
+    cmp_ne,
+    floor_div,
+    ne0,
+    smax,
+    smin,
+    sym,
+)
+from .ast import ArrayRead, BinOp, Intrinsic, IRExpr, Num, UnaryOp, Var
+
+__all__ = ["to_expr", "to_bool"]
+
+_CMP_MAKERS = {
+    "==": cmp_eq,
+    "!=": cmp_ne,
+    "<": cmp_lt,
+    "<=": cmp_le,
+    ">": cmp_gt,
+    ">=": cmp_ge,
+}
+
+
+def to_expr(
+    expr: IRExpr, scalars: Mapping[str, Expr], renames: Optional[Mapping[str, str]] = None
+) -> Optional[Expr]:
+    """Lower an integer-valued IR expression; None when not representable.
+
+    *scalars* maps in-scope scalar names to their current symbolic value;
+    unmapped names become free symbols.  *renames* maps array names (used
+    when translating callee summaries into the caller's arrays).
+    """
+    if isinstance(expr, Num):
+        from ..symbolic import as_expr
+
+        return as_expr(expr.value)
+    if isinstance(expr, Var):
+        if expr.name in scalars:
+            return scalars[expr.name]
+        return sym(expr.name)
+    if isinstance(expr, ArrayRead):
+        index = to_expr(expr.index, scalars, renames)
+        if index is None:
+            return None
+        name = renames.get(expr.array, expr.array) if renames else expr.array
+        return ArrayRef(name, [index]).as_expr()
+    if isinstance(expr, BinOp):
+        if expr.op in ("and", "or") or expr.op in _CMP_MAKERS:
+            return None  # boolean-valued in an arithmetic position
+        left = to_expr(expr.left, scalars, renames)
+        right = to_expr(expr.right, scalars, renames)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right.is_constant() and right.constant_value() > 0:
+                return floor_div(left, right.constant_value())
+            return None
+        if expr.op == "%":
+            return None  # modulo stays opaque
+        return None
+    if isinstance(expr, UnaryOp):
+        if expr.op == "-":
+            inner = to_expr(expr.arg, scalars, renames)
+            return None if inner is None else -inner
+        return None
+    if isinstance(expr, Intrinsic):
+        args = [to_expr(a, scalars, renames) for a in expr.args]
+        if any(a is None for a in args):
+            return None
+        if expr.name == "min":
+            return smin(*args)  # type: ignore[arg-type]
+        if expr.name == "max":
+            return smax(*args)  # type: ignore[arg-type]
+        return None
+    return None
+
+
+def to_bool(
+    expr: IRExpr, scalars: Mapping[str, Expr], renames: Optional[Mapping[str, str]] = None
+) -> Optional[BoolExpr]:
+    """Lower a condition-position IR expression to a boolean predicate."""
+    if isinstance(expr, BinOp):
+        if expr.op in _CMP_MAKERS:
+            left = to_expr(expr.left, scalars, renames)
+            right = to_expr(expr.right, scalars, renames)
+            if left is None or right is None:
+                return None
+            return _CMP_MAKERS[expr.op](left, right)
+        if expr.op == "and":
+            a = to_bool(expr.left, scalars, renames)
+            b = to_bool(expr.right, scalars, renames)
+            if a is None or b is None:
+                return None
+            return b_and(a, b)
+        if expr.op == "or":
+            a = to_bool(expr.left, scalars, renames)
+            b = to_bool(expr.right, scalars, renames)
+            if a is None or b is None:
+                return None
+            return b_or(a, b)
+    if isinstance(expr, UnaryOp) and expr.op == "not":
+        inner = to_bool(expr.arg, scalars, renames)
+        return None if inner is None else b_not(inner)
+    # Plain integer expression in condition position: nonzero test.
+    value = to_expr(expr, scalars, renames)
+    if value is not None:
+        return ne0(value)
+    return None

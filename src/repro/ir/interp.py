@@ -1,0 +1,445 @@
+"""Reference interpreter for the loop IR.
+
+The interpreter plays three roles in the reproduction:
+
+1. **ground truth**: sequential execution defines the correct final
+   memory state against which every parallelization is checked;
+2. **dependence oracle**: with a *trace target*, it records each
+   iteration's exposed reads and writes per array, from which true
+   cross-iteration dependences are computed (the paper's authors had the
+   actual machine for this);
+3. **cost model**: every executed statement counts one unit of work, and
+   per-loop iteration work is recorded so the simulated multiprocessor
+   (:mod:`repro.runtime.scheduler`) can schedule iterations.
+
+Arrays are dense Python lists indexed 1-based, Fortran style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from .ast import (
+    ArrayRead,
+    AssignArray,
+    AssignScalar,
+    BinOp,
+    Call,
+    Do,
+    If,
+    Intrinsic,
+    IRExpr,
+    IRStmt,
+    Num,
+    Program,
+    Subroutine,
+    UnaryOp,
+    Var,
+    While,
+)
+
+__all__ = ["Machine", "IterationRecord", "LoopTrace", "RunResult", "InterpError"]
+
+_WHILE_FUEL = 10_000_000
+
+
+class InterpError(RuntimeError):
+    """Raised on runtime errors (unbound names, bad indexes...)."""
+
+
+@dataclass
+class IterationRecord:
+    """Memory behaviour of one iteration of the traced loop."""
+
+    iteration: int
+    #: locations written, per array
+    writes: dict[str, set[int]] = field(default_factory=dict)
+    #: locations read before any local write ("exposed" reads), per array
+    exposed_reads: dict[str, set[int]] = field(default_factory=dict)
+    #: locations whose first access is a reduction-style update, per array
+    updates: dict[str, set[int]] = field(default_factory=dict)
+    #: units of work executed by this iteration
+    work: int = 0
+
+
+@dataclass
+class LoopTrace:
+    """All iteration records of one execution of the traced loop."""
+
+    label: str
+    iterations: list[IterationRecord] = field(default_factory=list)
+
+    def has_cross_iteration_dependence(self) -> bool:
+        """True when some location is written by one iteration and touched
+        (read or written) by a different one -- the loop is NOT fully
+        independent."""
+        writers: dict[tuple[str, int], int] = {}
+        for rec in self.iterations:
+            for arr, locs in rec.writes.items():
+                for loc in locs:
+                    key = (arr, loc)
+                    if key in writers and writers[key] != rec.iteration:
+                        return True
+                    writers[key] = rec.iteration
+        for rec in self.iterations:
+            for arr, locs in rec.exposed_reads.items():
+                for loc in locs:
+                    owner = writers.get((arr, loc))
+                    if owner is not None and owner != rec.iteration:
+                        return True
+        # Anti dependences: a read (even exposed) in iteration i of a
+        # location written later is covered by the writers map above only
+        # for flow order; check the symmetric direction too.
+        readers: dict[tuple[str, int], set[int]] = {}
+        for rec in self.iterations:
+            for arr, locs in rec.exposed_reads.items():
+                for loc in locs:
+                    readers.setdefault((arr, loc), set()).add(rec.iteration)
+        for key, owner in writers.items():
+            for reader in readers.get(key, ()):
+                if reader != owner:
+                    return True
+        return False
+
+    def flow_independent(self) -> bool:
+        """No location is written by one iteration and expose-read by
+        another (in either order: covers flow and anti dependences)."""
+        writers: dict[tuple[str, int], set[int]] = {}
+        for rec in self.iterations:
+            for arr, locs in rec.writes.items():
+                for loc in locs:
+                    writers.setdefault((arr, loc), set()).add(rec.iteration)
+        for rec in self.iterations:
+            for arr, locs in rec.exposed_reads.items():
+                for loc in locs:
+                    owners = writers.get((arr, loc), set())
+                    if owners - {rec.iteration}:
+                        return False
+        return True
+
+    def output_independent(self) -> bool:
+        """No location is written by two different iterations."""
+        writers: dict[tuple[str, int], int] = {}
+        for rec in self.iterations:
+            for arr, locs in rec.writes.items():
+                for loc in locs:
+                    key = (arr, loc)
+                    if key in writers and writers[key] != rec.iteration:
+                        return False
+                    writers[key] = rec.iteration
+        return True
+
+    def total_work(self) -> int:
+        return sum(rec.work for rec in self.iterations)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a program run: final memory, cost, optional trace."""
+
+    scalars: dict[str, int]
+    arrays: dict[str, list[int]]
+    work: int
+    trace: Optional[LoopTrace] = None
+    loop_work: dict[str, int] = field(default_factory=dict)
+    loop_trips: dict[str, int] = field(default_factory=dict)
+
+
+class _Frame:
+    """One activation: scalar bindings + array bindings (name, offset)."""
+
+    __slots__ = ("scalars", "arrays")
+
+    def __init__(
+        self, scalars: dict[str, int], arrays: dict[str, tuple[str, int]]
+    ):
+        self.scalars = scalars
+        self.arrays = arrays
+
+
+class Machine:
+    """Executes a program against concrete parameter/array inputs."""
+
+    def __init__(
+        self,
+        program: Program,
+        params: Optional[Mapping[str, int]] = None,
+        arrays: Optional[Mapping[str, list[int]]] = None,
+        trace_label: Optional[str] = None,
+        loop_executor: Optional[Callable] = None,
+        loop_executor_label: Optional[str] = None,
+    ):
+        #: optional hook: called as ``loop_executor(machine, stmt, frame)``
+        #: instead of the built-in sequential execution when the loop with
+        #: ``loop_executor_label`` is reached (the parallel runtime uses
+        #: this to take over the target loop).
+        self.loop_executor = loop_executor
+        self.loop_executor_label = loop_executor_label
+        self.program = program
+        self.params = dict(params or {})
+        self.work = 0
+        self.loop_work: dict[str, int] = {}
+        self.loop_trips: dict[str, int] = {}
+        self.trace_label = trace_label
+        self.trace: Optional[LoopTrace] = (
+            LoopTrace(trace_label) if trace_label else None
+        )
+        self._active_record: Optional[IterationRecord] = None
+        self.arrays: dict[str, list[int]] = {}
+        for decl in program.arrays:
+            size = self._const_or_param(decl.size)
+            provided = arrays.get(decl.name) if arrays else None
+            if provided is not None:
+                if len(provided) < size:
+                    provided = list(provided) + [0] * (size - len(provided))
+                self.arrays[decl.name] = list(provided)
+            else:
+                self.arrays[decl.name] = [0] * size
+
+    def _const_or_param(self, expr: IRExpr) -> int:
+        frame = _Frame(dict(self.params), {})
+        return self._eval(expr, frame)
+
+    # -- public API -------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute main to completion."""
+        frame = _Frame(dict(self.params), {name: (name, 0) for name in self.arrays})
+        self._exec_body(self.program.main, frame)
+        return RunResult(
+            scalars=dict(frame.scalars),
+            arrays={k: list(v) for k, v in self.arrays.items()},
+            work=self.work,
+            trace=self.trace,
+            loop_work=dict(self.loop_work),
+            loop_trips=dict(self.loop_trips),
+        )
+
+    # -- execution ----------------------------------------------------------
+    def _exec_body(self, stmts: tuple[IRStmt, ...], frame: _Frame) -> None:
+        for stmt in stmts:
+            self._exec(stmt, frame)
+
+    def _exec(self, stmt: IRStmt, frame: _Frame) -> None:
+        self.work += 1
+        if self._active_record is not None:
+            self._active_record.work += 1
+        if isinstance(stmt, AssignScalar):
+            frame.scalars[stmt.name] = self._eval(stmt.expr, frame)
+            return
+        if isinstance(stmt, AssignArray):
+            index = self._eval(stmt.index, frame)
+            # Evaluate RHS first: reads happen before the write.
+            value = self._eval(stmt.expr, frame)
+            self._store(stmt.array, index, value, frame, update=stmt.is_update)
+            return
+        if isinstance(stmt, If):
+            if self._eval(stmt.cond, frame) != 0:
+                self._exec_body(stmt.then_body, frame)
+            else:
+                self._exec_body(stmt.else_body, frame)
+            return
+        if isinstance(stmt, Do):
+            self._exec_do(stmt, frame)
+            return
+        if isinstance(stmt, While):
+            self._exec_while(stmt, frame)
+            return
+        if isinstance(stmt, Call):
+            self._exec_call(stmt, frame)
+            return
+        raise InterpError(f"unknown statement {stmt!r}")
+
+    def _exec_do(self, stmt: Do, frame: _Frame) -> None:
+        if (
+            self.loop_executor is not None
+            and stmt.label is not None
+            and stmt.label == self.loop_executor_label
+        ):
+            self.loop_executor(self, stmt, frame)
+            return
+        lower = self._eval(stmt.lower, frame)
+        upper = self._eval(stmt.upper, frame)
+        tracing = stmt.label is not None and stmt.label == self.trace_label
+        work_before = self.work
+        trips = max(0, upper - lower + 1)
+        for i in range(lower, upper + 1):
+            frame.scalars[stmt.index] = i
+            if tracing and self.trace is not None:
+                record = IterationRecord(iteration=i)
+                prev = self._active_record
+                self._active_record = record
+                self._exec_body(stmt.body, frame)
+                self._active_record = prev
+                self.trace.iterations.append(record)
+            else:
+                self._exec_body(stmt.body, frame)
+        if stmt.label:
+            self.loop_work[stmt.label] = (
+                self.loop_work.get(stmt.label, 0) + self.work - work_before
+            )
+            self.loop_trips[stmt.label] = self.loop_trips.get(stmt.label, 0) + trips
+
+    def _exec_while(self, stmt: While, frame: _Frame) -> None:
+        if (
+            self.loop_executor is not None
+            and stmt.label is not None
+            and stmt.label == self.loop_executor_label
+        ):
+            self.loop_executor(self, stmt, frame)
+            return
+        tracing = stmt.label is not None and stmt.label == self.trace_label
+        work_before = self.work
+        trips = 0
+        while self._eval(stmt.cond, frame) != 0:
+            trips += 1
+            if trips > _WHILE_FUEL:
+                raise InterpError(f"while loop {stmt.label or ''} ran away")
+            if tracing and self.trace is not None:
+                record = IterationRecord(iteration=trips)
+                prev = self._active_record
+                self._active_record = record
+                self._exec_body(stmt.body, frame)
+                self._active_record = prev
+                self.trace.iterations.append(record)
+            else:
+                self._exec_body(stmt.body, frame)
+        if stmt.label:
+            self.loop_work[stmt.label] = (
+                self.loop_work.get(stmt.label, 0) + self.work - work_before
+            )
+            self.loop_trips[stmt.label] = self.loop_trips.get(stmt.label, 0) + trips
+
+    def _exec_call(self, stmt: Call, frame: _Frame) -> None:
+        callee = self.program.subroutines.get(stmt.callee)
+        if callee is None:
+            raise InterpError(f"call to unknown subroutine {stmt.callee!r}")
+        scalars: dict[str, int] = {}
+        arrays: dict[str, tuple[str, int]] = {}
+        scalar_iter = iter(callee.scalar_params)
+        array_iter = iter(callee.array_params)
+        for arg in stmt.args:
+            if arg.is_array():
+                try:
+                    formal = next(array_iter)
+                except StopIteration:
+                    raise InterpError(
+                        f"too many array arguments to {stmt.callee!r}"
+                    ) from None
+                base_name, base_off = frame.arrays[arg.array]
+                extra = self._eval(arg.offset, frame) if arg.offset else 0
+                arrays[formal] = (base_name, base_off + extra)
+            else:
+                try:
+                    formal = next(scalar_iter)
+                except StopIteration:
+                    raise InterpError(
+                        f"too many scalar arguments to {stmt.callee!r}"
+                    ) from None
+                scalars[formal] = self._eval(arg.scalar, frame)
+        if next(scalar_iter, None) is not None or next(array_iter, None) is not None:
+            raise InterpError(f"missing arguments in call to {stmt.callee!r}")
+        # Globals (program params) remain visible inside subroutines.
+        inner = dict(self.params)
+        inner.update(scalars)
+        self._exec_body(callee.body, _Frame(inner, arrays))
+
+    # -- memory ----------------------------------------------------------------
+    def _resolve(self, array: str, index: int, frame: _Frame) -> tuple[str, int]:
+        if array not in frame.arrays:
+            raise InterpError(f"unbound array {array!r}")
+        base_name, offset = frame.arrays[array]
+        return base_name, offset + index
+
+    def _load(self, array: str, index: int, frame: _Frame) -> int:
+        name, loc = self._resolve(array, index, frame)
+        data = self.arrays[name]
+        if not (1 <= loc <= len(data)):
+            raise InterpError(f"{name}[{loc}] out of bounds (size {len(data)})")
+        rec = self._active_record
+        if rec is not None:
+            written = rec.writes.get(name)
+            if not written or loc not in written:
+                rec.exposed_reads.setdefault(name, set()).add(loc)
+        return data[loc - 1]
+
+    def _store(
+        self, array: str, index: int, value: int, frame: _Frame, update: bool
+    ) -> None:
+        name, loc = self._resolve(array, index, frame)
+        data = self.arrays[name]
+        if not (1 <= loc <= len(data)):
+            raise InterpError(f"{name}[{loc}] out of bounds (size {len(data)})")
+        rec = self._active_record
+        if rec is not None:
+            rec.writes.setdefault(name, set()).add(loc)
+            if update:
+                rec.updates.setdefault(name, set()).add(loc)
+        data[loc - 1] = value
+
+    # -- expressions --------------------------------------------------------------
+    def _eval(self, expr: IRExpr, frame: _Frame) -> int:
+        if isinstance(expr, Num):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name in frame.scalars:
+                return frame.scalars[expr.name]
+            if expr.name in self.params:
+                return self.params[expr.name]
+            raise InterpError(f"unbound scalar {expr.name!r}")
+        if isinstance(expr, ArrayRead):
+            index = self._eval(expr.index, frame)
+            return self._load(expr.array, index, frame)
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left, frame)
+            if expr.op == "and":
+                return 1 if (left != 0 and self._eval(expr.right, frame) != 0) else 0
+            if expr.op == "or":
+                return 1 if (left != 0 or self._eval(expr.right, frame) != 0) else 0
+            right = self._eval(expr.right, frame)
+            return _apply_binop(expr.op, left, right)
+        if isinstance(expr, UnaryOp):
+            value = self._eval(expr.arg, frame)
+            if expr.op == "-":
+                return -value
+            if expr.op == "not":
+                return 0 if value else 1
+            raise InterpError(f"unknown unary {expr.op!r}")
+        if isinstance(expr, Intrinsic):
+            values = [self._eval(a, frame) for a in expr.args]
+            if expr.name == "min":
+                return min(values)
+            if expr.name == "max":
+                return max(values)
+            raise InterpError(f"unknown intrinsic {expr.name!r}")
+        raise InterpError(f"unknown expression {expr!r}")
+
+
+def _apply_binop(op: str, left: int, right: int) -> int:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise InterpError("division by zero")
+        return left // right
+    if op == "%":
+        if right == 0:
+            raise InterpError("modulo by zero")
+        return left % right
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    raise InterpError(f"unknown operator {op!r}")

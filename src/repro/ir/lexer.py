@@ -1,0 +1,78 @@
+"""Tokenizer for the mini-Fortran loop IR concrete syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+__all__ = ["Token", "tokenize", "LexError"]
+
+KEYWORDS = {
+    "program", "param", "array", "subroutine", "main", "end",
+    "do", "while", "if", "then", "else", "call",
+    "and", "or", "not", "min", "max",
+}
+
+SYMBOLS = [
+    "==", "!=", "<=", ">=", "+", "-", "*", "/", "%", "(", ")", "[", "]",
+    ",", "=", "<", ">", "@",
+]
+
+
+class LexError(ValueError):
+    """Raised on malformed input with line/column context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind in {kw, ident, num, sym, newline, eof}."""
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*; newlines are significant (statement separators)."""
+    tokens: list[Token] = []
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0]
+        col = 0
+        length = len(line)
+        emitted = False
+        while col < length:
+            ch = line[col]
+            if ch in " \t":
+                col += 1
+                continue
+            if ch.isdigit():
+                start = col
+                while col < length and line[col].isdigit():
+                    col += 1
+                tokens.append(Token("num", line[start:col], line_no, start + 1))
+                emitted = True
+                continue
+            if ch.isalpha() or ch == "_":
+                start = col
+                while col < length and (line[col].isalnum() or line[col] in "_$"):
+                    col += 1
+                text = line[start:col]
+                kind = "kw" if text.lower() in KEYWORDS else "ident"
+                canon = text.lower() if kind == "kw" else text
+                tokens.append(Token(kind, canon, line_no, start + 1))
+                emitted = True
+                continue
+            for sym in SYMBOLS:
+                if line.startswith(sym, col):
+                    tokens.append(Token("sym", sym, line_no, col + 1))
+                    col += len(sym)
+                    emitted = True
+                    break
+            else:
+                raise LexError(f"line {line_no}:{col + 1}: unexpected {ch!r}")
+        if emitted:
+            tokens.append(Token("newline", "\n", line_no, length + 1))
+    tokens.append(Token("eof", "", len(source.splitlines()) + 1, 1))
+    return tokens

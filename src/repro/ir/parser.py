@@ -1,0 +1,406 @@
+"""Recursive-descent parser for the mini-Fortran loop IR.
+
+Grammar sketch (newline-separated statements)::
+
+    program   := "program" IDENT decl* unit* "end"?
+    decl      := "param" IDENT ("," IDENT)*
+               | "array" IDENT "(" expr ")" ("," IDENT "(" expr ")")*
+    unit      := subroutine | mainblk
+    subroutine:= "subroutine" IDENT "(" fparam ("," fparam)* ")" body "end"
+    fparam    := IDENT "[" "]"        -- array parameter
+               | IDENT                -- scalar parameter
+    mainblk   := "main" body "end"
+    body      := stmt*
+    stmt      := IDENT "=" expr
+               | IDENT "[" expr "]" "=" expr
+               | "if" expr "then" body ("else" body)? "end"
+               | "do" IDENT "=" expr "," expr ("@" IDENT)? body "end"
+               | "while" expr ("@" IDENT)? body "end"
+               | "call" IDENT "(" aarg ("," aarg)* ")"
+    aarg      := IDENT "[" "]" ("+" expr)?   -- array (optional offset)
+               | expr                        -- scalar
+    expr      := standard precedence: or < and < not < cmp < add < mul < unary
+
+Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    ArrayDecl,
+    ArrayRead,
+    AssignArray,
+    AssignScalar,
+    BinOp,
+    Call,
+    CallArg,
+    Do,
+    If,
+    Intrinsic,
+    IRExpr,
+    IRStmt,
+    Num,
+    Program,
+    Subroutine,
+    UnaryOp,
+    Var,
+    While,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_expression", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid programs."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind == "newline":
+            self.advance()
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(
+                f"line {tok.line}:{tok.col}: expected {want!r}, got {tok.text!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    # -- program structure ---------------------------------------------------
+    def parse_program(self) -> Program:
+        self.skip_newlines()
+        self.expect("kw", "program")
+        name = self.expect("ident").text
+        self.expect("newline")
+        params: list[str] = []
+        arrays: list[ArrayDecl] = []
+        subroutines: dict[str, Subroutine] = {}
+        main: tuple[IRStmt, ...] = ()
+        while True:
+            self.skip_newlines()
+            tok = self.peek()
+            if tok.kind == "eof":
+                break
+            if self.accept("kw", "param"):
+                params.append(self.expect("ident").text)
+                while self.accept("sym", ","):
+                    params.append(self.expect("ident").text)
+                self.expect("newline")
+            elif self.accept("kw", "array"):
+                arrays.append(self._array_decl())
+                while self.accept("sym", ","):
+                    arrays.append(self._array_decl())
+                self.expect("newline")
+            elif self.accept("kw", "subroutine"):
+                sub = self._subroutine()
+                subroutines[sub.name] = sub
+            elif self.accept("kw", "main"):
+                self.expect("newline")
+                main = self._body()
+                self.expect("kw", "end")
+            elif self.accept("kw", "end"):
+                self.skip_newlines()
+                if self.peek().kind != "eof":
+                    tok = self.peek()
+                    raise ParseError(
+                        f"line {tok.line}: trailing input after program end"
+                    )
+                break
+            else:
+                raise ParseError(
+                    f"line {tok.line}:{tok.col}: unexpected {tok.text!r} at top level"
+                )
+        return Program(
+            params=tuple(params),
+            arrays=tuple(arrays),
+            subroutines=subroutines,
+            main=main,
+            name=name,
+        )
+
+    def _array_decl(self) -> ArrayDecl:
+        name = self.expect("ident").text
+        self.expect("sym", "(")
+        size = self.parse_expr()
+        self.expect("sym", ")")
+        return ArrayDecl(name, size)
+
+    def _subroutine(self) -> Subroutine:
+        name = self.expect("ident").text
+        self.expect("sym", "(")
+        scalars: list[str] = []
+        array_params: list[str] = []
+        if not self.at("sym", ")"):
+            while True:
+                pname = self.expect("ident").text
+                if self.accept("sym", "["):
+                    self.expect("sym", "]")
+                    array_params.append(pname)
+                else:
+                    scalars.append(pname)
+                if not self.accept("sym", ","):
+                    break
+        self.expect("sym", ")")
+        self.expect("newline")
+        body = self._body()
+        self.expect("kw", "end")
+        self.expect("newline")
+        return Subroutine(
+            name=name,
+            scalar_params=tuple(scalars),
+            array_params=tuple(array_params),
+            body=body,
+        )
+
+    # -- statements --------------------------------------------------------------
+    def _body(self) -> tuple[IRStmt, ...]:
+        stmts: list[IRStmt] = []
+        while True:
+            self.skip_newlines()
+            tok = self.peek()
+            if tok.kind == "eof":
+                raise ParseError(f"line {tok.line}: unexpected end of input")
+            if tok.kind == "kw" and tok.text in ("end", "else"):
+                return tuple(stmts)
+            stmts.append(self._stmt())
+
+    def _stmt(self) -> IRStmt:
+        tok = self.peek()
+        if tok.kind == "kw":
+            if tok.text == "if":
+                return self._if()
+            if tok.text == "do":
+                return self._do()
+            if tok.text == "while":
+                return self._while()
+            if tok.text == "call":
+                return self._call()
+            raise ParseError(f"line {tok.line}: unexpected keyword {tok.text!r}")
+        if tok.kind == "ident":
+            name = self.advance().text
+            if self.accept("sym", "["):
+                index = self.parse_expr()
+                self.expect("sym", "]")
+                self.expect("sym", "=")
+                rhs = self.parse_expr()
+                self.expect("newline")
+                return AssignArray(
+                    array=name,
+                    index=index,
+                    expr=rhs,
+                    is_update=_reads_same_element(rhs, name, index),
+                )
+            self.expect("sym", "=")
+            rhs = self.parse_expr()
+            self.expect("newline")
+            return AssignScalar(name, rhs)
+        raise ParseError(f"line {tok.line}: cannot start a statement with {tok.text!r}")
+
+    def _if(self) -> IRStmt:
+        self.expect("kw", "if")
+        cond = self.parse_expr()
+        self.expect("kw", "then")
+        self.expect("newline")
+        then_body = self._body()
+        else_body: tuple[IRStmt, ...] = ()
+        if self.accept("kw", "else"):
+            self.expect("newline")
+            else_body = self._body()
+        self.expect("kw", "end")
+        self.expect("newline")
+        return If(cond, then_body, else_body)
+
+    def _do(self) -> IRStmt:
+        self.expect("kw", "do")
+        index = self.expect("ident").text
+        self.expect("sym", "=")
+        lower = self.parse_expr()
+        self.expect("sym", ",")
+        upper = self.parse_expr()
+        label = None
+        if self.accept("sym", "@"):
+            label = self.expect("ident").text
+        self.expect("newline")
+        body = self._body()
+        self.expect("kw", "end")
+        self.expect("newline")
+        return Do(index, lower, upper, body, label)
+
+    def _while(self) -> IRStmt:
+        self.expect("kw", "while")
+        cond = self.parse_expr()
+        label = None
+        if self.accept("sym", "@"):
+            label = self.expect("ident").text
+        self.expect("newline")
+        body = self._body()
+        self.expect("kw", "end")
+        self.expect("newline")
+        return While(cond, body, label)
+
+    def _call(self) -> IRStmt:
+        self.expect("kw", "call")
+        callee = self.expect("ident").text
+        self.expect("sym", "(")
+        args: list[CallArg] = []
+        if not self.at("sym", ")"):
+            while True:
+                args.append(self._call_arg())
+                if not self.accept("sym", ","):
+                    break
+        self.expect("sym", ")")
+        self.expect("newline")
+        return Call(callee, tuple(args))
+
+    def _call_arg(self) -> CallArg:
+        # Array argument: IDENT [] (+ expr)?
+        if self.peek().kind == "ident":
+            save = self.pos
+            name = self.advance().text
+            if self.accept("sym", "["):
+                if self.accept("sym", "]"):
+                    offset: Optional[IRExpr] = None
+                    if self.accept("sym", "+"):
+                        offset = self.parse_expr()
+                    return CallArg(array=name, offset=offset)
+                self.pos = save  # it was an element read: scalar expression
+            else:
+                self.pos = save
+        return CallArg(scalar=self.parse_expr())
+
+    # -- expressions (precedence climbing) -------------------------------------
+    def parse_expr(self) -> IRExpr:
+        return self._or()
+
+    def _or(self) -> IRExpr:
+        left = self._and()
+        while self.at("kw", "or"):
+            self.advance()
+            left = BinOp("or", left, self._and())
+        return left
+
+    def _and(self) -> IRExpr:
+        left = self._not()
+        while self.at("kw", "and"):
+            self.advance()
+            left = BinOp("and", left, self._not())
+        return left
+
+    def _not(self) -> IRExpr:
+        if self.accept("kw", "not"):
+            return UnaryOp("not", self._not())
+        return self._cmp()
+
+    def _cmp(self) -> IRExpr:
+        left = self._add()
+        tok = self.peek()
+        if tok.kind == "sym" and tok.text in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.advance().text
+            return BinOp(op, left, self._add())
+        return left
+
+    def _add(self) -> IRExpr:
+        left = self._mul()
+        while self.at("sym", "+") or self.at("sym", "-"):
+            op = self.advance().text
+            left = BinOp(op, left, self._mul())
+        return left
+
+    def _mul(self) -> IRExpr:
+        left = self._unary()
+        while self.at("sym", "*") or self.at("sym", "/") or self.at("sym", "%"):
+            op = self.advance().text
+            left = BinOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> IRExpr:
+        if self.accept("sym", "-"):
+            return UnaryOp("-", self._unary())
+        return self._atom()
+
+    def _atom(self) -> IRExpr:
+        tok = self.peek()
+        if tok.kind == "num":
+            self.advance()
+            return Num(int(tok.text))
+        if tok.kind == "kw" and tok.text in ("min", "max"):
+            self.advance()
+            self.expect("sym", "(")
+            args = [self.parse_expr()]
+            while self.accept("sym", ","):
+                args.append(self.parse_expr())
+            self.expect("sym", ")")
+            return Intrinsic(tok.text, tuple(args))
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("sym", "["):
+                index = self.parse_expr()
+                self.expect("sym", "]")
+                return ArrayRead(tok.text, index)
+            return Var(tok.text)
+        if self.accept("sym", "("):
+            inner = self.parse_expr()
+            self.expect("sym", ")")
+            return inner
+        raise ParseError(f"line {tok.line}:{tok.col}: unexpected {tok.text!r}")
+
+
+def _reads_same_element(expr: IRExpr, array: str, index: IRExpr) -> bool:
+    """Does *expr* read ``array[index]`` (reduction-update shape)?"""
+    if isinstance(expr, ArrayRead):
+        return expr.array == array and expr.index == index
+    if isinstance(expr, BinOp):
+        return _reads_same_element(expr.left, array, index) or _reads_same_element(
+            expr.right, array, index
+        )
+    if isinstance(expr, UnaryOp):
+        return _reads_same_element(expr.arg, array, index)
+    if isinstance(expr, Intrinsic):
+        return any(_reads_same_element(a, array, index) for a in expr.args)
+    return False
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program from concrete syntax."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> IRExpr:
+    """Parse a standalone expression (used by tests)."""
+    tokens = tokenize(source)
+    parser = _Parser(tokens)
+    expr = parser.parse_expr()
+    parser.skip_newlines()
+    if parser.peek().kind != "eof":
+        tok = parser.peek()
+        raise ParseError(f"line {tok.line}: trailing input {tok.text!r}")
+    return expr

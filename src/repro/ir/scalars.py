@@ -1,0 +1,137 @@
+"""Scalar use-def analysis over loop bodies.
+
+Two facts the summarizer needs about the scalars of a loop body:
+
+* which scalars are **assigned** anywhere in the body -- their values at
+  iteration entry are unknown functions of the iteration number, modelled
+  by per-iteration *entry opaques* ``$entry_x_label(i)``;
+* which assigned scalars may be **read before written** on some path --
+  a loop-carried scalar flow dependence that (unless the scalar is a
+  recognized CIV) forbids parallelization outright, no matter what the
+  array summaries say.
+
+The analysis is conservative: a read inside a nested loop or branch
+counts as exposed unless a dominating write precedes it on every path.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    ArrayRead,
+    AssignArray,
+    AssignScalar,
+    BinOp,
+    Call,
+    Do,
+    If,
+    Intrinsic,
+    IRExpr,
+    IRStmt,
+    UnaryOp,
+    Var,
+    While,
+)
+
+__all__ = ["assigned_scalars", "read_before_write", "expr_scalar_reads"]
+
+
+def expr_scalar_reads(expr: IRExpr) -> set[str]:
+    """All scalar names read by an expression."""
+    out: set[str] = set()
+
+    def walk(e: IRExpr) -> None:
+        if isinstance(e, Var):
+            out.add(e.name)
+        elif isinstance(e, ArrayRead):
+            walk(e.index)
+        elif isinstance(e, BinOp):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, UnaryOp):
+            walk(e.arg)
+        elif isinstance(e, Intrinsic):
+            for a in e.args:
+                walk(a)
+
+    walk(expr)
+    return out
+
+
+def assigned_scalars(stmts: tuple[IRStmt, ...]) -> set[str]:
+    """Scalars assigned anywhere in the statement tree (incl. do indexes)."""
+    out: set[str] = set()
+
+    def walk(body: tuple[IRStmt, ...]) -> None:
+        for s in body:
+            if isinstance(s, AssignScalar):
+                out.add(s.name)
+            elif isinstance(s, If):
+                walk(s.then_body)
+                walk(s.else_body)
+            elif isinstance(s, Do):
+                out.add(s.index)
+                walk(s.body)
+            elif isinstance(s, While):
+                walk(s.body)
+
+    walk(stmts)
+    return out
+
+
+def read_before_write(stmts: tuple[IRStmt, ...]) -> set[str]:
+    """Scalars that may be read before being written on some path.
+
+    Returns reads exposed at the *entry* of the statement sequence.
+    Writes inside conditionals or loops do not kill (the body may not
+    execute); their reads do count.  Call arguments read scalars.
+    """
+    exposed: set[str] = set()
+
+    def walk(body: tuple[IRStmt, ...], written: set[str]) -> set[str]:
+        """Process *body* given definitely-written set; returns the
+        definitely-written set at exit."""
+        current = set(written)
+        for s in body:
+            for name in _stmt_reads(s):
+                if name not in current:
+                    exposed.add(name)
+            if isinstance(s, AssignScalar):
+                current.add(s.name)
+            elif isinstance(s, If):
+                w_then = walk(s.then_body, current)
+                w_else = walk(s.else_body, current)
+                current = w_then & w_else
+            elif isinstance(s, Do):
+                inner = set(current)
+                inner.add(s.index)
+                walk(s.body, inner)
+                # body may not execute: no kills survive
+            elif isinstance(s, While):
+                walk(s.body, set(current))
+        return current
+
+    walk(stmts, set())
+    return exposed
+
+
+def _stmt_reads(s: IRStmt) -> set[str]:
+    """Scalars read directly by one statement (not by nested bodies)."""
+    if isinstance(s, AssignScalar):
+        return expr_scalar_reads(s.expr)
+    if isinstance(s, AssignArray):
+        return expr_scalar_reads(s.index) | expr_scalar_reads(s.expr)
+    if isinstance(s, If):
+        return expr_scalar_reads(s.cond)
+    if isinstance(s, Do):
+        return expr_scalar_reads(s.lower) | expr_scalar_reads(s.upper)
+    if isinstance(s, While):
+        return expr_scalar_reads(s.cond)
+    if isinstance(s, Call):
+        out: set[str] = set()
+        for arg in s.args:
+            if arg.scalar is not None:
+                out |= expr_scalar_reads(arg.scalar)
+            if arg.offset is not None:
+                out |= expr_scalar_reads(arg.offset)
+        return out
+    return set()

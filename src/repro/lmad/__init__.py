@@ -1,0 +1,30 @@
+"""LMAD (linear memory access descriptor) algebra -- the USR leaf domain.
+
+Provides the multi-dimensional descriptor type (:mod:`.lmad`), loop
+aggregation, concrete enumeration, and the Fig. 6(a) predicate extraction
+for disjointness/inclusion/array coverage (:mod:`.compare`).
+"""
+
+from .compare import (
+    dense_interval,
+    disjoint_lmad_sets,
+    disjoint_lmads,
+    fills_array,
+    included_lmad_sets,
+    included_lmads,
+    sym_divides,
+)
+from .lmad import LMAD, interval, point
+
+__all__ = [
+    "LMAD",
+    "interval",
+    "point",
+    "disjoint_lmads",
+    "included_lmads",
+    "disjoint_lmad_sets",
+    "included_lmad_sets",
+    "fills_array",
+    "dense_interval",
+    "sym_divides",
+]

@@ -1,0 +1,39 @@
+"""PDAG: the predicate language of Section 3.
+
+Nodes and evaluation with cost accounting (:mod:`.nodes`), the Section
+3.5 simplifications (:mod:`.simplify`) and the complexity-ordered
+predicate cascade (:mod:`.cascade`).
+"""
+
+from .cascade import (
+    Cascade,
+    CascadeOutcome,
+    CascadeStage,
+    build_cascade,
+    strengthen_to_depth,
+)
+from .nodes import (
+    EvalStats,
+    PAnd,
+    PCall,
+    PDAG,
+    PFALSE,
+    PLeaf,
+    PLoopAnd,
+    POr,
+    PTRUE,
+    p_and,
+    p_call,
+    p_leaf,
+    p_loop_and,
+    p_or,
+)
+from .simplify import extract_common_factors, hoist_invariants, simplify
+
+__all__ = [
+    "PDAG", "PLeaf", "PAnd", "POr", "PLoopAnd", "PCall", "PTRUE", "PFALSE",
+    "EvalStats", "p_leaf", "p_and", "p_or", "p_loop_and", "p_call",
+    "simplify", "extract_common_factors", "hoist_invariants",
+    "Cascade", "CascadeOutcome", "CascadeStage", "build_cascade",
+    "strengthen_to_depth",
+]

@@ -1,0 +1,123 @@
+"""Cascading predicates by runtime complexity (Section 3.5, last part).
+
+The complete predicate program is factored into a sequence of sufficient
+conditions of increasing cost: an O(1) term obtained by dropping every
+loop node, an O(N) term obtained by replacing *inner* loop nodes (nest
+depth > 1) with false -- the paper's Fig. 9(a) MAFILLSM_DO7 example --
+and so on up to the full predicate.  At run time the cascade is evaluated
+in order and the first success short-circuits the rest; if all fail the
+caller falls back to an exact test (USR evaluation or speculation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..symbolic import EvalEnv
+from .nodes import EvalStats, PAnd, PCall, PDAG, PFALSE, PLeaf, PLoopAnd, POr, p_and, p_call, p_loop_and, p_or
+from .simplify import simplify
+
+__all__ = ["strengthen_to_depth", "build_cascade", "Cascade", "CascadeOutcome"]
+
+
+def strengthen_to_depth(node: PDAG, max_depth: int, _depth: int = 0) -> PDAG:
+    """Replace loop nodes nested deeper than *max_depth* with false.
+
+    ``max_depth=0`` yields the O(1) separation (every loop node dropped),
+    ``max_depth=1`` the O(N) separation of Fig. 9(a), and so on.  The
+    result is simplified, which re-runs invariant hoisting so that
+    predicates whose loop bodies were invariant survive the cut.
+    """
+    if isinstance(node, PLeaf):
+        return node
+    if isinstance(node, PAnd):
+        return p_and(*(strengthen_to_depth(a, max_depth, _depth) for a in node.args))
+    if isinstance(node, POr):
+        return p_or(*(strengthen_to_depth(a, max_depth, _depth) for a in node.args))
+    if isinstance(node, PCall):
+        return p_call(node.callee, strengthen_to_depth(node.body, max_depth, _depth))
+    if isinstance(node, PLoopAnd):
+        if _depth + 1 > max_depth:
+            return PFALSE
+        return p_loop_and(
+            node.index,
+            node.lower,
+            node.upper,
+            strengthen_to_depth(node.body, max_depth, _depth + 1),
+        )
+    raise TypeError(f"unknown PDAG node {node!r}")
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One stage of the cascade: a label like ``O(1)`` plus its predicate."""
+
+    label: str
+    predicate: PDAG
+
+
+@dataclass
+class CascadeOutcome:
+    """Result of running a cascade: which stage succeeded (or none) and the
+    accumulated evaluation cost."""
+
+    passed: bool
+    stage_label: Optional[str]
+    stage_index: Optional[int]
+    stats: EvalStats
+
+
+class Cascade:
+    """An ordered sequence of increasingly expensive sufficient predicates."""
+
+    def __init__(self, stages: list[CascadeStage]):
+        self.stages = stages
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def evaluate(self, env: EvalEnv) -> CascadeOutcome:
+        """Evaluate stages in order; the first success wins (Section 5:
+        'the first successful predicate disables the evaluation of the
+        rest')."""
+        stats = EvalStats()
+        for i, stage in enumerate(self.stages):
+            if stage.predicate.evaluate(env, stats):
+                return CascadeOutcome(True, stage.label, i, stats)
+        return CascadeOutcome(False, None, None, stats)
+
+    def cheapest_label(self) -> Optional[str]:
+        return self.stages[0].label if self.stages else None
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{s.label}: {s.predicate!r}" for s in self.stages)
+        return f"Cascade[{inside}]"
+
+
+def build_cascade(pred: PDAG) -> Cascade:
+    """Factor *pred* into the complexity-ordered cascade.
+
+    Stages are deduplicated: a depth-k stage identical to a cheaper stage
+    (or provably false) is dropped.  The full predicate always terminates
+    the cascade unless a cheaper stage is already equivalent to it.
+    """
+    full = simplify(pred)
+    max_depth = full.loop_depth()
+    stages: list[CascadeStage] = []
+    seen: set[PDAG] = set()
+    for depth in range(0, max_depth + 1):
+        candidate = simplify(strengthen_to_depth(full, depth))
+        if candidate.is_false() or candidate in seen:
+            continue
+        seen.add(candidate)
+        label = "O(1)" if depth == 0 else ("O(N)" if depth == 1 else f"O(N^{depth})")
+        stages.append(CascadeStage(label, candidate))
+        if candidate == full:
+            break
+    if not stages:
+        stages.append(CascadeStage(full.complexity_label(), full))
+    return Cascade(stages)

@@ -1,0 +1,171 @@
+"""Predicate-program simplification (Section 3.5).
+
+Three cooperating transformations raise predicate quality and lower
+runtime cost:
+
+* **flattening** of repeated and/or compositions into n-ary nodes
+  (performed eagerly by the smart constructors);
+* **common-factor extraction**: ``AND(B1 or A, ..., Bp or A) ->
+  AND(B1,...,Bp) or A`` -- an equivalence that both removes redundancy
+  and exposes ``A`` for hoisting;
+* **invariant hoisting**: loop-invariant operands of an and/or node under
+  a loop conjunction move outside the loop node; leaves that still
+  mention the loop index are first strengthened via the symbolic
+  Fourier-Motzkin elimination of Fig. 6(b), which is how the O(N)
+  predicate ``AND_i 8*NP < NS+6`` of the paper's Fig. 3(a) example
+  collapses to the O(1) predicate ``8*NP < NS+6``.
+
+All rewrites are either equivalences or sound strengthenings (the PDAG
+has no negative positions), preserving the sufficiency invariant
+``P => (S = {})``.
+"""
+
+from __future__ import annotations
+
+from ..symbolic import eliminate_symbol
+from .nodes import (
+    PAnd,
+    PCall,
+    PDAG,
+    PLeaf,
+    PLoopAnd,
+    POr,
+    p_and,
+    p_call,
+    p_leaf,
+    p_loop_and,
+    p_or,
+)
+
+__all__ = ["simplify", "extract_common_factors", "hoist_invariants"]
+
+_MAX_PASSES = 8
+
+
+def extract_common_factors(node: PDAG) -> PDAG:
+    """Apply ``AND(B or A, ...) -> AND(B...) or A`` (and its dual) once."""
+    if isinstance(node, PAnd):
+        ors = [a for a in node.args if isinstance(a, POr)]
+        if len(ors) == len(node.args) and len(ors) >= 2:
+            common = set(ors[0].args)
+            for other in ors[1:]:
+                common &= set(other.args)
+            if common:
+                residues = []
+                for o in ors:
+                    rest = [a for a in o.args if a not in common]
+                    if not rest:
+                        # This disjunct is exactly the common part: the
+                        # whole conjunction reduces to it.
+                        return p_or(*common)
+                    residues.append(p_or(*rest))
+                return p_or(*common, p_and(*residues))
+    if isinstance(node, POr):
+        ands = [a for a in node.args if isinstance(a, PAnd)]
+        if len(ands) == len(node.args) and len(ands) >= 2:
+            common = set(ands[0].args)
+            for other in ands[1:]:
+                common &= set(other.args)
+            if common:
+                residues = []
+                for o in ands:
+                    rest = [a for a in o.args if a not in common]
+                    if not rest:
+                        return p_and(*common)
+                    residues.append(p_and(*rest))
+                return p_and(*common, p_or(*residues))
+    return node
+
+
+def _try_eliminate(leaf: PLeaf, index: str, lower, upper) -> PDAG:
+    """Strengthen a leaf mentioning the loop index into an invariant one
+    via Fourier-Motzkin; keep the original when elimination fails."""
+    if index not in leaf.free_symbols():
+        return leaf
+    reduced = eliminate_symbol(leaf.cond, index, lower, upper)
+    if index in reduced.free_symbols() or reduced.is_false():
+        return leaf
+    return p_leaf(reduced)
+
+
+_HOIST_MEMO: dict = {}
+
+
+def hoist_invariants(node: PDAG) -> PDAG:
+    """One bottom-up pass of invariant hoisting across loop nodes.
+
+    Memoized: predicate DAGs share subtrees heavily and simplification
+    runs to a fixpoint, so identical nodes recur constantly.
+    """
+    cached = _HOIST_MEMO.get(node)
+    if cached is not None:
+        return cached
+    result = _hoist_invariants(node)
+    if len(_HOIST_MEMO) < 200_000:
+        _HOIST_MEMO[node] = result
+    return result
+
+
+def _hoist_invariants(node: PDAG) -> PDAG:
+    if isinstance(node, PLeaf):
+        return node
+    if isinstance(node, PAnd):
+        return extract_common_factors(p_and(*(hoist_invariants(a) for a in node.args)))
+    if isinstance(node, POr):
+        return extract_common_factors(p_or(*(hoist_invariants(a) for a in node.args)))
+    if isinstance(node, PCall):
+        return p_call(node.callee, hoist_invariants(node.body))
+    if isinstance(node, PLoopAnd):
+        body = hoist_invariants(node.body)
+        index, lower, upper = node.index, node.lower, node.upper
+        # Re-expose merged boolean leaves to the structural hoisting below.
+        from ..symbolic import AndB, OrB
+
+        if isinstance(body, PLeaf) and isinstance(body.cond, AndB):
+            body = PAnd([p_leaf(c) for c in body.cond.args])
+        elif isinstance(body, PLeaf) and isinstance(body.cond, OrB):
+            body = POr([p_leaf(c) for c in body.cond.args])
+        if isinstance(body, PLeaf):
+            body = _try_eliminate(body, index, lower, upper)
+        if isinstance(body, PAnd):
+            parts = [
+                _try_eliminate(a, index, lower, upper) if isinstance(a, PLeaf) else a
+                for a in body.args
+            ]
+            invariant = [a for a in parts if index not in a.free_symbols()]
+            variant = [a for a in parts if index in a.free_symbols()]
+            if invariant:
+                if variant:
+                    return p_and(
+                        *invariant, p_loop_and(index, lower, upper, p_and(*variant))
+                    )
+                return p_and(*invariant)
+            body = p_and(*parts)
+        if isinstance(body, POr):
+            parts = [
+                _try_eliminate(a, index, lower, upper) if isinstance(a, PLeaf) else a
+                for a in body.args
+            ]
+            invariant = [a for a in parts if index not in a.free_symbols()]
+            variant = [a for a in parts if index in a.free_symbols()]
+            if invariant:
+                # AND_i (inv or var_i)  <=  inv or AND_i var_i : sufficient.
+                if variant:
+                    return p_or(
+                        *invariant, p_loop_and(index, lower, upper, p_or(*variant))
+                    )
+                return p_or(*invariant)
+            body = p_or(*parts)
+        return p_loop_and(index, lower, upper, body)
+    raise TypeError(f"unknown PDAG node {node!r}")
+
+
+def simplify(node: PDAG) -> PDAG:
+    """Run hoisting + factor extraction to a (bounded) fixpoint."""
+    current = node
+    for _ in range(_MAX_PASSES):
+        improved = hoist_invariants(current)
+        if improved == current:
+            return current
+        current = improved
+    return current

@@ -1,0 +1,14 @@
+"""Simulated parallel runtime: cost model, conditional-parallelization
+executor, LRPD speculation, and the memoizing inspector."""
+
+from .executor import ArrayDecision, ExecutionReport, HybridExecutor
+from .inspector import Inspector, InspectorResult, evaluate_usr_cost
+from .scheduler import CostModel, ParallelTiming, parallel_time, schedule_parallel
+from .speculation import SpeculationResult, lrpd_test
+
+__all__ = [
+    "CostModel", "ParallelTiming", "schedule_parallel", "parallel_time",
+    "HybridExecutor", "ExecutionReport", "ArrayDecision",
+    "Inspector", "InspectorResult", "evaluate_usr_cost",
+    "SpeculationResult", "lrpd_test",
+]

@@ -1,0 +1,110 @@
+"""Exact runtime USR evaluation (the inspector/executor fallback).
+
+When predicates fail but the independence USR's inputs are available
+before the loop, the executor can evaluate the USR exactly: the loop is
+independent iff the set is empty.  The cost is proportional to the
+number of memory locations materialized -- the very overhead the
+predicate translation of Section 3 exists to avoid -- so this path is
+only chosen when it can be *hoisted*: the paper's HOIST-USR loops
+(e.g. apsi's RUN_DO20, dyfesm's MXMULT_DO10) execute many times with
+unchanged inputs, letting one evaluation be amortized via memoization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..symbolic import EvalEnv
+from ..usr import CallSite, Gate, Intersect, Leaf, Recurrence, Subtract, Union, USR
+
+__all__ = ["InspectorResult", "evaluate_usr_cost", "Inspector"]
+
+
+@dataclass
+class InspectorResult:
+    """Outcome of an exact USR evaluation."""
+
+    empty: bool
+    #: locations materialized: the modelled cost of the evaluation
+    cost: int
+    #: True when this call was served from the memo (hoisted evaluation)
+    memoized: bool = False
+
+
+def evaluate_usr_cost(usr: USR, env: EvalEnv) -> tuple[set[int], int]:
+    """Evaluate *usr* exactly, returning (set, cost).
+
+    Cost counts every element of every intermediate set -- the
+    O(accesses) behaviour of direct USR interpretation.
+    """
+    if isinstance(usr, Leaf):
+        out: set[int] = set()
+        for lmad in usr.lmads:
+            out |= lmad.enumerate(env)
+        return out, max(1, len(out))
+    if isinstance(usr, Gate):
+        if usr.cond.evaluate(env):
+            inner, cost = evaluate_usr_cost(usr.body, env)
+            return inner, cost + 1
+        return set(), 1
+    if isinstance(usr, Union):
+        out = set()
+        cost = 0
+        for a in usr.args:
+            part, c = evaluate_usr_cost(a, env)
+            out |= part
+            cost += c + len(part)
+        return out, cost
+    if isinstance(usr, Intersect):
+        out, cost = evaluate_usr_cost(usr.args[0], env)
+        for a in usr.args[1:]:
+            part, c = evaluate_usr_cost(a, env)
+            out &= part
+            cost += c + len(part)
+        return out, cost
+    if isinstance(usr, Subtract):
+        left, c1 = evaluate_usr_cost(usr.left, env)
+        right, c2 = evaluate_usr_cost(usr.right, env)
+        return left - right, c1 + c2 + len(right)
+    if isinstance(usr, CallSite):
+        inner, cost = evaluate_usr_cost(usr.body, env)
+        return inner, cost + 1
+    if isinstance(usr, Recurrence):
+        lo = usr.lower.evaluate(env)
+        hi = usr.upper.evaluate(env)
+        out = set()
+        cost = 0
+        child = dict(env)
+        for i in range(lo, hi + 1):
+            child[usr.index] = i
+            part, c = evaluate_usr_cost(usr.body, child)
+            out |= part
+            cost += c + 1
+        return out, cost
+    raise TypeError(f"unknown USR node {usr!r}")
+
+
+class Inspector:
+    """Memoizing exact-USR evaluator (models HOIST-USR amortization).
+
+    The memo key is the tuple of the USR's free-symbol values in the
+    environment; repeated executions of the same loop with unchanged
+    inputs (the hoistable case) pay the evaluation once.
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict = {}
+
+    def check_empty(self, usr: USR, env: EvalEnv) -> InspectorResult:
+        key_parts: list = [usr]
+        for name in sorted(usr.free_symbols()):
+            value = env.get(name)
+            if isinstance(value, list):
+                value = tuple(value)
+            key_parts.append((name, value))
+        key = tuple(key_parts)
+        if key in self._memo:
+            empty, cost = self._memo[key]
+            return InspectorResult(empty=empty, cost=0, memoized=True)
+        out, cost = evaluate_usr_cost(usr, env)
+        self._memo[key] = (not out, cost)
+        return InspectorResult(empty=not out, cost=cost, memoized=False)

@@ -1,0 +1,82 @@
+"""LRPD-style thread-level speculation (the paper's exact-test fallback).
+
+When every predicate of the cascade fails, the executor may run the loop
+speculatively: iterations execute in parallel against shadow structures
+that mark, per memory location, whether it was read, written, or written
+more than once.  After the run, the markings are analyzed exactly as the
+LRPD test does:
+
+* a location written by two different iterations -> output dependence;
+* a location written by one iteration and expose-read by another ->
+  flow/anti dependence.
+
+On success the speculative run's timing stands (plus the marking
+overhead, proportional to the number of traced accesses); on failure the
+loop re-executes sequentially and the speculative work is wasted -- both
+exactly the cost behaviour the paper attributes to TLS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.interp import LoopTrace
+
+__all__ = ["SpeculationResult", "lrpd_test"]
+
+
+@dataclass
+class SpeculationResult:
+    """Outcome of the LRPD marking analysis over a traced execution."""
+
+    success: bool
+    #: accesses traced: the marking overhead is proportional to this
+    traced_accesses: int
+    #: privatizable-under-TLS arrays (never expose-read across iterations)
+    privatized: frozenset[str] = frozenset()
+
+
+def lrpd_test(trace: LoopTrace, privatize: bool = True) -> SpeculationResult:
+    """Run the LRPD marking analysis on an execution trace.
+
+    With ``privatize`` (the paper's LRPD with privatization), arrays whose
+    cross-iteration conflicts are write-write only are treated as
+    privatized (with last-value), so only genuine flow dependences --
+    a location written by iteration ``i`` and expose-read by ``j != i``
+    -- abort speculation.
+    """
+    traced = 0
+    writers: dict[tuple[str, int], set[int]] = {}
+    exposed: dict[tuple[str, int], set[int]] = {}
+    for rec in trace.iterations:
+        for arr, locs in rec.writes.items():
+            traced += len(locs)
+            for loc in locs:
+                writers.setdefault((arr, loc), set()).add(rec.iteration)
+        for arr, locs in rec.exposed_reads.items():
+            traced += len(locs)
+            for loc in locs:
+                exposed.setdefault((arr, loc), set()).add(rec.iteration)
+
+    output_conflicts: set[str] = set()
+    for key, owners in writers.items():
+        if len(owners) > 1:
+            output_conflicts.add(key[0])
+
+    flow_conflicts: set[str] = set()
+    for key, owners in writers.items():
+        readers = exposed.get(key, set())
+        for r in readers:
+            if owners - {r}:
+                flow_conflicts.add(key[0])
+                break
+
+    if flow_conflicts:
+        return SpeculationResult(success=False, traced_accesses=traced)
+    if output_conflicts and not privatize:
+        return SpeculationResult(success=False, traced_accesses=traced)
+    return SpeculationResult(
+        success=True,
+        traced_accesses=traced,
+        privatized=frozenset(output_conflicts),
+    )

@@ -1,0 +1,66 @@
+"""Symbolic integer/boolean algebra substrate.
+
+This package provides the expression language over which the whole
+hybrid-analysis framework reasons: canonical polynomial integer
+expressions (:mod:`.expr`), boolean leaf predicates (:mod:`.boolean`),
+range propagation (:mod:`.ranges`) and the symbolic Fourier-Motzkin
+elimination of the paper's Fig. 6(b) (:mod:`.fourier_motzkin`).
+"""
+
+from .boolean import (
+    FALSE,
+    TRUE,
+    AndB,
+    BFalse,
+    BoolExpr,
+    BTrue,
+    Cmp,
+    Divides,
+    NotB,
+    OrB,
+    b_and,
+    b_not,
+    b_or,
+    cmp_eq,
+    cmp_ge,
+    cmp_gt,
+    cmp_le,
+    cmp_lt,
+    cmp_ne,
+    divides,
+    eq0,
+    ge0,
+    gt0,
+    ne0,
+)
+from .expr import (
+    ArrayRef,
+    Atom,
+    EvalEnv,
+    Expr,
+    ExprLike,
+    FloorDiv,
+    Max,
+    Min,
+    Sym,
+    as_expr,
+    floor_div,
+    smax,
+    smin,
+    sym,
+)
+from .fourier_motzkin import eliminate_symbol, reduce_ge0, reduce_gt0
+from .ranges import Bounds, BoundsEnv, bounds_of, definitely_nonneg, try_sign
+
+__all__ = [
+    # expr
+    "Atom", "Sym", "ArrayRef", "Min", "Max", "FloorDiv", "Expr", "ExprLike",
+    "as_expr", "sym", "smin", "smax", "floor_div", "EvalEnv",
+    # boolean
+    "BoolExpr", "BTrue", "BFalse", "TRUE", "FALSE", "Cmp", "Divides", "NotB",
+    "AndB", "OrB", "b_and", "b_or", "b_not", "ge0", "gt0", "eq0", "ne0",
+    "cmp_ge", "cmp_gt", "cmp_le", "cmp_lt", "cmp_eq", "cmp_ne", "divides",
+    # ranges / FM
+    "Bounds", "BoundsEnv", "bounds_of", "try_sign", "definitely_nonneg",
+    "reduce_gt0", "reduce_ge0", "eliminate_symbol",
+]

@@ -1,0 +1,442 @@
+"""Symbolic boolean expressions -- the leaves of the PDAG predicate language.
+
+A leaf predicate is a comparison between integer expressions (kept in a
+canonical ``e OP 0`` form), a divisibility fact used by the interleaved-
+access disjointness rule, or a small and/or/not combination thereof.  The
+PDAG language of :mod:`repro.pdag` layers loop-level conjunction and
+call-site nodes on top of these leaves.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Iterable, Mapping
+
+from .expr import EvalEnv, Expr, ExprLike, as_expr
+
+__all__ = [
+    "BoolExpr",
+    "BTrue",
+    "BFalse",
+    "TRUE",
+    "FALSE",
+    "Cmp",
+    "Divides",
+    "NotB",
+    "AndB",
+    "OrB",
+    "b_and",
+    "b_or",
+    "b_not",
+    "ge0",
+    "gt0",
+    "eq0",
+    "ne0",
+    "cmp_ge",
+    "cmp_gt",
+    "cmp_le",
+    "cmp_lt",
+    "cmp_eq",
+    "cmp_ne",
+    "divides",
+]
+
+
+class BoolExpr:
+    """Base class of symbolic boolean expressions.
+
+    Instances are immutable, hashable, and evaluable against a runtime
+    environment.  ``is_true()`` / ``is_false()`` report *syntactic*
+    certainty only.
+    """
+
+    __slots__ = ("_hash_cache",)
+
+    def evaluate(self, env: EvalEnv) -> bool:
+        raise NotImplementedError
+
+    def free_symbols(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
+        raise NotImplementedError
+
+    def key(self) -> tuple:
+        raise NotImplementedError
+
+    def is_true(self) -> bool:
+        return isinstance(self, BTrue)
+
+    def is_false(self) -> bool:
+        return isinstance(self, BFalse)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        cached = getattr(self, "_hash_cache", None)
+        if cached is None:
+            cached = hash((type(self).__name__,) + self.key())
+            self._hash_cache = cached
+        return cached
+
+
+class BTrue(BoolExpr):
+    """The constant true predicate."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: EvalEnv) -> bool:
+        return True
+
+    def free_symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
+        return self
+
+    def key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+class BFalse(BoolExpr):
+    """The constant false predicate."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: EvalEnv) -> bool:
+        return False
+
+    def free_symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
+        return self
+
+    def key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+TRUE = BTrue()
+FALSE = BFalse()
+
+_OPS = {
+    ">": lambda v: v > 0,
+    ">=": lambda v: v >= 0,
+    "==": lambda v: v == 0,
+    "!=": lambda v: v != 0,
+}
+
+_NEGATED = {">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+
+
+class Cmp(BoolExpr):
+    """A canonical comparison ``expr OP 0`` with OP in ``> >= == !=``.
+
+    Use the module-level constructors (:func:`cmp_ge` etc.) which fold
+    constant operands and normalize ``<``/``<=`` away.
+    """
+
+    __slots__ = ("expr", "op")
+
+    def __init__(self, expr: Expr, op: str):
+        if op not in _OPS:
+            raise ValueError(f"bad canonical comparison operator {op!r}")
+        self.expr = expr
+        self.op = op
+
+    def evaluate(self, env: EvalEnv) -> bool:
+        return _OPS[self.op](self.expr.evaluate(env))
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.expr.free_symbols()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
+        return _make_cmp(self.expr.substitute(mapping), self.op)
+
+    def negated(self) -> "BoolExpr":
+        if self.op == ">":
+            return _make_cmp(-self.expr, ">=")
+        if self.op == ">=":
+            return _make_cmp(-self.expr, ">")
+        return _make_cmp(self.expr, "!=" if self.op == "==" else "==")
+
+    def key(self) -> tuple:
+        return (self.expr, self.op)
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} {self.op} 0)"
+
+
+class Divides(BoolExpr):
+    """``k | expr`` -- the constant *k* divides the expression's value."""
+
+    __slots__ = ("k", "expr")
+
+    def __init__(self, k: int, expr: ExprLike):
+        if k <= 0:
+            raise ValueError("divisor must be a positive constant")
+        self.k = k
+        self.expr = as_expr(expr)
+
+    def evaluate(self, env: EvalEnv) -> bool:
+        return self.expr.evaluate(env) % self.k == 0
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.expr.free_symbols()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
+        return divides(self.k, self.expr.substitute(mapping))
+
+    def key(self) -> tuple:
+        return (self.k, self.expr)
+
+    def __repr__(self) -> str:
+        return f"({self.k} | {self.expr!r})"
+
+
+class NotB(BoolExpr):
+    """Logical negation of a leaf that has no cheaper negated form."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BoolExpr):
+        self.arg = arg
+
+    def evaluate(self, env: EvalEnv) -> bool:
+        return not self.arg.evaluate(env)
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.arg.free_symbols()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
+        return b_not(self.arg.substitute(mapping))
+
+    def key(self) -> tuple:
+        return (self.arg,)
+
+    def __repr__(self) -> str:
+        return f"!{self.arg!r}"
+
+
+class _NaryBool(BoolExpr):
+    """Shared implementation of flat n-ary and/or leaves."""
+
+    __slots__ = ("args",)
+    _neutral: BoolExpr
+    _absorbing: BoolExpr
+    _symbol: str
+
+    def __init__(self, args: Iterable[BoolExpr]):
+        self.args = tuple(args)
+        if len(self.args) < 2:
+            raise ValueError("n-ary boolean needs at least two arguments")
+
+    def free_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free_symbols()
+        return out
+
+    def key(self) -> tuple:
+        return (frozenset(self.args),)
+
+    def __repr__(self) -> str:
+        inside = f" {self._symbol} ".join(repr(a) for a in self.args)
+        return f"({inside})"
+
+
+class AndB(_NaryBool):
+    """Flat n-ary conjunction of boolean leaves."""
+
+    __slots__ = ()
+    _symbol = "&&"
+
+    def evaluate(self, env: EvalEnv) -> bool:
+        return all(a.evaluate(env) for a in self.args)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
+        return b_and(*(a.substitute(mapping) for a in self.args))
+
+
+class OrB(_NaryBool):
+    """Flat n-ary disjunction of boolean leaves."""
+
+    __slots__ = ()
+    _symbol = "||"
+
+    def evaluate(self, env: EvalEnv) -> bool:
+        return any(a.evaluate(env) for a in self.args)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
+        return b_or(*(a.substitute(mapping) for a in self.args))
+
+
+def _make_cmp(expr: Expr, op: str) -> BoolExpr:
+    if expr.is_constant():
+        return TRUE if _OPS[op](expr.constant_value()) else FALSE
+    # Normalize by the content gcd: 2*N - 4 > 0  ==  N - 2 > 0.
+    g = expr.content_gcd()
+    if g > 1:
+        if op in (">=", "==", "!="):
+            expr = Expr._from_terms({m: c // g for m, c in expr.terms})
+        elif op == ">":
+            # g*e > 0 iff e > 0 for positive g.
+            expr = Expr._from_terms({m: c // g for m, c in expr.terms})
+    return Cmp(expr, op)
+
+
+def cmp_gt(a: ExprLike, b: ExprLike) -> BoolExpr:
+    """``a > b``."""
+    return _make_cmp(as_expr(a) - as_expr(b), ">")
+
+
+def cmp_ge(a: ExprLike, b: ExprLike) -> BoolExpr:
+    """``a >= b``."""
+    return _make_cmp(as_expr(a) - as_expr(b), ">=")
+
+
+def cmp_lt(a: ExprLike, b: ExprLike) -> BoolExpr:
+    """``a < b``."""
+    return cmp_gt(b, a)
+
+
+def cmp_le(a: ExprLike, b: ExprLike) -> BoolExpr:
+    """``a <= b``."""
+    return cmp_ge(b, a)
+
+
+def cmp_eq(a: ExprLike, b: ExprLike) -> BoolExpr:
+    """``a == b``."""
+    return _make_cmp(as_expr(a) - as_expr(b), "==")
+
+
+def cmp_ne(a: ExprLike, b: ExprLike) -> BoolExpr:
+    """``a != b``."""
+    return _make_cmp(as_expr(a) - as_expr(b), "!=")
+
+
+def gt0(e: ExprLike) -> BoolExpr:
+    """``e > 0``."""
+    return _make_cmp(as_expr(e), ">")
+
+
+def ge0(e: ExprLike) -> BoolExpr:
+    """``e >= 0``."""
+    return _make_cmp(as_expr(e), ">=")
+
+
+def eq0(e: ExprLike) -> BoolExpr:
+    """``e == 0``."""
+    return _make_cmp(as_expr(e), "==")
+
+
+def ne0(e: ExprLike) -> BoolExpr:
+    """``e != 0``."""
+    return _make_cmp(as_expr(e), "!=")
+
+
+def divides(k: int, e: ExprLike) -> BoolExpr:
+    """``k | e`` with constant folding."""
+    if k <= 0:
+        raise ValueError("divisor must be positive")
+    e = as_expr(e)
+    if k == 1:
+        return TRUE
+    if e.is_constant():
+        return TRUE if e.constant_value() % k == 0 else FALSE
+    # If every coefficient shares a factor with k we can reduce both sides.
+    g = gcd(k, e.content_gcd())
+    if g == k:
+        return TRUE
+    return Divides(k, e)
+
+
+def b_not(arg: BoolExpr) -> BoolExpr:
+    """Logical negation with constant folding and comparison flipping."""
+    if arg.is_true():
+        return FALSE
+    if arg.is_false():
+        return TRUE
+    if isinstance(arg, Cmp):
+        return arg.negated()
+    if isinstance(arg, NotB):
+        return arg.arg
+    if isinstance(arg, AndB):
+        return b_or(*(b_not(a) for a in arg.args))
+    if isinstance(arg, OrB):
+        return b_and(*(b_not(a) for a in arg.args))
+    return NotB(arg)
+
+
+def _flatten(cls: type, args: Iterable[BoolExpr]) -> list[BoolExpr]:
+    out: list[BoolExpr] = []
+    seen: set[BoolExpr] = set()
+    for a in args:
+        children = a.args if isinstance(a, cls) else (a,)
+        for c in children:
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+    return out
+
+
+def _absorb_bool(args: list[BoolExpr], inner: type) -> list[BoolExpr]:
+    """Absorption over leaf combinations (see :func:`repro.pdag.p_or`)."""
+    if len(args) < 2:
+        return args
+    part_sets = [
+        frozenset(a.args) if isinstance(a, inner) else frozenset((a,)) for a in args
+    ]
+    kept: list[BoolExpr] = []
+    for i, a in enumerate(args):
+        redundant = False
+        for j, other in enumerate(part_sets):
+            if i == j:
+                continue
+            if other < part_sets[i] or (other == part_sets[i] and j < i):
+                redundant = True
+                break
+        if not redundant:
+            kept.append(a)
+    return kept
+
+
+def b_and(*args: BoolExpr) -> BoolExpr:
+    """Flat conjunction with folding, deduplication and absorption."""
+    flat = _absorb_bool(_flatten(AndB, args), OrB)
+    kept = [a for a in flat if not a.is_true()]
+    if any(a.is_false() for a in kept):
+        return FALSE
+    if not kept:
+        return TRUE
+    if len(kept) == 1:
+        return kept[0]
+    return AndB(kept)
+
+
+def b_or(*args: BoolExpr) -> BoolExpr:
+    """Flat disjunction with folding, deduplication, absorption, and
+    complementary-pair detection (``C or not C -> true``, which is what
+    collapses the cross-branch terms of mutually exclusive gates)."""
+    flat = _absorb_bool(_flatten(OrB, args), AndB)
+    kept = [a for a in flat if not a.is_false()]
+    if any(a.is_true() for a in kept):
+        return TRUE
+    if not kept:
+        return FALSE
+    if len(kept) == 1:
+        return kept[0]
+    seen = set(kept)
+    for a in kept:
+        if isinstance(a, Cmp) and a.negated() in seen:
+            return TRUE
+        if isinstance(a, NotB) and a.arg in seen:
+            return TRUE
+    return OrB(kept)

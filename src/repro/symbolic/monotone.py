@@ -1,0 +1,122 @@
+"""Monotone-sequence reasoning over opaque array atoms.
+
+CIV aggregation (Section 3.3) represents a conditionally incremented
+induction variable's per-iteration values as an opaque prefix array
+``$civ(i)``; when every increment is provably non-negative the sequence
+is non-decreasing.  The factorizer exploits this to discharge leaf
+predicates like ``$civ(i+1) - $civ(i) >= 0`` that no purely algebraic
+rule can see.
+
+``provably_nonneg`` decomposes an expression into terms over monotone
+arrays plus a residue: pairs ``+c*A(x) - c*A(y)`` with ``x - y`` a
+non-negative constant contribute >= 0 for a non-decreasing ``A``; the
+residue is checked by range propagation.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from .boolean import AndB, BoolExpr, Cmp, OrB, b_and, b_or
+from .expr import ArrayRef, Expr
+from .ranges import BoundsEnv, try_sign
+
+__all__ = ["provably_nonneg", "provably_positive", "monotone_simplify"]
+
+
+def _split_monotone_terms(
+    expr: Expr, monotone: FrozenSet[str]
+) -> tuple[list[tuple[int, str, Expr]], Expr]:
+    """Split into ``(coeff, array, index)`` monotone terms and a residue.
+
+    Only degree-1 monomials that are exactly one monotone-array atom are
+    extracted; everything else lands in the residue.
+    """
+    terms: list[tuple[int, str, Expr]] = []
+    residue: dict = {}
+    for mono, coeff in expr.terms:
+        if len(mono) == 1:
+            atom, power = mono[0]
+            if (
+                power == 1
+                and isinstance(atom, ArrayRef)
+                and atom.array in monotone
+                and len(atom.indices) == 1
+            ):
+                terms.append((coeff, atom.array, atom.indices[0]))
+                continue
+        residue[mono] = residue.get(mono, 0) + coeff
+    return terms, Expr._from_terms(residue)
+
+
+def _pair_off(terms: list[tuple[int, str, Expr]]) -> bool:
+    """Try to cancel all monotone terms into ``>= 0`` pairs.
+
+    Greedy matching: each negative-coefficient term must find a positive
+    term on the same array, with the same magnitude, whose index is
+    greater or equal by a constant.  Unmatched positive terms are NOT
+    allowed (their sign is unknown), so success means the monotone part
+    is provably >= 0 exactly through pairing.
+    """
+    positives = [t for t in terms if t[0] > 0]
+    negatives = [t for t in terms if t[0] < 0]
+    for n_coeff, n_arr, n_idx in negatives:
+        matched = None
+        for k, (p_coeff, p_arr, p_idx) in enumerate(positives):
+            if p_arr != n_arr or p_coeff != -n_coeff:
+                continue
+            diff = p_idx - n_idx
+            if diff.is_constant() and diff.constant_value() >= 0:
+                matched = k
+                break
+        if matched is None:
+            return False
+        positives.pop(matched)
+    return not positives
+
+
+def provably_nonneg(
+    expr: Expr, monotone: FrozenSet[str], bounds: BoundsEnv = {}
+) -> bool:
+    """True when ``expr >= 0`` follows from monotone facts + ranges."""
+    if try_sign(expr, bounds) in ("+", "0"):
+        return True
+    terms, residue = _split_monotone_terms(expr, monotone)
+    if not terms:
+        return False
+    if not _pair_off(terms):
+        return False
+    return try_sign(residue, bounds) in ("+", "0")
+
+
+def provably_positive(
+    expr: Expr, monotone: FrozenSet[str], bounds: BoundsEnv = {}
+) -> bool:
+    """True when ``expr > 0`` follows from monotone facts + ranges."""
+    if try_sign(expr, bounds) == "+":
+        return True
+    terms, residue = _split_monotone_terms(expr, monotone)
+    if not terms:
+        return False
+    if not _pair_off(terms):
+        return False
+    return try_sign(residue, bounds) == "+"
+
+
+def monotone_simplify(pred: BoolExpr, monotone: FrozenSet[str]) -> BoolExpr:
+    """Fold comparison leaves that monotone facts prove true."""
+    if not monotone:
+        return pred
+    if isinstance(pred, Cmp):
+        from .boolean import TRUE
+
+        if pred.op == ">=" and provably_nonneg(pred.expr, monotone):
+            return TRUE
+        if pred.op == ">" and provably_positive(pred.expr, monotone):
+            return TRUE
+        return pred
+    if isinstance(pred, AndB):
+        return b_and(*(monotone_simplify(a, monotone) for a in pred.args))
+    if isinstance(pred, OrB):
+        return b_or(*(monotone_simplify(a, monotone) for a in pred.args))
+    return pred

@@ -1,0 +1,145 @@
+"""BOUNDS-COMP: lightweight runtime array-bounds estimation (Section 4).
+
+For reductions over arrays whose bounds are unknown at compile time (e.g.
+assumed-size Fortran parameters allocated in C, as in gromacs/calculix),
+the paper computes at run time the smallest and largest index touched by
+the loop.  The summary is first *overestimated* into a USR containing only
+union, call-site and recurrence nodes (subtrahends and gate conditions
+dropped); its bounds are then MIN/MAX-reduced across iterations -- a
+parallel-friendly O(iterations) computation, far cheaper than exact USR
+evaluation which is O(accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..symbolic import EvalEnv
+from .build import usr_union
+from .nodes import CallSite, Gate, Intersect, Leaf, Recurrence, Subtract, Union, USR
+
+__all__ = ["bounds_overestimate", "estimate_bounds", "BoundsResult"]
+
+
+def bounds_overestimate(usr: USR) -> USR:
+    """Strip *usr* down to union/call-site/recurrence/leaf nodes.
+
+    Drops subtrahends, keeps a single intersection operand, and discards
+    gate conditions -- every transformation only grows the denoted set, so
+    bounds of the result bound the original.
+    """
+    if isinstance(usr, Leaf):
+        return usr
+    if isinstance(usr, Gate):
+        return bounds_overestimate(usr.body)
+    if isinstance(usr, Subtract):
+        return bounds_overestimate(usr.left)
+    if isinstance(usr, Intersect):
+        return bounds_overestimate(usr.args[0])
+    if isinstance(usr, Union):
+        return usr_union(*(bounds_overestimate(a) for a in usr.args))
+    if isinstance(usr, CallSite):
+        from .build import usr_call
+
+        return usr_call(usr.callee, bounds_overestimate(usr.body))
+    if isinstance(usr, Recurrence):
+        from .build import usr_recurrence
+
+        return usr_recurrence(
+            usr.index,
+            usr.lower,
+            usr.upper,
+            bounds_overestimate(usr.body),
+            partial=usr.partial,
+        )
+    raise TypeError(f"unknown USR node {usr!r}")
+
+
+class BoundsResult:
+    """Outcome of a BOUNDS-COMP evaluation.
+
+    ``lower``/``upper`` bound every index the overestimated summary may
+    touch (``None`` for an empty summary); ``iterations`` counts the
+    recurrence steps executed, which models the run-time overhead of the
+    MIN/MAX reduction loop of Fig. 7(a).
+    """
+
+    __slots__ = ("lower", "upper", "iterations")
+
+    def __init__(self, lower: Optional[int], upper: Optional[int], iterations: int):
+        self.lower = lower
+        self.upper = upper
+        self.iterations = iterations
+
+    def is_empty(self) -> bool:
+        return self.lower is None
+
+    def merge(self, other: "BoundsResult") -> "BoundsResult":
+        iters = self.iterations + other.iterations
+        if self.is_empty():
+            return BoundsResult(other.lower, other.upper, iters)
+        if other.is_empty():
+            return BoundsResult(self.lower, self.upper, iters)
+        return BoundsResult(
+            min(self.lower, other.lower), max(self.upper, other.upper), iters
+        )
+
+    def __repr__(self) -> str:
+        return f"BoundsResult([{self.lower}, {self.upper}], iters={self.iterations})"
+
+
+def _leaf_bounds(leaf: Leaf, env: EvalEnv) -> BoundsResult:
+    lower: Optional[int] = None
+    upper: Optional[int] = None
+    for lmad in leaf.lmads:
+        base = lmad.base.evaluate(env)
+        extent = 0
+        empty = False
+        for stride, span in zip(lmad.strides, lmad.spans):
+            s = span.evaluate(env)
+            if s < 0:
+                empty = True
+                break
+            d = stride.evaluate(env)
+            # A negative stride walks downward from the base.
+            extent += s if d >= 0 else 0
+            if d < 0:
+                base -= abs(s)
+        if empty:
+            continue
+        lo, hi = base, base + extent
+        lower = lo if lower is None else min(lower, lo)
+        upper = hi if upper is None else max(upper, hi)
+    return BoundsResult(lower, upper, 0)
+
+
+def estimate_bounds(usr: USR, env: EvalEnv) -> BoundsResult:
+    """Evaluate min/max index bounds of the *overestimated* summary.
+
+    Accepts any USR: non-conforming nodes are overestimated on the fly.
+    Recurrences iterate and MIN/MAX-reduce, counting iterations as the
+    modelled runtime cost.
+    """
+    if isinstance(usr, Leaf):
+        return _leaf_bounds(usr, env)
+    if isinstance(usr, (Gate, Subtract, Intersect)):
+        return estimate_bounds(bounds_overestimate(usr), env)
+    if isinstance(usr, Union):
+        out = BoundsResult(None, None, 0)
+        for a in usr.args:
+            out = out.merge(estimate_bounds(a, env))
+        return out
+    if isinstance(usr, CallSite):
+        return estimate_bounds(usr.body, env)
+    if isinstance(usr, Recurrence):
+        lo = usr.lower.evaluate(env)
+        hi = usr.upper.evaluate(env)
+        out = BoundsResult(None, None, 0)
+        child_env = dict(env)
+        for i in range(lo, hi + 1):
+            child_env[usr.index] = i
+            step = estimate_bounds(usr.body, child_env)
+            out = out.merge(step)
+            out = BoundsResult(out.lower, out.upper, out.iterations + 1)
+        return out
+    raise TypeError(f"unknown USR node {usr!r}")

@@ -1,0 +1,174 @@
+"""Smart constructors for USR nodes.
+
+These apply the cheap, always-valid algebraic simplifications during
+summary construction (empty-set propagation, flattening, idempotence,
+constant-gate folding, exact LMAD aggregation over loops), keeping the
+DAGs small before the expensive inference of Section 3 runs.
+"""
+
+from __future__ import annotations
+
+from ..lmad import LMAD
+from ..symbolic import BoolExpr, ExprLike, as_expr
+from .nodes import (
+    EMPTY,
+    CallSite,
+    Gate,
+    Intersect,
+    Leaf,
+    Recurrence,
+    Subtract,
+    Union,
+    USR,
+)
+
+__all__ = [
+    "usr_leaf",
+    "usr_union",
+    "usr_intersect",
+    "usr_subtract",
+    "usr_gate",
+    "usr_call",
+    "usr_recurrence",
+    "EMPTY",
+]
+
+
+def usr_leaf(*lmads: LMAD) -> Leaf:
+    """A leaf from LMADs, dropping provably empty descriptors."""
+    return Leaf(x for x in lmads if not x.is_definitely_empty())
+
+
+def usr_union(*args: USR) -> USR:
+    """Union with flattening, deduplication and empty elimination.
+
+    Adjacent leaves merge into one leaf (a leaf already denotes a set of
+    LMADs), which keeps summary growth linear during construction.
+    """
+    flat: list[USR] = []
+    for a in args:
+        if isinstance(a, Union):
+            flat.extend(a.args)
+        elif not a.is_empty_leaf():
+            flat.append(a)
+    leaves = [a for a in flat if isinstance(a, Leaf)]
+    others: list[USR] = []
+    seen: set[USR] = set()
+    for a in flat:
+        if isinstance(a, Leaf):
+            continue
+        if a not in seen:
+            seen.add(a)
+            others.append(a)
+    merged: list[USR] = []
+    if leaves:
+        lmads: list[LMAD] = []
+        for leaf in leaves:
+            lmads.extend(leaf.lmads)
+        merged.append(Leaf(lmads))
+    merged.extend(others)
+    if not merged:
+        return EMPTY
+    if len(merged) == 1:
+        return merged[0]
+    return Union(merged)
+
+
+def usr_intersect(*args: USR) -> USR:
+    """Intersection with flattening, idempotence and empty propagation."""
+    flat: list[USR] = []
+    seen: set[USR] = set()
+    for a in args:
+        parts = a.args if isinstance(a, Intersect) else (a,)
+        for p in parts:
+            if p.is_empty_leaf():
+                return EMPTY
+            if p not in seen:
+                seen.add(p)
+                flat.append(p)
+    if not flat:
+        raise ValueError("intersection of no operands")
+    if len(flat) == 1:
+        return flat[0]
+    return Intersect(flat)
+
+
+def usr_subtract(left: USR, right: USR) -> USR:
+    """Subtraction with the paper's repeated-subtraction regrouping.
+
+    ``(A - B) - C`` is rebuilt as ``A - (B u C)`` (Section 3.4, first
+    reshaping rule): keeping subtracted terms together lets later union
+    simplification produce a larger, more easily compared subtrahend.
+    """
+    if left.is_empty_leaf() or right.is_empty_leaf():
+        return left
+    if left == right:
+        return EMPTY
+    if isinstance(left, Subtract):
+        return Subtract(left.left, usr_union(left.right, right))
+    return Subtract(left, right)
+
+
+def usr_gate(cond: BoolExpr, body: USR) -> USR:
+    """Gate with constant folding and nested-gate fusion."""
+    from ..symbolic import b_and
+
+    if body.is_empty_leaf() or cond.is_false():
+        return EMPTY
+    if cond.is_true():
+        return body
+    if isinstance(body, Gate):
+        return Gate(b_and(cond, body.cond), body.body)
+    return Gate(cond, body)
+
+
+def usr_call(callee: str, body: USR) -> USR:
+    """Call-site barrier; empty bodies stay empty."""
+    if body.is_empty_leaf():
+        return EMPTY
+    return CallSite(callee, body)
+
+
+def usr_recurrence(
+    index: str,
+    lower: ExprLike,
+    upper: ExprLike,
+    body: USR,
+    partial: bool = False,
+) -> USR:
+    """A loop union, attempting exact LMAD aggregation first.
+
+    When the body is a leaf whose LMADs all aggregate exactly over the
+    loop (affine base in the index, invariant geometry), the result stays
+    in the leaf domain -- this is the Section 2.1 aggregation.  Otherwise
+    an irreducible recurrence node is built.  Bodies that do not mention
+    the index at all collapse to a single iteration guarded by loop entry.
+    """
+    lower, upper = as_expr(lower), as_expr(upper)
+    if body.is_empty_leaf():
+        return EMPTY
+    if index not in body.free_symbols():
+        from ..symbolic import cmp_ge
+
+        return usr_gate(cmp_ge(upper, lower), body)
+    if isinstance(body, Leaf):
+        aggregated = []
+        for lmad in body.lmads:
+            agg = lmad.aggregated(index, lower, upper)
+            if agg is None:
+                break
+            aggregated.append(agg)
+        else:
+            from ..symbolic import cmp_ge
+
+            return usr_gate(cmp_ge(upper, lower), Leaf(aggregated))
+    if isinstance(body, Union):
+        # Distribute the union over the recurrence: each part may still
+        # aggregate exactly on its own.
+        parts = [
+            usr_recurrence(index, lower, upper, part, partial=partial)
+            for part in body.args
+        ]
+        if any(not isinstance(p, Recurrence) for p in parts):
+            return usr_union(*parts)
+    return Recurrence(index, lower, upper, body, partial=partial)

@@ -1,0 +1,206 @@
+"""Summary triples and the data-flow equations of Fig. 2.
+
+Accesses of one array within a program region are summarized as three
+abstract sets:
+
+* **WF** (write-first): locations whose first access in the region is a
+  write (privatizable),
+* **RO** (read-only): locations only ever read,
+* **RW** (read-write): locations read before written, or both.
+
+``compose`` implements Fig. 2(a) -- sequencing two consecutive regions --
+and ``aggregate_loop`` implements Fig. 2(b) -- folding per-iteration
+summaries across a loop -- including the partial-recurrence prefixes that
+the independence equations of Section 2.2 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..symbolic import BoolExpr, Expr, ExprLike
+from .build import EMPTY, usr_gate, usr_intersect, usr_recurrence, usr_subtract, usr_union
+from .nodes import USR
+
+__all__ = ["Summary", "compose", "merge_branches", "aggregate_loop"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Per-region (WF, RO, RW) summary of one array's accesses."""
+
+    wf: USR = EMPTY
+    ro: USR = EMPTY
+    rw: USR = EMPTY
+
+    @staticmethod
+    def read(usr: USR) -> "Summary":
+        """Statement-level summary of a read access."""
+        return Summary(wf=EMPTY, ro=usr, rw=EMPTY)
+
+    @staticmethod
+    def write(usr: USR) -> "Summary":
+        """Statement-level summary of a write access."""
+        return Summary(wf=usr, ro=EMPTY, rw=EMPTY)
+
+    @staticmethod
+    def read_write(usr: USR) -> "Summary":
+        """Statement-level summary of an update access (e.g. ``A(i)+=``)."""
+        return Summary(wf=EMPTY, ro=EMPTY, rw=usr)
+
+    def is_empty(self) -> bool:
+        return (
+            self.wf.is_empty_leaf()
+            and self.ro.is_empty_leaf()
+            and self.rw.is_empty_leaf()
+        )
+
+    def all_accessed(self) -> USR:
+        """Union of every location the region touches."""
+        return usr_union(self.wf, self.ro, self.rw)
+
+    def writes(self) -> USR:
+        """Union of locations the region may write (WF + RW)."""
+        return usr_union(self.wf, self.rw)
+
+    def gated(self, cond: BoolExpr) -> "Summary":
+        return Summary(
+            wf=usr_gate(cond, self.wf),
+            ro=usr_gate(cond, self.ro),
+            rw=usr_gate(cond, self.rw),
+        )
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "Summary":
+        return Summary(
+            wf=self.wf.substitute(mapping),
+            ro=self.ro.substitute(mapping),
+            rw=self.rw.substitute(mapping),
+        )
+
+
+def compose(first: Summary, second: Summary) -> Summary:
+    """Fig. 2(a): summary of region 1 followed by region 2.
+
+    A location is write-first if region 1 writes it first, or region 2
+    does and region 1 never read it first; read-only accesses survive only
+    if the other region never writes them; everything else is read-write.
+    """
+    wf1, ro1, rw1 = first.wf, first.ro, first.rw
+    wf2, ro2, rw2 = second.wf, second.ro, second.rw
+    wf = usr_union(wf1, usr_subtract(wf2, usr_union(ro1, rw1)))
+    ro = usr_union(
+        usr_subtract(ro1, usr_union(wf2, rw2)),
+        usr_subtract(ro2, usr_union(wf1, rw1)),
+    )
+    rw = usr_union(
+        rw1,
+        usr_subtract(rw2, wf1),
+        usr_intersect(ro1, wf2),
+    )
+    return Summary(wf=wf, ro=ro, rw=rw)
+
+
+def merge_branches(cond: BoolExpr, then: Summary, other: Summary) -> Summary:
+    """IF-statement merge: both sides gated by mutually exclusive gates.
+
+    When both branches carry the *same* summary the gate cancels -- the
+    related-work example of Section 7 (scalar assigned on both branches)
+    -- which :func:`repro.usr.build.usr_union` realizes by deduplication
+    after the UMEG-preserving constructors fire.
+    """
+    from ..symbolic import b_not
+
+    neg = b_not(cond)
+    return Summary(
+        wf=_merge_gated(cond, then.wf, neg, other.wf),
+        ro=_merge_gated(cond, then.ro, neg, other.ro),
+        rw=_merge_gated(cond, then.rw, neg, other.rw),
+    )
+
+
+def _merge_gated(cond: BoolExpr, a: USR, neg: BoolExpr, b: USR) -> USR:
+    if a == b:
+        return a  # identical on both mutually exclusive branches
+    return usr_union(usr_gate(cond, a), usr_gate(neg, b))
+
+
+@dataclass(frozen=True)
+class LoopSummaries:
+    """Everything :mod:`repro.core.independence` needs about one loop.
+
+    ``per_iteration`` is the body summary as a function of the loop index;
+    ``aggregate`` the whole-loop summary (Fig. 2(b)); ``prefix`` a summary
+    of all iterations *before* the current one (partial recurrences), used
+    by the output-independence equation.
+    """
+
+    index: str
+    lower: Expr
+    upper: Expr
+    per_iteration: Summary
+    aggregate: Summary
+    prefix_writes: USR
+    prefix_rw: USR
+
+
+def aggregate_loop(
+    index: str, lower: ExprLike, upper: ExprLike, body: Summary
+) -> "LoopSummaries":
+    """Fig. 2(b): aggregate per-iteration summaries across a loop.
+
+    WF: locations written first by some iteration and not read earlier by
+    any preceding iteration; RO: read-only in every iteration and never
+    written; RW: the rest of the accessed locations.
+    """
+    from ..symbolic import as_expr, sym
+
+    lower_e, upper_e = as_expr(lower), as_expr(upper)
+    wf_i, ro_i, rw_i = body.wf, body.ro, body.rw
+
+    prev = _fresh_prefix_index(index, body)
+    body_prev = body.substitute({index: sym(prev)})
+    # U_{k=lo..i-1} (RO_k u RW_k): earlier-iteration reads that demote WF.
+    earlier_reads = usr_recurrence(
+        prev,
+        lower_e,
+        sym(index) - 1,
+        usr_union(body_prev.ro, body_prev.rw),
+        partial=True,
+    )
+    wf = usr_recurrence(
+        index, lower_e, upper_e, usr_subtract(wf_i, earlier_reads)
+    )
+    all_wf = usr_recurrence(index, lower_e, upper_e, wf_i)
+    all_ro = usr_recurrence(index, lower_e, upper_e, ro_i)
+    all_rw = usr_recurrence(index, lower_e, upper_e, rw_i)
+    ro = usr_subtract(all_ro, usr_union(all_wf, all_rw))
+    accessed = usr_union(all_ro, all_rw, all_wf)
+    rw = usr_subtract(accessed, usr_union(wf, ro))
+    prefix_writes = usr_recurrence(
+        prev, lower_e, sym(index) - 1, body_prev.wf, partial=True
+    )
+    prefix_rw = usr_recurrence(
+        prev, lower_e, sym(index) - 1, body_prev.rw, partial=True
+    )
+    return LoopSummaries(
+        index=index,
+        lower=lower_e,
+        upper=upper_e,
+        per_iteration=body,
+        aggregate=Summary(wf=wf, ro=ro, rw=rw),
+        prefix_writes=prefix_writes,
+        prefix_rw=prefix_rw,
+    )
+
+
+def _fresh_prefix_index(index: str, body: Summary) -> str:
+    """A fresh index name for partial recurrences (paper: dotted U with a
+    fresh variable ranging to i-1)."""
+    used = (
+        body.wf.free_symbols() | body.ro.free_symbols() | body.rw.free_symbols()
+    )
+    candidate = index + "$p"
+    while candidate in used:
+        candidate += "p"
+    return candidate

@@ -1,0 +1,210 @@
+"""Conditional LMAD-set over/under-estimates of USRs (Section 3.2).
+
+When the factorization algorithm runs out of structural rules it flattens
+the problem into the LMAD domain.  Summaries are approximated as pairs:
+
+* an **overestimate** ``(P_C, [C])``: ``P_C`` is a predicate under which
+  ``C`` is empty, and ``[C]`` a set of LMADs covering ``C``;
+* an **underestimate** ``(P_D, [D])``: when ``P_D`` holds, every index in
+  ``[D]`` belongs to ``D``.
+
+The overestimate operator disregards the right operand of subtractions
+and all but one operand of intersections on the way down, and translates
+/ aggregates / unions LMAD leaves over call-site, recurrence and union
+nodes on the way up -- exactly the recursive operator the paper
+describes.  A ``None`` LMAD set means the estimate failed (e.g. a
+recurrence that cannot be aggregated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..lmad import LMAD
+from ..symbolic import FALSE, TRUE, BoolExpr, b_and, b_or, cmp_gt, sym
+from .nodes import CallSite, Gate, Intersect, Leaf, Recurrence, Subtract, Union, USR
+
+__all__ = ["CondEstimate", "overestimate", "underestimate"]
+
+_NO_MONOTONE: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class CondEstimate:
+    """A conditional LMAD-set estimate: ``pred`` + optional LMAD set."""
+
+    pred: BoolExpr
+    lmads: Optional[tuple[LMAD, ...]]
+
+    @property
+    def failed(self) -> bool:
+        return self.lmads is None
+
+
+def _leaf_empty_pred(leaf: Leaf) -> BoolExpr:
+    """Each LMAD empty (some span negative) -> the leaf is empty."""
+    preds = []
+    for lmad in leaf.lmads:
+        span_neg = [cmp_gt(0, s) for s in lmad.spans]
+        preds.append(b_or(*span_neg) if span_neg else FALSE)
+    return b_and(*preds) if preds else TRUE
+
+
+def _aggregate_set(
+    lmads: tuple[LMAD, ...], index: str, lower, upper
+) -> Optional[tuple[LMAD, ...]]:
+    out = []
+    for lmad in lmads:
+        agg = lmad.aggregated(index, lower, upper)
+        if agg is None:
+            return None
+        out.append(agg)
+    return tuple(out)
+
+
+def overestimate(
+    usr: USR, monotone: FrozenSet[str] = _NO_MONOTONE
+) -> CondEstimate:
+    """``(P_C, [C])``: emptiness predicate + LMAD overestimate of *usr*.
+
+    *monotone* names opaque arrays known to be non-decreasing (CIV prefix
+    arrays); recurrences whose per-iteration intervals have monotone
+    endpoints are overestimated by their interval hull even when exact
+    LMAD aggregation fails (the ``[Q+1, CIV@5]`` hull of Fig. 7(b)).
+    """
+    if isinstance(usr, Leaf):
+        return CondEstimate(_leaf_empty_pred(usr), usr.lmads)
+    if isinstance(usr, Gate):
+        inner = overestimate(usr.body, monotone)
+        from ..symbolic import b_not
+
+        return CondEstimate(b_or(b_not(usr.cond), inner.pred), inner.lmads)
+    if isinstance(usr, Union):
+        parts = [overestimate(a, monotone) for a in usr.args]
+        pred = b_and(*(p.pred for p in parts))
+        if any(p.failed for p in parts):
+            return CondEstimate(pred, None)
+        lmads: tuple[LMAD, ...] = ()
+        for p in parts:
+            lmads += p.lmads  # type: ignore[operator]
+        return CondEstimate(pred, lmads)
+    if isinstance(usr, Subtract):
+        # Disregard the subtrahend: left covers the difference, and an
+        # empty left makes the difference empty.
+        return overestimate(usr.left, monotone)
+    if isinstance(usr, Intersect):
+        # Any operand covers the intersection; any empty operand empties
+        # it.  Prefer an operand whose estimate succeeds.
+        parts = [overestimate(a, monotone) for a in usr.args]
+        pred = b_or(*(p.pred for p in parts))
+        for p in parts:
+            if not p.failed:
+                return CondEstimate(pred, p.lmads)
+        return CondEstimate(pred, None)
+    if isinstance(usr, CallSite):
+        return overestimate(usr.body, monotone)
+    if isinstance(usr, Recurrence):
+        inner = overestimate(usr.body, monotone)
+        empty = cmp_gt(usr.lower, usr.upper)
+        if usr.index in inner.pred.free_symbols():
+            pred: BoolExpr = empty
+        else:
+            pred = b_or(empty, inner.pred)
+        if inner.failed:
+            return CondEstimate(pred, None)
+        agg = _aggregate_set(inner.lmads, usr.index, usr.lower, usr.upper)
+        if agg is None and monotone:
+            agg = _monotone_hull(
+                inner.lmads, usr.index, usr.lower, usr.upper, monotone
+            )
+        return CondEstimate(pred, agg)
+    raise TypeError(f"unknown USR node {usr!r}")
+
+
+def underestimate(usr: USR) -> CondEstimate:
+    """``(P_D, [D])``: validity predicate + LMAD underestimate of *usr*."""
+    if isinstance(usr, Leaf):
+        return CondEstimate(TRUE, usr.lmads)
+    if isinstance(usr, Gate):
+        inner = underestimate(usr.body)
+        return CondEstimate(b_and(usr.cond, inner.pred), inner.lmads)
+    if isinstance(usr, Union):
+        parts = [underestimate(a) for a in usr.args]
+        ok = [p for p in parts if not p.failed]
+        if not ok:
+            return CondEstimate(FALSE, None)
+        # Any subset of the union's parts is a valid underestimate; take
+        # every part whose own validity predicate can be conjoined.
+        pred = b_and(*(p.pred for p in ok))
+        lmads: tuple[LMAD, ...] = ()
+        for p in ok:
+            lmads += p.lmads  # type: ignore[operator]
+        return CondEstimate(pred, lmads)
+    if isinstance(usr, Subtract):
+        # left - right >= left only when right is empty: require the
+        # subtrahend's emptiness predicate.
+        left = underestimate(usr.left)
+        right_empty = overestimate(usr.right).pred
+        if left.failed or right_empty.is_false():
+            return CondEstimate(FALSE, None)
+        return CondEstimate(b_and(left.pred, right_empty), left.lmads)
+    if isinstance(usr, Intersect):
+        return CondEstimate(FALSE, None)
+    if isinstance(usr, CallSite):
+        return underestimate(usr.body)
+    if isinstance(usr, Recurrence):
+        inner = underestimate(usr.body)
+        if inner.failed or usr.index in inner.pred.free_symbols():
+            return CondEstimate(FALSE, None)
+        agg = _aggregate_set(inner.lmads, usr.index, usr.lower, usr.upper)
+        if agg is None:
+            return CondEstimate(FALSE, None)
+        from ..symbolic import cmp_ge
+
+        return CondEstimate(
+            b_and(inner.pred, cmp_ge(usr.upper, usr.lower)), agg
+        )
+    raise TypeError(f"unknown USR node {usr!r}")
+
+
+def _monotone_hull(
+    lmads: tuple[LMAD, ...],
+    index: str,
+    lower,
+    upper,
+    monotone: FrozenSet[str],
+) -> Optional[tuple[LMAD, ...]]:
+    """Interval hull of per-iteration intervals with monotone endpoints.
+
+    Each LMAD must be a 1D stride-1 interval ``[lo(i), hi(i)]`` whose
+    endpoints are non-decreasing in the loop index given the monotone
+    facts; the union over the loop is then covered by
+    ``[lo(lower), hi(upper)]``.
+    """
+    from ..symbolic.monotone import provably_nonneg
+
+    out = []
+    for lmad in lmads:
+        live = lmad.normalized()
+        if live.ndims > 1 or (live.ndims == 1 and live.strides[0] != 1):
+            return None
+        lo, hi = live.interval_overestimate()
+        shift = {index: sym(index) + 1}
+        lo_step = lo.substitute(shift) - lo
+        hi_step = hi.substitute(shift) - hi
+        if provably_nonneg(lo_step, monotone) and provably_nonneg(hi_step, monotone):
+            hull_lo = lo.substitute({index: lower})
+            hull_hi = hi.substitute({index: upper})
+        elif provably_nonneg(-lo_step, monotone) and provably_nonneg(
+            -hi_step, monotone
+        ):
+            hull_lo = lo.substitute({index: upper})
+            hull_hi = hi.substitute({index: lower})
+        else:
+            return None
+        from .build import usr_leaf
+        from ..lmad import interval
+
+        out.append(interval(hull_lo, hull_hi))
+    return tuple(out)

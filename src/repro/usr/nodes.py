@@ -1,0 +1,342 @@
+"""USR (uniform set representation) -- Section 2 of the paper.
+
+A USR is a DAG whose leaves are sets of LMADs and whose interior nodes are
+the operations that the LMAD abstraction cannot close over:
+
+* irreducible set operations: union, intersection, subtraction;
+* control flow: *gates* (``cond # S`` -- the summary exists only when the
+  gate holds) and *call sites* (``S ./ callsite`` -- a barrier across
+  which the summary could not be translated);
+* *recurrences*: total (``U_{i=lo..hi} S_i``) and partial
+  (``U_{k=lo..i-1} S_k``) loop unions that failed exact LMAD aggregation.
+
+Every node evaluates to a concrete index set under a runtime environment;
+this is the (expensive) exact evaluation that the predicate-language
+translation of Section 3 exists to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..lmad import LMAD
+from ..symbolic import BoolExpr, EvalEnv, Expr, ExprLike, as_expr
+
+__all__ = [
+    "USR",
+    "Leaf",
+    "Union",
+    "Intersect",
+    "Subtract",
+    "Gate",
+    "CallSite",
+    "Recurrence",
+    "EMPTY",
+]
+
+
+class USR:
+    """Base class of USR nodes.  Immutable and hashable (hash cached)."""
+
+    __slots__ = ("_hash_cache",)
+
+    def key(self) -> tuple:
+        raise NotImplementedError
+
+    def children(self) -> tuple["USR", ...]:
+        raise NotImplementedError
+
+    def evaluate(self, env: EvalEnv) -> set[int]:
+        """The concrete index set denoted under *env* (exact, expensive)."""
+        raise NotImplementedError
+
+    def free_symbols(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "USR":
+        raise NotImplementedError
+
+    def is_empty_leaf(self) -> bool:
+        return isinstance(self, Leaf) and not self.lmads
+
+    # -- size/complexity metrics used by cost estimation ------------------
+    def node_count(self) -> int:
+        return 1 + sum(c.node_count() for c in self.children())
+
+    def loop_depth(self) -> int:
+        """Maximum nesting of recurrence nodes (drives runtime complexity)."""
+        inner = max((c.loop_depth() for c in self.children()), default=0)
+        return inner + (1 if isinstance(self, Recurrence) else 0)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        cached = getattr(self, "_hash_cache", None)
+        if cached is None:
+            cached = hash((type(self).__name__,) + self.key())
+            self._hash_cache = cached
+        return cached
+
+
+class Leaf(USR):
+    """A set of LMADs (the array-abstraction domain)."""
+
+    __slots__ = ("lmads",)
+
+    def __init__(self, lmads: Iterable[LMAD] = ()):
+        self.lmads = tuple(dict.fromkeys(lmads))  # dedupe, keep order
+
+    def key(self) -> tuple:
+        return (frozenset(self.lmads),)
+
+    def children(self) -> tuple[USR, ...]:
+        return ()
+
+    def evaluate(self, env: EvalEnv) -> set[int]:
+        out: set[int] = set()
+        for lmad in self.lmads:
+            out |= lmad.enumerate(env)
+        return out
+
+    def free_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for lmad in self.lmads:
+            out |= lmad.free_symbols()
+        return out
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> USR:
+        return Leaf(lmad.substitute(mapping) for lmad in self.lmads)
+
+    def __repr__(self) -> str:
+        if not self.lmads:
+            return "{}"
+        return "{" + ", ".join(repr(x) for x in self.lmads) + "}"
+
+
+EMPTY = Leaf(())
+
+
+class _Nary(USR):
+    """Shared implementation of union/intersection nodes."""
+
+    __slots__ = ("args",)
+    _symbol: str
+
+    def __init__(self, args: Iterable[USR]):
+        self.args = tuple(args)
+        if len(self.args) < 2:
+            raise ValueError(f"{type(self).__name__} needs >= 2 operands")
+
+    def key(self) -> tuple:
+        return (frozenset(self.args),)
+
+    def children(self) -> tuple[USR, ...]:
+        return self.args
+
+    def free_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free_symbols()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + f" {self._symbol} ".join(repr(a) for a in self.args) + ")"
+
+
+class Union(_Nary):
+    """Irreducible set union."""
+
+    __slots__ = ()
+    _symbol = "U"
+
+    def evaluate(self, env: EvalEnv) -> set[int]:
+        out: set[int] = set()
+        for a in self.args:
+            out |= a.evaluate(env)
+        return out
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> USR:
+        from .build import usr_union
+
+        return usr_union(*(a.substitute(mapping) for a in self.args))
+
+
+class Intersect(_Nary):
+    """Irreducible set intersection."""
+
+    __slots__ = ()
+    _symbol = "^"
+
+    def evaluate(self, env: EvalEnv) -> set[int]:
+        out = self.args[0].evaluate(env)
+        for a in self.args[1:]:
+            if not out:
+                break
+            out &= a.evaluate(env)
+        return out
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> USR:
+        from .build import usr_intersect
+
+        return usr_intersect(*(a.substitute(mapping) for a in self.args))
+
+
+class Subtract(USR):
+    """Irreducible set subtraction ``left - right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: USR, right: USR):
+        self.left = left
+        self.right = right
+
+    def key(self) -> tuple:
+        return (self.left, self.right)
+
+    def children(self) -> tuple[USR, ...]:
+        return (self.left, self.right)
+
+    def evaluate(self, env: EvalEnv) -> set[int]:
+        return self.left.evaluate(env) - self.right.evaluate(env)
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.left.free_symbols() | self.right.free_symbols()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> USR:
+        from .build import usr_subtract
+
+        return usr_subtract(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} - {self.right!r})"
+
+
+class Gate(USR):
+    """``cond # body``: the summary exists only when *cond* holds."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: BoolExpr, body: USR):
+        self.cond = cond
+        self.body = body
+
+    def key(self) -> tuple:
+        return (self.cond, self.body)
+
+    def children(self) -> tuple[USR, ...]:
+        return (self.body,)
+
+    def evaluate(self, env: EvalEnv) -> set[int]:
+        if self.cond.evaluate(env):
+            return self.body.evaluate(env)
+        return set()
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.cond.free_symbols() | self.body.free_symbols()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> USR:
+        from .build import usr_gate
+
+        return usr_gate(self.cond.substitute(mapping), self.body.substitute(mapping))
+
+    def __repr__(self) -> str:
+        return f"({self.cond!r} # {self.body!r})"
+
+
+class CallSite(USR):
+    """``body ./ callee``: a barrier marking an untranslatable call site.
+
+    The body is already expressed in the caller's index space; the node
+    exists to block reshaping/simplification across the call boundary, as
+    in the paper's Fig. 5 (``S1 ./ CallSite`` translation rule).
+    """
+
+    __slots__ = ("callee", "body")
+
+    def __init__(self, callee: str, body: USR):
+        self.callee = callee
+        self.body = body
+
+    def key(self) -> tuple:
+        return (self.callee, self.body)
+
+    def children(self) -> tuple[USR, ...]:
+        return (self.body,)
+
+    def evaluate(self, env: EvalEnv) -> set[int]:
+        return self.body.evaluate(env)
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.body.free_symbols()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> USR:
+        return CallSite(self.callee, self.body.substitute(mapping))
+
+    def __repr__(self) -> str:
+        return f"({self.body!r} ./ {self.callee})"
+
+
+class Recurrence(USR):
+    """``U_{index=lower..upper} body``: a loop union that failed exact
+    LMAD aggregation.
+
+    ``partial=True`` marks the paper's dotted partial-recurrence nodes
+    ``U_{k=1..i-1}`` whose upper bound references an enclosing loop index
+    (used by the output-independence equation and the monotonicity rule).
+    """
+
+    __slots__ = ("index", "lower", "upper", "body", "partial")
+
+    def __init__(
+        self,
+        index: str,
+        lower: ExprLike,
+        upper: ExprLike,
+        body: USR,
+        partial: bool = False,
+    ):
+        self.index = index
+        self.lower = as_expr(lower)
+        self.upper = as_expr(upper)
+        self.body = body
+        self.partial = partial
+
+    def key(self) -> tuple:
+        return (self.index, self.lower, self.upper, self.body, self.partial)
+
+    def children(self) -> tuple[USR, ...]:
+        return (self.body,)
+
+    def evaluate(self, env: EvalEnv) -> set[int]:
+        lo = self.lower.evaluate(env)
+        hi = self.upper.evaluate(env)
+        out: set[int] = set()
+        child_env = dict(env)
+        for i in range(lo, hi + 1):
+            child_env[self.index] = i
+            out |= self.body.evaluate(child_env)
+        return out
+
+    def free_symbols(self) -> frozenset[str]:
+        out = self.lower.free_symbols() | self.upper.free_symbols()
+        out |= self.body.free_symbols() - {self.index}
+        return out
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> USR:
+        clean = {k: v for k, v in mapping.items() if k != self.index}
+        from .build import usr_recurrence
+
+        return usr_recurrence(
+            self.index,
+            self.lower.substitute(clean),
+            self.upper.substitute(clean),
+            self.body.substitute(clean),
+            partial=self.partial,
+        )
+
+    def __repr__(self) -> str:
+        mark = "u" if self.partial else "U"
+        return (
+            f"({mark}_{{{self.index}={self.lower!r}..{self.upper!r}}} {self.body!r})"
+        )

@@ -1,0 +1,33 @@
+"""The 26 benchmark models of the paper's evaluation (Tables 1-3)."""
+
+from .base import BenchmarkSpec, Dataset, LoopSpec
+from .perfect_club import PERFECT_CLUB
+from .spec2000 import SPEC2000
+from .spec92 import SPEC92
+
+ALL_BENCHMARKS: list[BenchmarkSpec] = PERFECT_CLUB + SPEC92 + SPEC2000
+
+#: loops whose exact fallback uses speculation rather than the inspector
+#: (Section 5: TLS when the exact test cannot be amortized).
+TLS_LOOPS = frozenset({"nlfilt_do300", "gwater_do190"})
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark model by name."""
+    for spec in ALL_BENCHMARKS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+__all__ = [
+    "BenchmarkSpec",
+    "LoopSpec",
+    "Dataset",
+    "PERFECT_CLUB",
+    "SPEC92",
+    "SPEC2000",
+    "ALL_BENCHMARKS",
+    "TLS_LOOPS",
+    "get_benchmark",
+]

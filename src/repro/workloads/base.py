@@ -1,0 +1,79 @@
+"""Benchmark-model infrastructure.
+
+Each of the paper's 26 benchmarks is modelled by a :class:`BenchmarkSpec`:
+an IR program whose labelled loops exhibit the *access-pattern classes*
+the corresponding Fortran loops exhibit (quadratic indexing, index
+arrays, CIVs, UMEG gates, assumed-size reductions, ...), plus the
+metadata of Tables 1-3 (sequential coverage, per-loop coverage and
+granularity, the paper's classification and techniques) and the paper's
+headline numbers from Figures 10-13 for shape comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..ir.ast import Program
+from ..ir.parser import parse_program
+
+__all__ = ["LoopSpec", "BenchmarkSpec", "Dataset"]
+
+#: (params, arrays) inputs for a program run.
+Dataset = tuple[dict, dict]
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """Metadata of one measured loop (a row of Tables 1-3)."""
+
+    label: str
+    #: fraction of the benchmark's sequential time spent in this loop (LSC)
+    lsc: float
+    #: granularity: milliseconds per loop invocation (the GR column)
+    gr_ms: float
+    #: the paper's classification string for this loop, normalized to our
+    #: vocabulary: 'STATIC-PAR', 'STATIC-SEQ', 'FI O(1)', 'OI O(N)',
+    #: 'F/OI O(1)', 'TLS', 'HOIST-USR', 'CIV-COMP', 'BOUNDS-COMP'
+    paper_class: str
+    #: does the paper's system run this loop in parallel?
+    paper_parallel: bool = True
+
+
+@dataclass
+class BenchmarkSpec:
+    """One benchmark model: program + Tables 1-3 metadata."""
+
+    name: str
+    suite: str  # 'perfect' | 'spec92' | 'spec2000'
+    #: sequential coverage of the measured loops (SC column, fraction)
+    sc: float
+    #: coverage of loops that need runtime tests (SCrt, fraction)
+    scrt: float
+    #: the paper's runtime-overhead figure (RTov, fraction of parallel time)
+    rtov_paper: float
+    source: str
+    loops: list[LoopSpec]
+    #: techniques listed in the table for this benchmark
+    techniques_paper: list[str]
+    dataset: Callable[[int], Dataset] = field(repr=False, default=None)  # type: ignore[assignment]
+    #: paper's normalized parallel time (Figures 10-12; sequential = 1)
+    paper_norm_time: Optional[float] = None
+    #: paper's 16-processor speedup (Figure 13, SPEC2000/2006 only)
+    paper_speedup16: Optional[float] = None
+    _program: Optional[Program] = field(default=None, repr=False)
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = parse_program(self.source)
+        return self._program
+
+    def loop(self, label: str) -> LoopSpec:
+        for spec in self.loops:
+            if spec.label == label:
+                return spec
+        raise KeyError(f"{self.name}: no loop {label!r}")
+
+    def measured_coverage(self) -> float:
+        return sum(spec.lsc for spec in self.loops)

@@ -1,0 +1,599 @@
+"""PERFECT-CLUB benchmark models (Table 1 of the paper).
+
+Each model reproduces the *access-pattern class* of the benchmark's
+measured loops: flo52's statically analyzable fluxes plus an O(1) output
+predicate, bdna's CIV loops, arc2d's quasi-affine offsets, dyfesm's
+interprocedural sections with F/OI predicates and extended reductions,
+mdg's both-branches-write control flow, trfd's monotonic index arrays,
+track's while-loop CIVs and speculative filter, spec77's mix, ocean's
+interleaved FFT strides and qcd's scalar recurrences.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import BenchmarkSpec, Dataset, LoopSpec
+
+__all__ = ["PERFECT_CLUB"]
+
+
+def _flo52() -> BenchmarkSpec:
+    source = """
+program flo52
+param N, IOFF, JOFF
+array W(8256), FS(8256), DW(16512)
+
+main
+  do i = 1, N @ psmoo_do40
+    DW[i] = W[i] + W[i+1]
+  end
+  do i = 1, N @ dflux_do30
+    FS[i] = W[i] - W[i+1]
+  end
+  do i = 1, N @ eflux_do10
+    DW[i] = DW[i] + FS[i]
+  end
+  do i = 1, N @ dflux_do40
+    DW[IOFF + i] = FS[i]
+    DW[JOFF + i] = FS[i] + 1
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 32 * scale
+        return (
+            {"N": n, "IOFF": 0, "JOFF": n},
+            {"W": [i % 7 for i in range(1, 8257)]},
+        )
+
+    return BenchmarkSpec(
+        name="flo52",
+        suite="perfect",
+        sc=0.95,
+        scrt=0.003,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("psmoo_do40", 0.195, 0.04, "STATIC-PAR"),
+            LoopSpec("dflux_do30", 0.096, 0.08, "STATIC-PAR"),
+            LoopSpec("eflux_do10", 0.082, 0.02, "STATIC-PAR"),
+            LoopSpec("dflux_do40", 0.003, 0.01, "OI O(1)"),
+        ],
+        techniques_paper=["PRIV", "SRED", "SLV", "RRED"],
+        dataset=dataset,
+        paper_norm_time=0.86,
+    )
+
+
+def _bdna() -> BenchmarkSpec:
+    source = """
+program bdna
+param N, M, Q
+array X(4096), Y(16384), NSP(4096), T(512), B(4096)
+
+main
+  do i = 1, N @ actfor_do500
+    do j = 1, 8
+      T[j] = X[i] * j
+    end
+    do j = 1, 8
+      Y[(i-1)*8 + j] = T[j] + 1
+    end
+  end
+  civ = Q
+  do i = 1, N @ actfor_do240
+    if X[i + M] != 1 and NSP[i] > 0 then
+      do j = 1, NSP[i]
+        Y[civ + j] = X[i] + j
+      end
+      civ = civ + NSP[i]
+    end
+  end
+  do i = 1, N @ restar_do15
+    B[i] = X[i] + 2
+  end
+  do i = 1, N @ actfor_do320
+    Y[i] = X[i] * 3
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 24 * scale
+        rng = random.Random(7)
+        nsp = [rng.randrange(0, 4) for _ in range(4096)]
+        return (
+            {"N": n, "M": n, "Q": 0},
+            {"X": [(i * 3) % 5 for i in range(1, 4097)], "NSP": nsp},
+        )
+
+    return BenchmarkSpec(
+        name="bdna",
+        suite="perfect",
+        sc=0.94,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("actfor_do500", 0.595, 69.0, "STATIC-PAR"),
+            LoopSpec("actfor_do240", 0.315, 36.0, "CIVagg"),
+            LoopSpec("restar_do15", 0.048, 28.0, "STATIC-PAR"),
+            LoopSpec("actfor_do320", 0.018, 0.1, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SRED", "RRED", "CIVagg"],
+        dataset=dataset,
+        paper_norm_time=0.29,
+    )
+
+
+def _arc2d() -> BenchmarkSpec:
+    source = """
+program arc2d
+param N, IX1, IX2
+array X(16384), WK(16384)
+
+main
+  do i = 1, N @ stepfx_do210
+    WK[i] = X[i] + X[i+1]
+  end
+  do i = 1, N @ stepfx_do230
+    X[i] = WK[i] * 2
+  end
+  do i = 1, N @ xpent2_do11
+    X[IX1 + i] = X[IX2 + i] + 1
+  end
+  do i = 1, N @ filerx_do15
+    WK[IX1 + i] = WK[IX2 + i] - 1
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 48 * scale
+        return (
+            {"N": n, "IX1": 0, "IX2": n + 8},
+            {"X": [i % 9 for i in range(1, 16385)]},
+        )
+
+    return BenchmarkSpec(
+        name="arc2d",
+        suite="perfect",
+        sc=0.97,
+        scrt=0.20,
+        rtov_paper=0.002,
+        source=source,
+        loops=[
+            LoopSpec("stepfx_do210", 0.163, 0.8, "STATIC-PAR"),
+            LoopSpec("stepfx_do230", 0.119, 0.6, "STATIC-PAR"),
+            LoopSpec("xpent2_do11", 0.107, 0.002, "FI O(1)"),
+            LoopSpec("filerx_do15", 0.090, 1.3, "FI O(1)"),
+        ],
+        techniques_paper=["PRIV", "SLV", "MON"],
+        dataset=dataset,
+        paper_norm_time=0.91,
+    )
+
+
+def _dyfesm() -> BenchmarkSpec:
+    source = """
+program dyfesm
+param N, SYM, NS, NP
+array HE(40960), XE(1024), IA(64), IB(64), XD(4096), IDX(64), R(8192)
+
+subroutine geteu(XE[], SYM, NP)
+  if SYM != 1 then
+    do i = 1, NP
+      do j = 1, 16
+        XE[16*(i-1) + j] = i + j
+      end
+    end
+  end
+end
+
+subroutine matmult(HE[], XE[], NS)
+  do j = 1, NS
+    HE[j] = XE[j]
+    XE[j] = j * 2
+  end
+end
+
+subroutine solvhe(HE[], NP)
+  do j = 1, 3
+    do i = 1, NP
+      HE[(i-1)*8 + j] = HE[(i-1)*8 + j] + 1
+    end
+  end
+end
+
+main
+  do i = 1, N @ mxmult_do10
+    do j = 1, 4
+      R[(i-1)*4 + j] = XD[(i-1)*4 + j] * 2
+      R[2048 + IDX[i] + j] = R[2048 + IDX[i] + j] + XD[(i-1)*4 + j]
+    end
+  end
+  do i = 1, N @ solxdd_do10
+    do j = 1, IA[i]
+      XD[IB[i] + j] = XD[IB[i] + j] + 5
+    end
+  end
+  do i = 1, N @ solvh_do20
+    do k = 1, IA[i]
+      id = IB[i] + k - 1
+      call geteu(XE[], SYM, NP)
+      call matmult(HE[] + 32*(id-1), XE[], NS)
+      call solvhe(HE[] + 32*(id-1), NP)
+    end
+  end
+  do i = 1, N @ formr_do20
+    do j = 1, 4
+      R[(i-1)*4 + j] = XD[(i-1)*4 + j] + 1
+      R[2048 + IDX[i] + j] = R[2048 + IDX[i] + j] + 7
+    end
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 8 * scale
+        idx = [4 * (i - 1) for i in range(1, 65)]
+        ia = [2] * 64
+        ib = [1 + 2 * (i - 1) for i in range(1, 65)]
+        return (
+            {"N": n, "SYM": 0, "NS": 16, "NP": 1},
+            {"IDX": idx, "IA": ia, "IB": ib,
+             "XD": [i % 5 for i in range(1, 4097)]},
+        )
+
+    return BenchmarkSpec(
+        name="dyfesm",
+        suite="perfect",
+        sc=0.97,
+        scrt=0.96,
+        rtov_paper=0.003,
+        source=source,
+        loops=[
+            LoopSpec("mxmult_do10", 0.439, 0.006, "FI HOIST-USR"),
+            LoopSpec("solxdd_do10", 0.273, 0.007, "OI O(N)"),
+            LoopSpec("solvh_do20", 0.142, 0.03, "F/OI O(1)"),
+            LoopSpec("formr_do20", 0.105, 0.02, "FI HOIST-USR"),
+        ],
+        techniques_paper=["PRIV", "EXT-RRED", "HOIST-USR", "MON"],
+        dataset=dataset,
+        paper_norm_time=1.71,
+    )
+
+
+def _mdg() -> BenchmarkSpec:
+    source = """
+program mdg
+param N, CUT
+array XM(8192), F(8192), V(8192)
+
+main
+  do i = 1, N @ interf_do1000
+    if XM[i] > CUT then
+      F[i] = XM[i] * 2
+    else
+      F[i] = XM[i] + 1
+    end
+  end
+  do i = 1, N @ poteng_do2000
+    if XM[i] > CUT then
+      V[i] = F[i] + XM[i]
+    else
+      V[i] = F[i] - XM[i]
+    end
+  end
+  do i = 1, N @ correc_do1000
+    XM[i] = XM[i] + V[i]
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 64 * scale
+        return (
+            {"N": n, "CUT": 3},
+            {"XM": [i % 7 for i in range(1, 8193)]},
+        )
+
+    return BenchmarkSpec(
+        name="mdg",
+        suite="perfect",
+        sc=0.99,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("interf_do1000", 0.92, 24.0, "STATIC-PAR"),
+            LoopSpec("poteng_do2000", 0.072, 19.0, "STATIC-PAR"),
+            LoopSpec("correc_do1000", 0.001, 0.04, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "RRED"],
+        dataset=dataset,
+        paper_norm_time=0.28,
+    )
+
+
+def _trfd() -> BenchmarkSpec:
+    source = """
+program trfd
+param NUM, IA0, IB0
+array XIJ(16384), XKL(16384), V(16384), IB(512), IA(512)
+
+main
+  do i = 1, NUM @ olda_do100
+    do j = 1, 8
+      XIJ[(i-1)*8 + j] = V[j] + i
+    end
+  end
+  do i = 1, NUM @ olda_do300
+    XKL[IA0 + i] = XKL[IB0 + i] + V[i]
+  end
+  do i = 1, NUM @ intgrl_do140
+    do j = 1, IA[i]
+      XIJ[IB[i] + j] = XIJ[IB[i] + j] + 3
+    end
+  end
+  do i = 1, NUM @ intgrl_do20
+    V[8192 + i] = i
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        num = 16 * scale
+        ia = [3] * 512
+        ib = [3 * (i - 1) for i in range(1, 513)]
+        return (
+            # Writes above reads: matches the direction the structural
+            # inference rules favour (rule (2) is asymmetric).
+            {"NUM": num, "IA0": 8192, "IB0": 0},
+            {"IA": ia, "IB": ib, "V": [i % 4 for i in range(1, 513)],
+             "XKL": [i % 3 for i in range(1, 16385)]},
+        )
+
+    return BenchmarkSpec(
+        name="trfd",
+        suite="perfect",
+        sc=0.99,
+        scrt=0.348,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("olda_do100", 0.637, 18.0, "STATIC-PAR"),
+            LoopSpec("olda_do300", 0.309, 9.0, "FI O(1)"),
+            LoopSpec("intgrl_do140", 0.039, 2.0, "OI O(N)"),
+            LoopSpec("intgrl_do20", 0.001, 0.006, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SLV", "MON"],
+        dataset=dataset,
+        paper_norm_time=0.30,
+    )
+
+
+def _track() -> BenchmarkSpec:
+    source = """
+program track
+param NTRKS, NL, M
+array TRK(8192), OUT(16384), NHITS(4096), Z(8192), KX(4096), KZ(4096), W(4096)
+
+main
+  i = 1
+  civ = 0
+  while i <= NTRKS @ extend_do400
+    if NHITS[i] > 0 then
+      do j = 1, NHITS[i]
+        OUT[civ + j] = TRK[i] + j
+      end
+      civ = civ + NHITS[i]
+    end
+    i = i + 1
+  end
+  k = 1
+  civ2 = 0
+  while k <= NTRKS @ fptrak_do300
+    if NHITS[k] > 0 then
+      do j = 1, NHITS[k]
+        OUT[M + civ2 + j] = TRK[k] * 2 + j
+      end
+      civ2 = civ2 + NHITS[k]
+    end
+    k = k + 1
+  end
+  do n = 1, NL @ nlfilt_do300
+    Z[KX[n]] = W[n] + Z[KZ[n]]
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        ntrks = 12 * scale
+        nl = 8 * scale
+        rng = random.Random(13)
+        nhits = [rng.randrange(1, 4) for _ in range(4096)]
+        # Writes hit odd locations, reads even ones: the pairwise interval
+        # predicates fail (the values interleave) but speculation succeeds
+        # because the sets never actually meet -- the paper's TLS case.
+        kx = [2 * ((i * 37) % 2000) + 1 for i in range(4096)]
+        kz = [2 * ((i * 53) % 2000) + 2 for i in range(4096)]
+        return (
+            {"NTRKS": ntrks, "NL": nl, "M": 2048},
+            {"NHITS": nhits, "KX": kx, "KZ": kz,
+             "TRK": [i % 6 for i in range(1, 8193)],
+             "W": [i % 5 for i in range(1, 4097)]},
+        )
+
+    return BenchmarkSpec(
+        name="track",
+        suite="perfect",
+        sc=0.97,
+        scrt=0.97,
+        rtov_paper=0.47,
+        source=source,
+        loops=[
+            LoopSpec("extend_do400", 0.492, 117.0, "CIV-COMP"),
+            LoopSpec("fptrak_do300", 0.477, 121.0, "CIV-COMP"),
+            LoopSpec("nlfilt_do300", 0.012, 3.6, "TLS"),
+        ],
+        techniques_paper=["PRIV", "CIVagg", "CIV-COMP"],
+        dataset=dataset,
+        paper_norm_time=0.53,
+    )
+
+
+def _spec77() -> BenchmarkSpec:
+    source = """
+program spec77
+param N, KOFF, LOFF
+array G(16384), U(16384), KPT(4096), KQT(4096)
+
+main
+  do i = 1, N @ gloop_do1000
+    G[i] = U[i] * 2 + U[i+1]
+  end
+  do i = 1, N @ gwater_do190
+    U[KPT[i]] = G[i] + U[KQT[i]]
+  end
+  do i = 1, N @ sicdkd_do1000
+    G[KOFF + i] = G[LOFF + i] + 1
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 48 * scale
+        kpt = [2 * ((i * 53) % 4000) + 1 for i in range(4096)]
+        kqt = [2 * ((i * 31) % 4000) + 2 for i in range(4096)]
+        return (
+            {"N": n, "KOFF": 0, "LOFF": 8192},
+            {"KPT": kpt, "KQT": kqt, "U": [i % 8 for i in range(1, 16385)]},
+        )
+
+    return BenchmarkSpec(
+        name="spec77",
+        suite="perfect",
+        sc=0.76,
+        scrt=0.11,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("gloop_do1000", 0.571, 31.0, "STATIC-PAR"),
+            LoopSpec("gwater_do190", 0.165, 9.5, "TLS"),
+            LoopSpec("sicdkd_do1000", 0.026, 1.3, "FI O(1)"),
+        ],
+        techniques_paper=["PRIV", "SRED", "SLV"],
+        dataset=dataset,
+        paper_norm_time=0.62,
+    )
+
+
+def _ocean() -> BenchmarkSpec:
+    source = """
+program ocean
+param NN, OFF1, OFF2
+array X(16384), CS(8192)
+
+main
+  do i = 1, NN @ ftrvmt_do109
+    X[2*i + OFF1] = X[2*i + OFF2] + 1
+  end
+  do i = 1, NN @ csr_do20
+    CS[i] = X[i] * 2
+  end
+  do i = 1, NN @ scsc_do30
+    CS[i] = CS[i] + X[i+1]
+  end
+  do i = 1, NN @ rcs_do20
+    X[i] = CS[i] - 1
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        nn = 40 * scale
+        return (
+            {"NN": nn, "OFF1": 0, "OFF2": 1},
+            {"X": [i % 11 for i in range(1, 16385)]},
+        )
+
+    return BenchmarkSpec(
+        name="ocean",
+        suite="perfect",
+        sc=0.65,
+        scrt=0.45,
+        rtov_paper=0.001,
+        source=source,
+        loops=[
+            LoopSpec("ftrvmt_do109", 0.454, 0.01, "FI O(1)"),
+            LoopSpec("csr_do20", 0.052, 0.04, "STATIC-PAR"),
+            LoopSpec("scsc_do30", 0.038, 0.03, "STATIC-PAR"),
+            LoopSpec("rcs_do20", 0.018, 0.04, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SLV", "MON"],
+        dataset=dataset,
+        paper_norm_time=1.92,
+    )
+
+
+def _qcd() -> BenchmarkSpec:
+    source = """
+program qcd
+param N, SEED, K1, K2
+array U(8192), PSI(8192)
+
+main
+  s = SEED
+  do i = 1, N @ update_do1
+    s = s * 5 + 1
+    U[i] = s
+  end
+  t = SEED
+  do i = 1, N @ update_do2
+    t = t * 3 + U[i]
+    PSI[i] = t
+  end
+  do i = 1, N @ init_do2
+    PSI[K1 + i] = U[i] + 1
+    PSI[K2 + i] = U[i] - 1
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 48 * scale
+        return ({"N": n, "SEED": 1, "K1": 0, "K2": 4096}, {})
+
+    return BenchmarkSpec(
+        name="qcd",
+        suite="perfect",
+        sc=0.99,
+        scrt=0.01,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("update_do1", 0.319, 22.0, "STATIC-SEQ", paper_parallel=False),
+            LoopSpec("update_do2", 0.316, 22.0, "STATIC-SEQ", paper_parallel=False),
+            LoopSpec("init_do2", 0.01, 1.5, "OI O(1)"),
+        ],
+        techniques_paper=[],
+        dataset=dataset,
+        paper_norm_time=1.05,
+    )
+
+
+PERFECT_CLUB: list[BenchmarkSpec] = [
+    _flo52(),
+    _bdna(),
+    _arc2d(),
+    _dyfesm(),
+    _mdg(),
+    _trfd(),
+    _track(),
+    _spec77(),
+    _ocean(),
+    _qcd(),
+]

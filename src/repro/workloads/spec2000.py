@@ -1,0 +1,524 @@
+"""SPEC2000/SPEC2006 benchmark models (Table 3 of the paper)."""
+
+from __future__ import annotations
+
+from .base import BenchmarkSpec, Dataset, LoopSpec
+
+__all__ = ["SPEC2000"]
+
+
+def _wupwise() -> BenchmarkSpec:
+    source = """
+program wupwise
+param N, OFFE, OFFO, LDU
+array U(16384), RESULT(16384)
+
+subroutine zgemm(R[], U[], OFF, N)
+  do j = 1, 4
+    R[OFF + j] = U[OFF + j] * 2 + j
+  end
+end
+
+main
+  do i = 1, N @ muldeo_do100
+    call zgemm(RESULT[], U[], OFFE + (i-1)*LDU, N)
+  end
+  do i = 1, N @ muldeo_do200
+    call zgemm(RESULT[], U[], OFFO + (i-1)*LDU, N)
+  end
+  do i = 1, N @ muldoe_do100
+    RESULT[OFFE + (i-1)*LDU + 5] = U[OFFE + (i-1)*LDU + 5] + 1
+  end
+  do i = 1, N @ muldoe_do200
+    RESULT[OFFO + (i-1)*LDU + 5] = U[OFFO + (i-1)*LDU + 5] + 2
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 32 * scale
+        return (
+            {"N": n, "OFFE": 0, "OFFO": 8192, "LDU": 8},
+            {"U": [i % 9 for i in range(1, 16385)]},
+        )
+
+    return BenchmarkSpec(
+        name="wupwise",
+        suite="spec2000",
+        sc=0.93,
+        scrt=0.93,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("muldeo_do100", 0.206, 206.0, "F/OI O(1)"),
+            LoopSpec("muldeo_do200", 0.258, 258.0, "F/OI O(1)"),
+            LoopSpec("muldoe_do100", 0.207, 207.0, "F/OI O(1)"),
+            LoopSpec("muldoe_do200", 0.259, 259.0, "F/OI O(1)"),
+        ],
+        techniques_paper=["PRIV", "RRED", "SLV"],
+        dataset=dataset,
+        paper_norm_time=0.20,
+        paper_speedup16=5.83,
+    )
+
+
+def _apsi() -> BenchmarkSpec:
+    source = """
+program apsi
+param N, NZ
+array T(16384), H(16384), IDZ(4096), W(16384)
+
+main
+  do i = 1, N @ run_do20
+    do j = 1, 4
+      T[IDZ[i] + j] = H[8192 + IDZ[i] + j] + j
+    end
+  end
+  do i = 1, N @ wcont_do40
+    W[i] = T[i] * 2
+  end
+  do i = 1, N @ dvdtz_do40
+    do j = 1, 4
+      W[8192 + (i-1)*4 + j] = T[(i-1)*4 + j] + H[j]
+    end
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 24 * scale
+        # Scrambled but collision-free: the monotonicity predicate fails
+        # at runtime, leaving the hoisted exact USR evaluation (the
+        # paper's HOIST-USR classification for RUN_DO20).
+        idz = [4 * ((i * 19) % 4096) for i in range(1, 4097)]
+        return (
+            {"N": n, "NZ": 16},
+            {"IDZ": idz, "H": [i % 6 for i in range(1, 16385)]},
+        )
+
+    return BenchmarkSpec(
+        name="apsi",
+        suite="spec2000",
+        sc=0.99,
+        scrt=0.28,
+        rtov_paper=0.002,
+        source=source,
+        loops=[
+            LoopSpec("run_do20", 0.176, 176.0, "FI HOIST-USR"),
+            LoopSpec("wcont_do40", 0.110, 330.0, "STATIC-PAR"),
+            LoopSpec("dvdtz_do40", 0.103, 314.0, "STATIC-PAR"),
+        ],
+        techniques_paper=["HOIST-USR", "PRIV", "SRED", "SLV"],
+        dataset=dataset,
+        paper_norm_time=0.13,
+        paper_speedup16=12.64,
+    )
+
+
+def _applu() -> BenchmarkSpec:
+    source = """
+program applu
+param N
+array V(8448), D(8448), JAC(8448)
+
+main
+  t = 0
+  do i = 1, N @ blts_do10
+    t = t * 2 + V[i]
+    D[i] = t
+  end
+  u = 0
+  do i = 1, N @ buts_do1
+    u = u * 3 + D[i]
+    V[i] = u
+  end
+  do i = 1, N @ jacld_do1
+    JAC[i] = V[i] + D[i]
+  end
+  do i = 1, N @ jacu_do1
+    JAC[i] = JAC[i] * 2
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 64 * scale
+        return ({"N": n}, {"V": [i % 5 for i in range(1, 8449)]})
+
+    return BenchmarkSpec(
+        name="applu",
+        suite="spec2000",
+        sc=0.98,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("blts_do10", 0.284, 119.0, "STATIC-SEQ", paper_parallel=False),
+            LoopSpec("buts_do1", 0.281, 117.0, "STATIC-SEQ", paper_parallel=False),
+            LoopSpec("jacld_do1", 0.141, 59.0, "STATIC-PAR"),
+            LoopSpec("jacu_do1", 0.100, 314.0, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SRED", "RRED", "SLV"],
+        dataset=dataset,
+        paper_norm_time=0.65,
+        paper_speedup16=1.57,
+    )
+
+
+def _mgrid() -> BenchmarkSpec:
+    source = """
+program mgrid
+param N
+array U(8448), R(8448), Z(8448)
+
+main
+  do i = 1, N @ resid_do600
+    R[i] = U[i] - Z[i] + U[i+1]
+  end
+  do i = 1, N @ psinv_do600
+    Z[i] = R[i] * 2 + R[i+1]
+  end
+  do i = 1, N @ interp_do800
+    U[i] = Z[i] + R[i]
+  end
+  do i = 1, N @ rprj3_do100
+    R[i] = R[i] + 1
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 64 * scale
+        return (
+            {"N": n},
+            {"U": [i % 7 for i in range(1, 8449)],
+             "Z": [i % 4 for i in range(1, 8449)]},
+        )
+
+    return BenchmarkSpec(
+        name="mgrid",
+        suite="spec2000",
+        sc=1.0,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("resid_do600", 0.515, 42.0, "STATIC-PAR"),
+            LoopSpec("psinv_do600", 0.289, 7.0, "STATIC-PAR"),
+            LoopSpec("interp_do800", 0.049, 2.0, "STATIC-PAR"),
+            LoopSpec("rprj3_do100", 0.045, 2.0, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV"],
+        dataset=dataset,
+        paper_norm_time=0.14,
+        paper_speedup16=8.95,
+    )
+
+
+def _swim() -> BenchmarkSpec:
+    source = """
+program swim
+param N
+array U(8448), V(8448), P(8448), CU(8448), CV(8448)
+
+main
+  do i = 1, N @ shalow_do3500
+    CU[i] = U[i] + P[i]
+  end
+  do i = 1, N @ calc2_do200
+    CV[i] = V[i] - P[i+1]
+  end
+  do i = 1, N @ calc1_do100
+    P[i] = CU[i] + CV[i]
+  end
+  do i = 1, N @ calc3_do300
+    U[i] = CU[i] * 2
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 64 * scale
+        return (
+            {"N": n},
+            {"U": [i % 3 for i in range(1, 8449)],
+             "V": [i % 5 for i in range(1, 8449)],
+             "P": [i % 7 for i in range(1, 8449)]},
+        )
+
+    return BenchmarkSpec(
+        name="swim",
+        suite="spec2000",
+        sc=1.0,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("shalow_do3500", 0.448, 116.0, "STATIC-PAR"),
+            LoopSpec("calc2_do200", 0.205, 53.0, "STATIC-PAR"),
+            LoopSpec("calc1_do100", 0.180, 47.0, "STATIC-PAR"),
+            LoopSpec("calc3_do300", 0.154, 40.0, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SRED"],
+        dataset=dataset,
+        paper_norm_time=0.12,
+        paper_speedup16=11.21,
+    )
+
+
+def _bwaves() -> BenchmarkSpec:
+    source = """
+program bwaves
+param N
+array Q(8448), FLUX(8448), RHS(8448)
+
+main
+  do i = 1, N @ matvec_do1
+    RHS[i] = Q[i] * 3 + Q[i+1]
+  end
+  do i = 1, N @ flux_do2
+    FLUX[i] = RHS[i] - Q[i]
+  end
+  do i = 1, N @ shell_do5
+    Q[i] = FLUX[i] + RHS[i]
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 64 * scale
+        return ({"N": n}, {"Q": [i % 9 for i in range(1, 8449)]})
+
+    return BenchmarkSpec(
+        name="bwaves",
+        suite="spec2000",
+        sc=1.0,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("matvec_do1", 0.751, 206.0, "STATIC-PAR"),
+            LoopSpec("flux_do2", 0.058, 236.0, "STATIC-PAR"),
+            LoopSpec("shell_do5", 0.042, 509.0, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SLV", "SRED"],
+        dataset=dataset,
+        paper_norm_time=0.14,
+        paper_speedup16=13.07,
+    )
+
+
+def _zeusmp() -> BenchmarkSpec:
+    source = """
+program zeusmp
+param KN, JJ, M, jbeg, js, K1, K2
+array D(32768), E(32768), HS(8448)
+
+main
+  do i = 1, KN @ hsmoc_do360
+    HS[i] = HS[i] + i
+  end
+  do k = 1, KN @ tranx2_do2100
+    if jbeg == js then
+      do j = 1, JJ
+        D[(k-1)*400 + j] = E[(k-1)*400 + j] + 2
+      end
+    else
+      do j = 1, JJ
+        D[(k-1)*400 + j] = D[(k-1)*400 + j + M] + 1
+      end
+    end
+  end
+  do k = 1, KN @ momx3_do3000
+    E[k] = D[k] * 2
+  end
+  do k = 1, KN @ tranx1_do100
+    E[K1 + k] = D[k] + 1
+    E[K2 + k] = D[k] + 2
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        kn = 16 * scale
+        return (
+            # jbeg == js satisfies the first disjunct of the UMEG-derived
+            # predicate (the paper's own success case for TRANX2_DO2100).
+            {"KN": kn, "JJ": 100, "M": 200, "jbeg": 5, "js": 5,
+             "K1": 8192, "K2": 12288},
+            {"D": [i % 6 for i in range(1, 32769)]},
+        )
+
+    return BenchmarkSpec(
+        name="zeusmp",
+        suite="spec2000",
+        sc=0.99,
+        scrt=0.10,
+        rtov_paper=0.0001,
+        source=source,
+        loops=[
+            LoopSpec("hsmoc_do360", 0.103, 783.0, "STATIC-PAR"),
+            LoopSpec("momx3_do3000", 0.051, 13.0, "STATIC-PAR"),
+            LoopSpec("tranx2_do2100", 0.076, 24.0, "F/OI O(1)"),
+            LoopSpec("tranx1_do100", 0.024, 26.0, "OI O(1)"),
+        ],
+        techniques_paper=["PRIV", "SLV", "UMEG"],
+        dataset=dataset,
+        paper_norm_time=0.16,
+        paper_speedup16=9.29,
+    )
+
+
+def _gromacs() -> BenchmarkSpec:
+    source = """
+program gromacs
+param NRI, FSIZE
+array F(FSIZE), SHIFT(4096), X(8192), W(64)
+
+main
+  do n = 1, NRI @ inl1130_do1
+    do j = 1, 12
+      W[j] = X[n] * j + X[n + j]
+    end
+    F[3*SHIFT[n] + 1] = F[3*SHIFT[n] + 1] + W[1]
+    F[3*SHIFT[n] + 2] = F[3*SHIFT[n] + 2] + W[2]
+    F[3*SHIFT[n] + 3] = F[3*SHIFT[n] + 3] + W[3]
+  end
+  do n = 1, NRI @ inl1100_do1
+    F[3*SHIFT[n] + 1] = F[3*SHIFT[n] + 1] + X[n] * 2
+  end
+  do n = 1, NRI @ inl1000_do1
+    F[3*SHIFT[n] + 2] = F[3*SHIFT[n] + 2] + X[n] * 3
+  end
+  do n = 1, NRI @ inl0100_do1
+    F[3*SHIFT[n] + 3] = F[3*SHIFT[n] + 3] + X[n] * 4
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        nri = 48 * scale
+        # Non-monotone targets: the RRED monotonicity predicate fails and
+        # the loop runs as a parallel reduction with BOUNDS-COMP, the
+        # paper's treatment for gromacs.
+        shift = [((i * 389) % 1000) for i in range(4096)]
+        return (
+            {"NRI": nri, "FSIZE": 4096},
+            {"SHIFT": shift, "X": [i % 5 for i in range(1, 8193)]},
+        )
+
+    return BenchmarkSpec(
+        name="gromacs",
+        suite="spec2000",
+        sc=0.90,
+        scrt=0.90,
+        rtov_paper=0.034,
+        source=source,
+        loops=[
+            LoopSpec("inl1130_do1", 0.848, 33.0, "BOUNDS-COMP"),
+            LoopSpec("inl1100_do1", 0.022, 5.0, "BOUNDS-COMP"),
+            LoopSpec("inl1000_do1", 0.019, 4.0, "BOUNDS-COMP"),
+            LoopSpec("inl0100_do1", 0.008, 1.0, "BOUNDS-COMP"),
+        ],
+        techniques_paper=["PRIV", "RRED", "BOUNDS-COMP"],
+        dataset=dataset,
+        paper_norm_time=0.18,
+        paper_speedup16=9.45,
+    )
+
+
+def _calculix() -> BenchmarkSpec:
+    source = """
+program calculix
+param NL, NS
+array AUB(16384), IROW(4096), B(16384), JQ(4096), IA(4096)
+
+main
+  do i = 1, NL @ mafillsm_do7
+    do j = 1, 4
+      AUB[IROW[i] + j] = AUB[IROW[i] + j] + i + j
+    end
+    do j = 1, IA[i]
+      B[JQ[i] + j] = B[JQ[i] + j] + NS
+    end
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        nl = 32 * scale
+        irow = [((i * 389) % 500) for i in range(4096)]
+        ia = [3] * 4096
+        jq = [3 * (i - 1) for i in range(1, 4097)]
+        return (
+            {"NL": nl, "NS": 2},
+            {"IROW": irow, "IA": ia, "JQ": jq},
+        )
+
+    return BenchmarkSpec(
+        name="calculix",
+        suite="spec2000",
+        sc=0.74,
+        scrt=0.74,
+        rtov_paper=0.085,
+        source=source,
+        loops=[
+            LoopSpec("mafillsm_do7", 0.737, 14000.0, "BOUNDS-COMP"),
+        ],
+        techniques_paper=["SRED", "PRIV", "UMEG", "BOUNDS-COMP"],
+        dataset=dataset,
+        paper_norm_time=0.24,
+        paper_speedup16=8.06,
+    )
+
+
+def _gamess() -> BenchmarkSpec:
+    source = """
+program gamess
+param N
+array FOCK(8192), DEN(8192)
+
+main
+  do i = 1, N @ dirfck_do300
+    FOCK[i] = DEN[i] * 2 + DEN[i+1]
+  end
+  do i = 1, N @ genr70_do170
+    DEN[i] = FOCK[i] + 1
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 32 * scale
+        return ({"N": n}, {"DEN": [i % 5 for i in range(1, 8193)]})
+
+    return BenchmarkSpec(
+        name="gamess",
+        suite="spec2000",
+        sc=0.32,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("dirfck_do300", 0.18, 0.04, "STATIC-PAR"),
+            LoopSpec("genr70_do170", 0.144, 0.03, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "RRED"],
+        dataset=dataset,
+        paper_norm_time=None,
+        paper_speedup16=None,
+    )
+
+
+SPEC2000: list[BenchmarkSpec] = [
+    _wupwise(),
+    _apsi(),
+    _applu(),
+    _mgrid(),
+    _swim(),
+    _bwaves(),
+    _zeusmp(),
+    _gromacs(),
+    _calculix(),
+    _gamess(),
+]

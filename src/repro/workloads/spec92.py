@@ -1,0 +1,351 @@
+"""SPEC89/SPEC92 benchmark models (Table 2 of the paper)."""
+
+from __future__ import annotations
+
+from .base import BenchmarkSpec, Dataset, LoopSpec
+
+__all__ = ["SPEC92"]
+
+
+def _matrix300() -> BenchmarkSpec:
+    source = """
+program matrix300
+param N, LDA, LDB, LDC
+array A(8192), B(8192), C(16384)
+
+main
+  do i = 1, N @ sgemm_do160
+    do j = 1, 8
+      C[(i-1)*8 + j] = A[(i-1)*8 + j] * B[j]
+    end
+  end
+  do i = 1, N @ sgemm_do120
+    do j = 1, 8
+      C[8192 + (i-1)*8 + j] = A[(i-1)*8 + j] + B[j]
+    end
+  end
+  do i = 1, N @ sgemm_do20
+    C[LDA + i] = A[i] * 2
+    C[LDB + i] = A[i] * 3
+  end
+  do i = 1, N @ sgemm_do60
+    C[LDA + 2*i] = B[i] + 1
+    C[LDC + 2*i] = B[i] + 2
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 40 * scale
+        return (
+            # LDC differs from LDA in parity: the interleaved-access
+            # (gcd) O(1) predicate disambiguates sgemm_do60.
+            {"N": n, "LDA": 0, "LDB": 8192, "LDC": 1},
+            {"A": [i % 5 for i in range(1, 8193)],
+             "B": [i % 7 for i in range(1, 8193)]},
+        )
+
+    return BenchmarkSpec(
+        name="matrix300",
+        suite="spec92",
+        sc=1.0,
+        scrt=0.26,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("sgemm_do160", 0.302, 160.0, "STATIC-PAR"),
+            LoopSpec("sgemm_do120", 0.300, 159.0, "STATIC-PAR"),
+            LoopSpec("sgemm_do20", 0.128, 34.0, "OI O(1)"),
+            LoopSpec("sgemm_do60", 0.128, 34.0, "OI O(1)"),
+        ],
+        techniques_paper=["PRIV", "RRED"],
+        dataset=dataset,
+        paper_norm_time=0.28,
+    )
+
+
+def _swm256() -> BenchmarkSpec:
+    source = """
+program swm256
+param N
+array U(8448), V(8448), P(8448), UNEW(8448), VNEW(8448), PNEW(8448)
+
+main
+  do i = 1, N @ calc1_do100
+    UNEW[i] = U[i] + P[i+1] - P[i]
+  end
+  do i = 1, N @ calc2_do200
+    VNEW[i] = V[i] - P[i+1] + P[i]
+  end
+  do i = 1, N @ calc3_do300
+    PNEW[i] = P[i] + UNEW[i] - VNEW[i]
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 64 * scale
+        return (
+            {"N": n},
+            {"U": [i % 4 for i in range(1, 8449)],
+             "V": [i % 6 for i in range(1, 8449)],
+             "P": [i % 9 for i in range(1, 8449)]},
+        )
+
+    return BenchmarkSpec(
+        name="swm256",
+        suite="spec92",
+        sc=0.99,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("calc2_do200", 0.406, 0.7, "STATIC-PAR"),
+            LoopSpec("calc3_do300", 0.297, 0.5, "STATIC-PAR"),
+            LoopSpec("calc1_do100", 0.278, 0.5, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SRED"],
+        dataset=dataset,
+        paper_norm_time=0.22,
+    )
+
+
+def _ora() -> BenchmarkSpec:
+    source = """
+program ora
+param N
+array RAYS(8192), IMG(8192), T(64)
+
+main
+  do i = 1, N @ main_do9999
+    do j = 1, 8
+      T[j] = RAYS[(i-1)*8 + j] * j
+    end
+    do j = 1, 8
+      IMG[(i-1)*8 + j] = T[j] + T[1]
+    end
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 48 * scale
+        return ({"N": n}, {"RAYS": [i % 11 for i in range(1, 8193)]})
+
+    return BenchmarkSpec(
+        name="ora",
+        suite="spec92",
+        sc=1.0,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[LoopSpec("main_do9999", 0.999, 999.0, "STATIC-PAR")],
+        techniques_paper=["PRIV", "SLV", "SRED"],
+        dataset=dataset,
+        paper_norm_time=0.25,
+    )
+
+
+def _nasa7() -> BenchmarkSpec:
+    source = """
+program nasa7
+param N, LDW, LDR
+array PSI(16384), NWALL(4096), WORK(16384), EM(16384)
+
+subroutine fill(W[], base, i)
+  W[base + i] = i * 2
+end
+
+main
+  do i = 1, N @ gmttst_do120
+    call fill(EM[], LDW, i)
+    EM[LDR + i] = EM[LDW + i] + 1
+  end
+  civ = 0
+  do i = 1, N @ emit_do5
+    do j = 1, NWALL[i]
+      PSI[civ + j] = i + j
+    end
+    civ = civ + NWALL[i]
+  end
+  do i = 1, N @ btrtst_do120
+    EM[8192 + i] = EM[i] * 2
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 10 * scale
+        nwall = [3] * 4096
+        return (
+            {"N": n, "LDW": 0, "LDR": 8192},
+            {"NWALL": nwall},
+        )
+
+    return BenchmarkSpec(
+        name="nasa7",
+        suite="spec92",
+        sc=0.90,
+        scrt=0.436,
+        rtov_paper=0.0003,
+        source=source,
+        loops=[
+            LoopSpec("gmttst_do120", 0.211, 980.0, "FI O(1)"),
+            LoopSpec("emit_do5", 0.132, 61.0, "SLV O(N)"),
+            LoopSpec("btrtst_do120", 0.094, 436.0, "FI O(1)"),
+        ],
+        techniques_paper=["PRIV", "SLV", "SRED", "CIVagg", "CIV-COMP"],
+        dataset=dataset,
+        paper_norm_time=0.40,
+    )
+
+
+def _tomcatv() -> BenchmarkSpec:
+    source = """
+program tomcatv
+param N
+array X(8448), Y(8448), RX(8448), RY(8448)
+
+main
+  do i = 1, N @ main_do60
+    RX[i] = X[i+1] - X[i]
+    RY[i] = Y[i+1] - Y[i]
+  end
+  do i = 1, N @ main_do100
+    X[i] = X[i] + RX[i]
+  end
+  do i = 1, N @ main_do120
+    Y[i] = Y[i] + RY[i]
+  end
+  do i = 1, N @ main_do80
+    RX[i] = RX[i] * 2
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 64 * scale
+        return (
+            {"N": n},
+            {"X": [i % 13 for i in range(1, 8449)],
+             "Y": [i % 5 for i in range(1, 8449)]},
+        )
+
+    return BenchmarkSpec(
+        name="tomcatv",
+        suite="spec92",
+        sc=1.0,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("main_do60", 0.378, 7.0, "STATIC-PAR"),
+            LoopSpec("main_do100", 0.266, 0.01, "STATIC-PAR"),
+            LoopSpec("main_do120", 0.109, 0.01, "STATIC-PAR"),
+            LoopSpec("main_do80", 0.108, 2.0, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SLV", "SRED"],
+        dataset=dataset,
+        paper_norm_time=0.99,
+    )
+
+
+def _mdljdp2() -> BenchmarkSpec:
+    source = """
+program mdljdp2
+param N
+array XF(8192), VF(8192), EK(64)
+
+main
+  do i = 1, N @ frcuse_do20
+    XF[i] = VF[i] * 2 + VF[i+1]
+  end
+  do i = 1, N @ postfr_do20
+    VF[i] = VF[i] + XF[i]
+  end
+  do i = 1, N @ prefor_do60
+    XF[i] = XF[i] * 3
+  end
+  do i = 1, N @ postfr_do60
+    EK[1] = EK[1] + VF[i]
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 56 * scale
+        return ({"N": n}, {"VF": [i % 7 for i in range(1, 8193)]})
+
+    return BenchmarkSpec(
+        name="mdljdp2",
+        suite="spec92",
+        sc=0.87,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("frcuse_do20", 0.824, 0.9, "STATIC-PAR"),
+            LoopSpec("postfr_do20", 0.016, 0.02, "STATIC-PAR"),
+            LoopSpec("prefor_do60", 0.015, 0.02, "STATIC-PAR"),
+            LoopSpec("postfr_do60", 0.011, 0.01, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV", "SRED", "RRED"],
+        dataset=dataset,
+        paper_norm_time=0.69,
+    )
+
+
+def _hydro2d() -> BenchmarkSpec:
+    source = """
+program hydro2d
+param N
+array RO(8448), EN(8448), ZA(8448)
+
+main
+  do i = 1, N @ tistep_do400
+    ZA[i] = RO[i] + EN[i]
+  end
+  do i = 1, N @ filter_do300
+    RO[i] = ZA[i] * 2 - ZA[i+1]
+  end
+  do i = 1, N @ t1_do10
+    EN[i] = ZA[i] + RO[i]
+  end
+end
+"""
+
+    def dataset(scale: int) -> Dataset:
+        n = 64 * scale
+        return (
+            {"N": n},
+            {"RO": [i % 3 for i in range(1, 8449)],
+             "EN": [i % 8 for i in range(1, 8449)]},
+        )
+
+    return BenchmarkSpec(
+        name="hydro2d",
+        suite="spec92",
+        sc=0.92,
+        scrt=0.0,
+        rtov_paper=0.0,
+        source=source,
+        loops=[
+            LoopSpec("tistep_do400", 0.176, 1.2, "STATIC-PAR"),
+            LoopSpec("filter_do300", 0.142, 0.1, "STATIC-PAR"),
+            LoopSpec("t1_do10", 0.075, 0.07, "STATIC-PAR"),
+        ],
+        techniques_paper=["PRIV"],
+        dataset=dataset,
+        paper_norm_time=0.62,
+    )
+
+
+SPEC92: list[BenchmarkSpec] = [
+    _matrix300(),
+    _swm256(),
+    _ora(),
+    _nasa7(),
+    _tomcatv(),
+    _mdljdp2(),
+    _hydro2d(),
+]

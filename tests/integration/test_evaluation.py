@@ -1,0 +1,71 @@
+"""End-to-end tests for the evaluation harness and its CLI."""
+
+import pytest
+
+from repro.evaluation import (
+    format_figure,
+    format_table,
+    generate_figure,
+    generate_table,
+)
+from repro.evaluation.cli import main
+from repro.evaluation.model import measure_benchmark
+from repro.workloads import get_benchmark
+
+
+class TestMeasurementModel:
+    def test_hybrid_vs_baseline_on_runtime_bench(self):
+        spec = get_benchmark("wupwise")
+        hybrid = measure_benchmark(spec, system="hybrid")
+        base = measure_benchmark(spec, system="baseline")
+        assert hybrid.norm_time(8) < base.norm_time(8)
+        # The baseline runs everything sequentially here.
+        assert base.norm_time(8) == pytest.approx(1.0, abs=0.05)
+
+    def test_norm_time_bounded_by_amdahl(self):
+        spec = get_benchmark("mgrid")
+        m = measure_benchmark(spec, system="hybrid")
+        # Cannot beat perfect speedup of the covered fraction.
+        assert m.norm_time(8) >= (1.0 - spec.sc)
+
+    def test_speedup_inverse_of_norm(self):
+        spec = get_benchmark("swim")
+        m = measure_benchmark(spec, system="hybrid")
+        assert m.speedup(4) == pytest.approx(1.0 / m.norm_time(4))
+
+    def test_bad_system_rejected(self):
+        with pytest.raises(ValueError):
+            measure_benchmark(get_benchmark("swim"), system="magic")
+
+
+class TestFormatting:
+    def test_table_format_contains_rows(self):
+        report = generate_table("spec92")
+        text = format_table(report)
+        assert "matrix300" in text and "PAPER" in text and "RTov" in text
+
+    def test_figure_format(self):
+        series = generate_figure("fig11")
+        text = format_figure(series)
+        assert "nasa7" in text and "baseline" in text
+
+    def test_scalability_format(self):
+        series = generate_figure("fig13")
+        text = format_figure(series)
+        assert "16p" in text and "paper@16" in text
+
+
+class TestCli:
+    def test_single_artifact(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "tomcatv" in out
+
+    def test_table(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "spec92" in out
+
+    def test_bad_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])

@@ -1,0 +1,93 @@
+"""Integration tests: every benchmark loop analyzes compatibly with the
+paper's Tables 1-3 and executes correctly under the hybrid runtime."""
+
+import pytest
+
+from repro.core import HybridAnalyzer
+from repro.evaluation import classification_compatible
+from repro.evaluation.model import measure_benchmark
+from repro.runtime import HybridExecutor, Inspector
+from repro.workloads import ALL_BENCHMARKS, TLS_LOOPS
+
+_CASES = [
+    (spec, loop) for spec in ALL_BENCHMARKS for loop in spec.loops
+]
+_IDS = [f"{spec.name}:{loop.label}" for spec, loop in _CASES]
+
+_ANALYZERS: dict = {}
+_MEASUREMENTS: dict = {}
+
+
+def _analyzer(spec):
+    if spec.name not in _ANALYZERS:
+        _ANALYZERS[spec.name] = HybridAnalyzer(spec.program)
+    return _ANALYZERS[spec.name]
+
+
+def _measurement(spec):
+    if spec.name not in _MEASUREMENTS:
+        _MEASUREMENTS[spec.name] = measure_benchmark(spec, system="hybrid")
+    return _MEASUREMENTS[spec.name]
+
+
+@pytest.mark.parametrize("spec,loop", _CASES, ids=_IDS)
+def test_execution_correct(spec, loop):
+    """Ground truth: whatever the runtime decides, the final memory must
+    equal the sequential result."""
+    m = _measurement(spec).loops[loop.label]
+    assert m.correct
+
+
+@pytest.mark.parametrize("spec,loop", _CASES, ids=_IDS)
+def test_parallelization_matches_paper(spec, loop):
+    """The loop parallelizes exactly when the paper's system did."""
+    m = _measurement(spec).loops[loop.label]
+    assert m.parallel == loop.paper_parallel
+
+
+@pytest.mark.parametrize("spec,loop", _CASES, ids=_IDS)
+def test_classification_compatible(spec, loop):
+    """The runtime-refined classification is consistent with the table."""
+    m = _measurement(spec).loops[loop.label]
+    assert classification_compatible(m.runtime_label, loop.paper_class), (
+        f"{spec.name}:{loop.label}: measured {m.runtime_label!r} vs "
+        f"paper {loop.paper_class!r}"
+    )
+
+
+@pytest.mark.parametrize(
+    "spec", ALL_BENCHMARKS, ids=[s.name for s in ALL_BENCHMARKS]
+)
+def test_benchmark_coverage_sane(spec):
+    assert 0 < spec.sc <= 1.0
+    # The paper's own LSC columns overshoot SC by up to a few percent
+    # (rounding); norm_time clamps internally.
+    assert spec.measured_coverage() <= spec.sc + 0.05
+
+
+def test_tls_loops_use_speculation():
+    from repro.workloads import get_benchmark
+
+    for name, label in (("track", "nlfilt_do300"), ("spec77", "gwater_do190")):
+        spec = get_benchmark(name)
+        m = _measurement(spec).loops[label]
+        assert m.runtime_label == "TLS"
+
+
+def test_hoist_usr_loops_use_inspector():
+    from repro.workloads import get_benchmark
+
+    spec = get_benchmark("apsi")
+    m = _measurement(spec).loops["run_do20"]
+    assert m.runtime_label in ("HOIST-USR",) or m.runtime_label.startswith("OI")
+
+
+def test_scale_2_still_correct():
+    """A larger dataset keeps every decision correct (spot check)."""
+    from repro.workloads import get_benchmark
+
+    for name in ("dyfesm", "track", "gromacs"):
+        spec = get_benchmark(name)
+        m = measure_benchmark(spec, system="hybrid", scale=2)
+        for label, lm in m.loops.items():
+            assert lm.correct, f"{name}:{label} incorrect at scale 2"

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The single most important property of the whole system is FACTOR's
+sufficiency: whenever the extracted predicate evaluates true, the USR it
+was derived from denotes the empty set.  We exercise it over randomly
+generated USR trees and environments, alongside algebraic laws of the
+expression language and soundness of the LMAD comparisons.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import factor
+from repro.lmad import LMAD, disjoint_lmads, included_lmads
+from repro.symbolic import as_expr, sym
+from repro.usr import (
+    usr_gate,
+    usr_intersect,
+    usr_leaf,
+    usr_recurrence,
+    usr_subtract,
+    usr_union,
+)
+
+# -- expression ring laws -----------------------------------------------------
+
+names = st.sampled_from(["x", "y", "z"])
+
+
+@st.composite
+def exprs(draw, depth=2):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return as_expr(draw(st.integers(-5, 5)))
+        return sym(draw(names))
+    op = draw(st.integers(0, 2))
+    a = draw(exprs(depth=depth - 1))
+    b = draw(exprs(depth=depth - 1))
+    return a + b if op == 0 else (a - b if op == 1 else a * b)
+
+
+envs = st.fixed_dictionaries(
+    {"x": st.integers(-7, 7), "y": st.integers(-7, 7), "z": st.integers(-7, 7)}
+)
+
+
+@given(exprs(), exprs(), envs)
+@settings(max_examples=80, deadline=None)
+def test_expr_addition_commutes(a, b, env):
+    assert (a + b).evaluate(env) == (b + a).evaluate(env)
+    assert (a + b) == (b + a)
+
+
+@given(exprs(), exprs(), exprs(), envs)
+@settings(max_examples=60, deadline=None)
+def test_expr_distributivity(a, b, c, env):
+    lhs = a * (b + c)
+    rhs = a * b + a * c
+    assert lhs == rhs
+    assert lhs.evaluate(env) == rhs.evaluate(env)
+
+
+@given(exprs(), envs)
+@settings(max_examples=60, deadline=None)
+def test_expr_eval_matches_substitution(a, env):
+    """Substituting constants then evaluating equals direct evaluation."""
+    subbed = a.substitute({k: as_expr(v) for k, v in env.items()})
+    assert subbed.is_constant()
+    assert subbed.constant_value() == a.evaluate(env)
+
+
+# -- LMAD comparison soundness -------------------------------------------------
+
+
+@st.composite
+def small_lmads(draw):
+    base = draw(st.integers(0, 12))
+    ndims = draw(st.integers(0, 2))
+    strides, spans = [], []
+    for _ in range(ndims):
+        d = draw(st.integers(1, 4))
+        count = draw(st.integers(1, 4))
+        strides.append(d)
+        spans.append(d * (count - 1))
+    return LMAD(strides, spans, base)
+
+
+@given(small_lmads(), small_lmads())
+@settings(max_examples=150, deadline=None)
+def test_disjoint_predicate_sound(a, b):
+    if disjoint_lmads(a, b).evaluate({}):
+        assert not (a.enumerate({}) & b.enumerate({}))
+
+
+@given(small_lmads(), small_lmads())
+@settings(max_examples=150, deadline=None)
+def test_included_predicate_sound(a, b):
+    if included_lmads(a, b).evaluate({}):
+        assert a.enumerate({}) <= b.enumerate({})
+
+
+@given(small_lmads())
+@settings(max_examples=60, deadline=None)
+def test_dense_interval_sound(a):
+    from repro.lmad import dense_interval
+
+    span = dense_interval(a)
+    if span is not None:
+        lo, hi = span
+        concrete = a.enumerate({})
+        assert concrete == set(range(lo.evaluate({}), hi.evaluate({}) + 1))
+
+
+# -- USR evaluation vs set semantics -------------------------------------------
+
+
+@st.composite
+def small_usrs(draw, depth=2):
+    from repro.symbolic import cmp_ge
+
+    if depth == 0:
+        lo = draw(st.integers(0, 8))
+        size = draw(st.integers(-1, 6))
+        from repro.lmad import interval
+
+        return usr_leaf(interval(lo, lo + size))
+    kind = draw(st.integers(0, 4))
+    a = draw(small_usrs(depth=depth - 1))
+    b = draw(small_usrs(depth=depth - 1))
+    if kind == 0:
+        return usr_union(a, b)
+    if kind == 1:
+        return usr_intersect(a, b)
+    if kind == 2:
+        return usr_subtract(a, b)
+    if kind == 3:
+        return usr_gate(cmp_ge(sym("g"), draw(st.integers(0, 2))), a)
+    lo = draw(st.integers(1, 2))
+    hi = draw(st.integers(2, 4))
+    shift = draw(st.integers(0, 3))
+    shifted = a.substitute({})  # keep a as-is; offset via leaf below
+    from repro.lmad import point
+
+    body = usr_union(a, usr_leaf(point(sym("i") * shift)))
+    return usr_recurrence("i", lo, hi, body)
+
+
+@given(small_usrs(), st.integers(0, 2))
+@settings(max_examples=100, deadline=None)
+def test_usr_constructors_preserve_semantics(u, g):
+    """Smart-constructor simplifications never change the denoted set:
+    substituting is the identity on closed nodes."""
+    env = {"g": g}
+    out = u.evaluate(env)
+    assert isinstance(out, set)
+    # Substitution with an empty mapping is semantically neutral.
+    assert u.substitute({}).evaluate(env) == out
+
+
+@given(small_usrs(), st.integers(0, 2))
+@settings(max_examples=100, deadline=None)
+def test_factor_sufficiency(u, g):
+    """THE paper invariant: F(S) = true  =>  S = empty."""
+    env = {"g": g}
+    pred = factor(u)
+    if pred.evaluate(env):
+        assert u.evaluate(env) == set()
+
+
+@given(small_usrs(), st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_cascade_stages_sufficient(u, g):
+    """Every cascade stage is itself a sufficient emptiness condition."""
+    from repro.pdag import build_cascade
+
+    env = {"g": g}
+    cascade = build_cascade(factor(u))
+    for stage in cascade.stages:
+        if stage.predicate.evaluate(env):
+            assert u.evaluate(env) == set()
+
+
+# -- estimates -------------------------------------------------------------
+
+
+@given(small_usrs(), st.integers(0, 2))
+@settings(max_examples=80, deadline=None)
+def test_overestimate_covers(u, g):
+    from repro.usr import overestimate
+
+    env = {"g": g}
+    est = overestimate(u)
+    concrete = u.evaluate(env)
+    if est.pred.evaluate(env):
+        assert concrete == set()
+    elif not est.failed:
+        cover = set()
+        for lmad in est.lmads:
+            cover |= lmad.enumerate(env)
+        assert concrete <= cover
+
+
+@given(small_usrs(), st.integers(0, 2))
+@settings(max_examples=80, deadline=None)
+def test_underestimate_contained(u, g):
+    from repro.usr import underestimate
+
+    env = {"g": g}
+    est = underestimate(u)
+    if not est.failed and est.pred.evaluate(env):
+        under = set()
+        for lmad in est.lmads:
+            under |= lmad.enumerate(env)
+        assert under <= u.evaluate(env)
+
+
+# -- reshaping preserves semantics ---------------------------------------------
+
+
+@given(small_usrs(), st.integers(0, 2))
+@settings(max_examples=80, deadline=None)
+def test_reshape_preserves_semantics(u, g):
+    from repro.usr import reshape
+
+    env = {"g": g}
+    assert reshape(u).evaluate(env) == u.evaluate(env)

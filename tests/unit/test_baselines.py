@@ -1,0 +1,116 @@
+"""Unit tests for the baseline compiler model and classical tests."""
+
+from repro.baselines import (
+    StaticAffineCompiler,
+    banerjee_test,
+    gcd_test,
+    range_test,
+)
+from repro.ir import parse_program
+from repro.symbolic import ArrayRef, sym
+
+
+class TestGcd:
+    def test_independent(self):
+        # 2i and 2j+1: parities differ.
+        assert gcd_test(2, 0, 2, 1).independent
+
+    def test_dependent_possible(self):
+        assert not gcd_test(2, 0, 2, 2).independent
+
+    def test_constant_subscripts(self):
+        assert gcd_test(0, 3, 0, 5).independent
+        assert not gcd_test(0, 3, 0, 3).independent
+
+
+class TestBanerjee:
+    def test_out_of_range(self):
+        # i vs j + 100 over [1, 10]: difference 100 unattainable.
+        assert banerjee_test(1, 0, 1, 100, 1, 10).independent
+
+    def test_in_range(self):
+        assert not banerjee_test(1, 0, 1, 5, 1, 10).independent
+
+    def test_empty_space(self):
+        assert banerjee_test(1, 0, 1, 0, 5, 4).independent
+
+    def test_negative_coefficients(self):
+        # -i vs j over [1,4]: -i - j in [-8, -2]; diff 0 unattainable.
+        assert banerjee_test(-1, 0, 1, 0, 1, 4).independent
+
+
+class TestRangeTest:
+    def test_disjoint_blocks(self):
+        i = sym("i")
+        v = range_test(4 * i, 4 * i + 3, "i", 1, sym("N"))
+        assert v.independent
+
+    def test_overlapping_blocks(self):
+        i = sym("i")
+        v = range_test(2 * i, 2 * i + 3, "i", 1, sym("N"))
+        assert not v.independent
+
+    def test_decreasing(self):
+        i = sym("i")
+        v = range_test(-4 * i, -4 * i + 3, "i", 1, sym("N"))
+        assert v.independent
+
+    def test_monotone_prefix_ranges(self):
+        i = sym("i")
+        lo = ArrayRef("$c", [i]) + 1
+        hi = ArrayRef("$c", [i + 1]).as_expr()
+        v = range_test(lo, hi, "i", 1, sym("N"), monotone=frozenset({"$c"}))
+        assert v.independent
+
+
+BASE_SRC = """
+program p
+param N, K1, K2
+array A(512), B(512)
+
+subroutine f(X[], i)
+  X[i] = i
+end
+
+main
+  do i = 1, N @ static_loop
+    A[i] = B[i] + 1
+  end
+  do i = 1, N @ symbolic_loop
+    A[K1 + i] = A[K2 + i] + 1
+  end
+  do i = 1, N @ call_loop
+    call f(A[], i)
+  end
+  t = 0
+  do i = 1, N @ scalar_loop
+    t = t * 2 + B[i]
+    A[i] = t
+  end
+end
+"""
+
+
+class TestStaticAffineCompiler:
+    def test_static_loop_parallelized(self):
+        comp = StaticAffineCompiler(parse_program(BASE_SRC))
+        assert comp.analyze("static_loop").parallel
+
+    def test_runtime_test_refused(self):
+        comp = StaticAffineCompiler(parse_program(BASE_SRC))
+        v = comp.analyze("symbolic_loop")
+        assert not v.parallel
+        assert "runtime" in v.reason or "statically" in v.reason
+
+    def test_call_refused(self):
+        """No interprocedural analysis: calls are opaque."""
+        comp = StaticAffineCompiler(parse_program(BASE_SRC))
+        assert not comp.analyze("call_loop").parallel
+
+    def test_scalar_recurrence_refused(self):
+        comp = StaticAffineCompiler(parse_program(BASE_SRC))
+        assert not comp.analyze("scalar_loop").parallel
+
+    def test_unknown_loop(self):
+        comp = StaticAffineCompiler(parse_program(BASE_SRC))
+        assert not comp.analyze("missing").parallel

@@ -1,0 +1,158 @@
+"""Unit tests for IR-to-symbolic conversion and the CIVagg machinery."""
+
+import pytest
+
+from repro.ir import parse_expression, parse_program, to_bool, to_expr
+from repro.ir.civagg import (
+    civ_increments_nonneg,
+    collect_increments,
+)
+from repro.symbolic import ArrayRef, as_expr, sym
+
+
+class TestToExpr:
+    def test_arithmetic(self):
+        e = to_expr(parse_expression("2*i + j - 3"), {})
+        assert e == 2 * sym("i") + sym("j") - 3
+
+    def test_env_substitution(self):
+        e = to_expr(parse_expression("i + 1"), {"i": sym("k") * 2})
+        assert e == 2 * sym("k") + 1
+
+    def test_array_read(self):
+        e = to_expr(parse_expression("B[i+1]"), {})
+        assert e == ArrayRef("B", [sym("i") + 1]).as_expr()
+
+    def test_renames(self):
+        e = to_expr(parse_expression("B[1]"), {}, renames={"B": "C"})
+        assert e == ArrayRef("C", [as_expr(1)]).as_expr()
+
+    def test_constant_division(self):
+        e = to_expr(parse_expression("(4*i) / 2"), {})
+        assert e == 2 * sym("i")
+
+    def test_symbolic_division_fails(self):
+        assert to_expr(parse_expression("i / j"), {}) is None
+
+    def test_modulo_fails(self):
+        assert to_expr(parse_expression("i % 3"), {}) is None
+
+    def test_boolean_in_arith_position_fails(self):
+        assert to_expr(parse_expression("(a < b) + 1"), {}) is None
+
+    def test_min_max(self):
+        e = to_expr(parse_expression("min(i, j)"), {})
+        assert e.evaluate({"i": 3, "j": 7}) == 3
+
+
+class TestToBool:
+    def test_comparison(self):
+        b = to_bool(parse_expression("i <= N"), {})
+        assert b.evaluate({"i": 3, "N": 3})
+        assert not b.evaluate({"i": 4, "N": 3})
+
+    def test_connectives(self):
+        b = to_bool(parse_expression("a > 0 and not b == 1"), {})
+        assert b.evaluate({"a": 1, "b": 0})
+        assert not b.evaluate({"a": 1, "b": 1})
+
+    def test_truthiness_of_integer(self):
+        b = to_bool(parse_expression("x"), {})
+        assert b.evaluate({"x": 5})
+        assert not b.evaluate({"x": 0})
+
+    def test_unconvertible(self):
+        assert to_bool(parse_expression("(i % 2) > 0"), {}) is None
+
+
+def _body(src):
+    prog = parse_program(f"""
+program t
+param N, Q
+array A(256), NSP(64), X(64)
+main
+{src}
+end
+""")
+    return prog.find_loop("l").body
+
+
+class TestCollectIncrements:
+    def test_single_gated(self):
+        body = _body("""
+  civ = Q
+  do i = 1, N @ l
+    if NSP[i] > 0 then
+      civ = civ + NSP[i]
+    end
+  end
+""")
+        incs = collect_increments(body, "civ", {"i": sym("i")})
+        assert incs is not None and len(incs) == 1
+        gate, inc = incs[0]
+        assert gate is not None
+        assert inc == ArrayRef("NSP", [sym("i")]).as_expr()
+
+    def test_ungated(self):
+        body = _body("""
+  do i = 1, N @ l
+    civ = civ + 2
+  end
+""")
+        incs = collect_increments(body, "civ", {"i": sym("i")})
+        assert incs == [(None, as_expr(2))]
+
+    def test_non_increment_rejected(self):
+        body = _body("""
+  do i = 1, N @ l
+    civ = civ * 2
+  end
+""")
+        assert collect_increments(body, "civ", {"i": sym("i")}) is None
+
+    def test_nested_loop_accumulation_rejected(self):
+        body = _body("""
+  do i = 1, N @ l
+    do j = 1, 3
+      civ = civ + 1
+    end
+  end
+""")
+        assert collect_increments(body, "civ", {"i": sym("i")}) is None
+
+    def test_nonneg_constant(self):
+        body = _body("""
+  do i = 1, N @ l
+    civ = civ + 2
+  end
+""")
+        assert civ_increments_nonneg(body, "civ", {"i": sym("i")})
+
+    def test_nonneg_from_gate(self):
+        body = _body("""
+  do i = 1, N @ l
+    if NSP[i] > 0 then
+      civ = civ + NSP[i]
+    end
+  end
+""")
+        assert civ_increments_nonneg(body, "civ", {"i": sym("i")})
+
+    def test_unknown_sign_rejected(self):
+        body = _body("""
+  do i = 1, N @ l
+    if X[i] > 0 then
+      civ = civ + NSP[i]
+    end
+  end
+""")
+        assert not civ_increments_nonneg(body, "civ", {"i": sym("i")})
+
+    def test_nonneg_from_index_bounds(self):
+        body = _body("""
+  do i = 1, N @ l
+    civ = civ + i
+  end
+""")
+        bounds = {"i": (as_expr(1), sym("N"))}
+        assert civ_increments_nonneg(body, "civ", {"i": sym("i")}, bounds)

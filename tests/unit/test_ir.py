@@ -1,0 +1,365 @@
+"""Unit tests for the loop IR: lexer, parser, interpreter, scalar analysis."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRead,
+    AssignArray,
+    BinOp,
+    Do,
+    InterpError,
+    Machine,
+    Num,
+    ParseError,
+    Var,
+    While,
+    parse_expression,
+    parse_program,
+)
+from repro.ir.lexer import LexError, tokenize
+from repro.ir.scalars import assigned_scalars, expr_scalar_reads, read_before_write
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = tokenize("x = A[i] + 3")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["ident", "sym", "ident", "sym", "ident", "sym",
+                         "sym", "num", "newline", "eof"]
+
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("DO i = 1, N")
+        assert toks[0].kind == "kw" and toks[0].text == "do"
+
+    def test_comments_stripped(self):
+        toks = tokenize("x = 1  # a comment\n")
+        assert all(t.kind != "ident" or t.text == "x" for t in toks)
+
+    def test_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("x = 1 ?")
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_parens(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_comparison_and_bool(self):
+        e = parse_expression("a < b and not c == d")
+        assert e.op == "and"
+
+    def test_array_read(self):
+        e = parse_expression("A[i + 1]")
+        assert isinstance(e, ArrayRead)
+
+    def test_unary_minus(self):
+        e = parse_expression("-x + 3")
+        assert e.op == "+"
+
+    def test_min_max(self):
+        e = parse_expression("min(a, b, 3)")
+        assert e.name == "min" and len(e.args) == 3
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + ) 2")
+
+
+SIMPLE = """
+program p
+param N
+array A(100), B(100)
+
+main
+  do i = 1, N @ loop1
+    A[i] = B[i] + 1
+  end
+end
+"""
+
+
+class TestProgramParsing:
+    def test_simple(self):
+        prog = parse_program(SIMPLE)
+        assert prog.name == "p"
+        assert prog.params == ("N",)
+        assert [d.name for d in prog.arrays] == ["A", "B"]
+        assert prog.labelled_loops() == ["loop1"]
+
+    def test_find_loop(self):
+        prog = parse_program(SIMPLE)
+        loop = prog.find_loop("loop1")
+        assert isinstance(loop, Do) and loop.index == "i"
+        assert prog.find_loop("nope") is None
+
+    def test_subroutine_array_params(self):
+        src = """
+program p
+array A(10)
+subroutine f(X[], n)
+  X[n] = 1
+end
+main
+  call f(A[], 3)
+end
+"""
+        prog = parse_program(src)
+        sub = prog.subroutines["f"]
+        assert sub.array_params == ("X",)
+        assert sub.scalar_params == ("n",)
+
+    def test_array_arg_with_offset(self):
+        src = """
+program p
+array A(100)
+subroutine f(X[])
+  X[1] = 7
+end
+main
+  call f(A[] + 10)
+end
+"""
+        prog = parse_program(src)
+        m = Machine(prog)
+        r = m.run()
+        assert r.arrays["A"][10] == 7  # A[11] written
+
+    def test_update_detection(self):
+        src = """
+program p
+array A(10)
+main
+  A[3] = A[3] + 1
+  A[4] = A[5] + 1
+end
+"""
+        prog = parse_program(src)
+        stmts = prog.main
+        assert stmts[0].is_update
+        assert not stmts[1].is_update
+
+    def test_if_else_while(self):
+        src = """
+program p
+param N
+array A(10)
+main
+  i = 1
+  while i <= N @ w
+    if A[i] > 0 then
+      A[i] = 0
+    else
+      A[i] = 1
+    end
+    i = i + 1
+  end
+end
+"""
+        prog = parse_program(src)
+        assert isinstance(prog.main[1], While)
+        assert prog.main[1].label == "w"
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_program("program p\nmain\n  do i = 1, 3\n    x = 1\n")
+
+
+class TestInterpreter:
+    def test_simple_run(self):
+        prog = parse_program(SIMPLE)
+        m = Machine(prog, params={"N": 5}, arrays={"B": [10] * 100})
+        r = m.run()
+        assert r.arrays["A"][:5] == [11] * 5
+        assert r.loop_trips["loop1"] == 5
+
+    def test_work_counting(self):
+        prog = parse_program(SIMPLE)
+        r1 = Machine(prog, params={"N": 5}).run()
+        r2 = Machine(prog, params={"N": 10}).run()
+        assert r2.work > r1.work
+
+    def test_out_of_bounds(self):
+        prog = parse_program(SIMPLE)
+        m = Machine(prog, params={"N": 200})
+        with pytest.raises(InterpError):
+            m.run()
+
+    def test_unbound_scalar(self):
+        prog = parse_program(SIMPLE)
+        m = Machine(prog)  # N not bound
+        with pytest.raises(InterpError):
+            m.run()
+
+    def test_division_semantics(self):
+        src = """
+program p
+array A(4)
+main
+  A[1] = 7 / 2
+  A[2] = 7 % 3
+  A[3] = min(3, 9)
+  A[4] = max(3, 9)
+end
+"""
+        r = Machine(parse_program(src)).run()
+        assert r.arrays["A"] == [3, 1, 3, 9]
+
+    def test_division_by_zero(self):
+        src = "program p\narray A(1)\nmain\n  A[1] = 1 / 0\nend\n"
+        with pytest.raises(InterpError):
+            Machine(parse_program(src)).run()
+
+    def test_while_semantics(self):
+        src = """
+program p
+param N
+array A(64)
+main
+  i = 1
+  while i <= N @ w
+    A[i] = i * 2
+    i = i + 1
+  end
+end
+"""
+        r = Machine(parse_program(src), params={"N": 4}).run()
+        assert r.arrays["A"][:4] == [2, 4, 6, 8]
+        assert r.loop_trips["w"] == 4
+
+    def test_call_by_value_scalars(self):
+        src = """
+program p
+array A(4)
+subroutine f(X[], n)
+  n = n + 100
+  X[1] = n
+end
+main
+  k = 5
+  call f(A[], k)
+  A[2] = k
+end
+"""
+        r = Machine(parse_program(src)).run()
+        assert r.arrays["A"][0] == 105
+        assert r.arrays["A"][1] == 5  # caller's k unchanged
+
+    def test_trace_classification(self):
+        src = """
+program p
+param N
+array A(64), B(64)
+main
+  do i = 1, N @ t
+    B[i] = A[i] + A[i+1]
+  end
+end
+"""
+        prog = parse_program(src)
+        m = Machine(prog, params={"N": 4}, trace_label="t")
+        trace = m.run().trace
+        assert len(trace.iterations) == 4
+        assert trace.output_independent()
+        assert trace.flow_independent()
+        assert not trace.has_cross_iteration_dependence()
+
+    def test_trace_detects_flow_dep(self):
+        src = """
+program p
+param N
+array A(64)
+main
+  do i = 2, N @ t
+    A[i] = A[i-1] + 1
+  end
+end
+"""
+        m = Machine(parse_program(src), params={"N": 5}, trace_label="t")
+        trace = m.run().trace
+        assert not trace.flow_independent()
+
+    def test_trace_detects_output_dep(self):
+        src = """
+program p
+param N
+array A(64)
+main
+  do i = 1, N @ t
+    A[1] = i
+  end
+end
+"""
+        m = Machine(parse_program(src), params={"N": 3}, trace_label="t")
+        trace = m.run().trace
+        assert not trace.output_independent()
+        assert trace.flow_independent()
+
+
+class TestScalarAnalysis:
+    def test_expr_reads(self):
+        e = parse_expression("A[i] + j * k")
+        assert expr_scalar_reads(e) == {"i", "j", "k"}
+
+    def test_assigned(self):
+        prog = parse_program("""
+program p
+array A(8)
+main
+  x = 1
+  do i = 1, 3
+    y = i
+    A[i] = y
+  end
+end
+""")
+        assert assigned_scalars(prog.main) == {"x", "i", "y"}
+
+    def test_read_before_write(self):
+        prog = parse_program("""
+program p
+array A(8)
+main
+  x = t
+  t = 2
+  y = x
+end
+""")
+        exposed = read_before_write(prog.main)
+        assert "t" in exposed
+        assert "y" not in exposed
+        assert "x" not in exposed  # written before its read
+
+    def test_branch_kills_need_both(self):
+        prog = parse_program("""
+program p
+param c
+array A(8)
+main
+  if c > 0 then
+    u = 1
+  end
+  A[1] = u
+end
+""")
+        # u written only on one branch: still exposed.
+        assert "u" in read_before_write(prog.main)
+
+    def test_loop_writes_do_not_kill(self):
+        prog = parse_program("""
+program p
+param N
+array A(8)
+main
+  do i = 1, N
+    v = i
+  end
+  A[1] = v
+end
+""")
+        assert "v" in read_before_write(prog.main)

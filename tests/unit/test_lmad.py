@@ -1,0 +1,240 @@
+"""Unit tests for the LMAD descriptor and its predicate extraction."""
+
+import pytest
+
+from repro.lmad import (
+    LMAD,
+    dense_interval,
+    disjoint_lmad_sets,
+    disjoint_lmads,
+    fills_array,
+    included_lmad_sets,
+    included_lmads,
+    interval,
+    point,
+)
+from repro.symbolic import as_expr, sym
+
+
+class TestConstruction:
+    def test_point(self):
+        p = point(5)
+        assert p.enumerate({}) == {5}
+        assert p.is_point()
+
+    def test_interval(self):
+        assert interval(3, 7).enumerate({}) == {3, 4, 5, 6, 7}
+
+    def test_empty_interval(self):
+        assert interval(5, 3).enumerate({}) == set()
+        assert interval(5, 3).is_definitely_empty()
+
+    def test_mismatched_dims(self):
+        with pytest.raises(ValueError):
+            LMAD([1, 2], [3])
+
+    def test_strided(self):
+        a = LMAD([2], [6], 0)
+        assert a.enumerate({}) == {0, 2, 4, 6}
+
+    def test_multidim(self):
+        # 2 rows of 3 consecutive elements, stride 10 between rows.
+        a = LMAD([1, 10], [2, 10], 0)
+        assert a.enumerate({}) == {0, 1, 2, 10, 11, 12}
+
+    def test_negative_stride_normalized_in_enumerate(self):
+        a = LMAD([-2], [6], 10)
+        assert a.enumerate({}) == {4, 6, 8, 10}
+
+    def test_normalized_drops_zero_span(self):
+        a = LMAD([1, 7], [4, 0], 2)
+        assert a.normalized().ndims == 1
+
+    def test_symbolic_enumerate(self):
+        a = interval(1, sym("N"))
+        assert a.enumerate({"N": 3}) == {1, 2, 3}
+
+
+class TestAggregation:
+    def test_affine_base(self):
+        # A[i] for i = 1..N
+        agg = point(sym("i")).aggregated("i", 1, sym("N"))
+        assert agg is not None
+        assert agg.enumerate({"N": 4}) == {1, 2, 3, 4}
+
+    def test_strided_base(self):
+        agg = point(2 * sym("i")).aggregated("i", 1, 5)
+        assert agg.enumerate({}) == {2, 4, 6, 8, 10}
+
+    def test_negative_coefficient(self):
+        agg = point(10 - sym("i")).aggregated("i", 1, 5)
+        assert agg.enumerate({}) == {5, 6, 7, 8, 9}
+        # Positive stride and the base at the small end.
+        assert all(
+            d.is_constant() and d.constant_value() > 0 for d in agg.strides
+        )
+
+    def test_invariant_body(self):
+        a = interval(1, 10)
+        assert a.aggregated("i", 1, sym("N")) is a
+
+    def test_nonaffine_fails(self):
+        from repro.symbolic import ArrayRef
+
+        a = point(ArrayRef("B", [sym("i")]))
+        assert a.aggregated("i", 1, sym("N")) is None
+
+    def test_index_in_stride_fails(self):
+        a = LMAD([sym("i")], [sym("i") * 3], 0)
+        assert a.aggregated("i", 1, 5) is None
+
+    def test_nested_aggregation_matches_paper(self):
+        """Section 2.1's example: A[i*N + j*k], j inner, i outer."""
+        n, k = sym("N"), sym("k")
+        st = point(sym("i") * n + sym("j") * k)
+        li = st.aggregated("j", 1, sym("M"))
+        lo = li.aggregated("i", 1, n)
+        env = {"N": 20, "M": 3, "k": 2}
+        expected = {
+            i * 20 + j * 2 for i in range(1, 21) for j in range(1, 4)
+        }
+        assert lo.enumerate(env) == expected
+
+
+class TestDisjointness:
+    def test_separated_intervals(self):
+        p = disjoint_lmads(interval(1, 5), interval(6, 10))
+        assert p.evaluate({})
+
+    def test_overlapping_intervals(self):
+        p = disjoint_lmads(interval(1, 5), interval(5, 10))
+        assert not p.evaluate({})
+
+    def test_interleaved_gcd(self):
+        evens = LMAD([2], [98], 0)
+        odds = LMAD([2], [98], 1)
+        assert disjoint_lmads(evens, odds).is_true()
+
+    def test_interleaved_symbolic_offsets(self):
+        a = LMAD([2], [98], sym("O1"))
+        b = LMAD([2], [98], sym("O2"))
+        p = disjoint_lmads(a, b)
+        assert p.evaluate({"O1": 0, "O2": 1})  # different parity
+        assert not p.evaluate({"O1": 0, "O2": 2})  # same parity, overlap
+
+    def test_empty_always_disjoint(self):
+        p = disjoint_lmads(interval(5, 3), interval(1, 10))
+        assert p.evaluate({})
+
+    def test_symbolic_separation(self):
+        n = sym("N")
+        p = disjoint_lmads(interval(1, n), interval(n + 1, 2 * n))
+        assert p.evaluate({"N": 7})
+
+    def test_paper_correc_do900(self):
+        """Section 3.2's multi-dimensional example."""
+        m, j = sym("M"), sym("j")
+        c = LMAD([m], [2 * m], j - 1 + 2 * m)
+        d = LMAD([1, m], [j - 2, 2 * m], 2 * m)
+        p = disjoint_lmads(c, d)
+        # Well-formed when j-1 < M (the paper's N <= M after FM).
+        assert p.evaluate({"M": 10, "j": 5})
+
+    def test_soundness_sample(self):
+        """If the predicate says disjoint, the concrete sets are."""
+        cases = [
+            (LMAD([3], [9], 0), LMAD([3], [9], 1)),
+            (LMAD([2], [10], 0), LMAD([4], [8], 1)),
+            (interval(1, 10), LMAD([5], [10], 3)),
+        ]
+        for a, b in cases:
+            if disjoint_lmads(a, b).evaluate({}):
+                assert not (a.enumerate({}) & b.enumerate({}))
+
+    def test_sets(self):
+        s1 = [interval(1, 5), interval(20, 25)]
+        s2 = [interval(6, 10)]
+        assert disjoint_lmad_sets(s1, s2).evaluate({})
+        s3 = [interval(4, 8)]
+        assert not disjoint_lmad_sets(s1, s3).evaluate({})
+
+
+class TestInclusion:
+    def test_interval_in_interval(self):
+        p = included_lmads(interval(3, 5), interval(1, 10))
+        assert p.evaluate({})
+
+    def test_not_included(self):
+        p = included_lmads(interval(3, 12), interval(1, 10))
+        assert not p.evaluate({})
+
+    def test_paper_xe_example(self):
+        """[0, NS-1] included in [0, 16*NP-1] iff NS <= 16*NP."""
+        ns, np_ = sym("NS"), sym("NP")
+        p = included_lmads(interval(0, ns - 1), interval(0, 16 * np_ - 1))
+        assert p.evaluate({"NS": 16, "NP": 1})
+        assert not p.evaluate({"NS": 17, "NP": 1})
+
+    def test_stride_divisibility(self):
+        # {0,4,8} in {0,2,...,10}: stride 4 divisible by 2, offsets align.
+        p = included_lmads(LMAD([4], [8], 0), LMAD([2], [10], 0))
+        assert p.evaluate({})
+        # {1,5,9} in evens: offset misaligned.
+        p2 = included_lmads(LMAD([4], [8], 1), LMAD([2], [10], 0))
+        assert not p2.evaluate({})
+
+    def test_dense_multidim_target(self):
+        """[1,16]v[15,16*NP-16]+1 is the dense interval [1, 16*NP]."""
+        np_ = sym("NP")
+        target = LMAD([1, 16], [15, 16 * np_ - 16], 1)
+        p = included_lmads(interval(1, sym("NS")), target)
+        assert p.evaluate({"NS": 30, "NP": 2})
+        assert not p.evaluate({"NS": 33, "NP": 2})
+
+    def test_empty_included_in_anything(self):
+        assert included_lmads(interval(5, 2), interval(100, 100)).evaluate({})
+
+    def test_soundness_sample(self):
+        cases = [
+            (LMAD([2], [8], 2), interval(0, 20)),
+            (LMAD([4], [8], 0), LMAD([2], [20], 0)),
+            (interval(5, 9), LMAD([1, 10], [4, 10], 5)),
+        ]
+        for a, b in cases:
+            if included_lmads(a, b).evaluate({}):
+                assert a.enumerate({}) <= b.enumerate({})
+
+    def test_sets(self):
+        s1 = [interval(2, 4), interval(12, 14)]
+        s2 = [interval(1, 5), interval(10, 15)]
+        assert included_lmad_sets(s1, s2).evaluate({})
+        assert not included_lmad_sets([interval(2, 6)], s2).evaluate({})
+
+
+class TestDenseAndFills:
+    def test_dense_1d(self):
+        assert dense_interval(interval(3, 10)) == (as_expr(3), as_expr(10))
+
+    def test_dense_telescoping(self):
+        a = LMAD([1, 4], [3, 12], 0)  # rows of 4, stride 4: covers [0,15]
+        assert dense_interval(a) == (as_expr(0), as_expr(15))
+
+    def test_not_dense_gap(self):
+        a = LMAD([1, 5], [3, 15], 0)  # rows of 4, stride 5: gaps
+        assert dense_interval(a) is None
+
+    def test_dense_symbolic_outer(self):
+        n = sym("N")
+        a = LMAD([1, 16], [15, 16 * n - 16], 1)
+        assert dense_interval(a) == (as_expr(1), 16 * n)
+
+    def test_strided_not_dense(self):
+        assert dense_interval(LMAD([2], [10], 0)) is None
+
+    def test_fills_array(self):
+        p = fills_array(interval(1, sym("N")), as_expr(1), sym("SZ"))
+        assert p.evaluate({"N": 10, "SZ": 10})
+        assert not p.evaluate({"N": 9, "SZ": 10})
+
+    def test_fills_array_not_dense(self):
+        assert fills_array(LMAD([2], [10], 0), as_expr(1), as_expr(10)).is_false()

@@ -1,0 +1,182 @@
+"""Unit tests for the PDAG predicate language, simplification, cascades."""
+
+import pytest
+
+from repro.pdag import (
+    EvalStats,
+    PAnd,
+    PFALSE,
+    PLoopAnd,
+    POr,
+    PTRUE,
+    build_cascade,
+    p_and,
+    p_call,
+    p_leaf,
+    p_loop_and,
+    p_or,
+    simplify,
+    strengthen_to_depth,
+)
+from repro.symbolic import ArrayRef, cmp_ge, cmp_gt, cmp_le, cmp_lt, gt0, sym
+
+
+class TestConstructors:
+    def test_true_false_singletons(self):
+        from repro.symbolic import FALSE, TRUE
+
+        assert p_leaf(TRUE) is PTRUE
+        assert p_leaf(FALSE) is PFALSE
+
+    def test_and_or_folding(self):
+        p = p_leaf(gt0(sym("x")))
+        assert p_and(PTRUE, p) == p
+        assert p_and(PFALSE, p).is_false()
+        assert p_or(PFALSE, p) == p
+        assert p_or(PTRUE, p).is_true()
+
+    def test_leaf_merging(self):
+        a, b = p_leaf(gt0(sym("a"))), p_leaf(gt0(sym("b")))
+        combined = p_and(a, b)
+        # Adjacent leaves merge down into the boolean layer.
+        assert combined.node_count() == 1
+
+    def test_absorption(self):
+        a = p_leaf(gt0(sym("a")))
+        lp = p_loop_and("i", 1, sym("N"), p_leaf(gt0(sym("i") - sym("a"))))
+        assert p_or(lp, p_and(lp, a)) == lp
+        assert p_and(lp, p_or(lp, a)) == lp
+
+    def test_loop_and_invariant_collapses(self):
+        body = p_leaf(gt0(sym("x")))
+        assert p_loop_and("i", 1, sym("N"), body) == body
+
+    def test_loop_and_false(self):
+        assert p_loop_and("i", 1, sym("N"), PFALSE).is_false()
+
+    def test_call_barrier(self):
+        inner = p_leaf(gt0(sym("x")))
+        c = p_call("sub", inner)
+        assert c.evaluate({"x": 1})
+        assert p_call("sub", PTRUE).is_true()
+
+
+class TestEvaluation:
+    def test_loop_and_all_iterations(self):
+        body = p_leaf(cmp_le(ArrayRef("B", [sym("i")]).as_expr(), 10))
+        lp = p_loop_and("i", 1, sym("N"), body)
+        assert lp.evaluate({"N": 3, "B": [1, 2, 3]})
+        assert not lp.evaluate({"N": 3, "B": [1, 99, 3]})
+
+    def test_empty_range_vacuous(self):
+        body = p_leaf(cmp_le(ArrayRef("B", [sym("i")]).as_expr(), 10))
+        lp = p_loop_and("i", 1, 0, body)
+        assert lp.evaluate({"B": []})
+
+    def test_stats_counting(self):
+        body = p_leaf(cmp_le(ArrayRef("B", [sym("i")]).as_expr(), 10))
+        lp = p_loop_and("i", 1, 4, body)
+        stats = EvalStats()
+        lp.evaluate({"B": [1, 2, 3, 4]}, stats)
+        assert stats.loop_iterations == 4
+        assert stats.leaf_evals == 4
+
+    def test_short_circuit(self):
+        body = p_leaf(cmp_le(ArrayRef("B", [sym("i")]).as_expr(), 10))
+        lp = p_loop_and("i", 1, 4, body)
+        stats = EvalStats()
+        lp.evaluate({"B": [99, 1, 1, 1]}, stats)
+        assert stats.loop_iterations == 1  # fails on the first iteration
+
+    def test_loop_depth(self):
+        body = p_leaf(gt0(ArrayRef("B", [sym("i"), ]).as_expr()))
+        inner = p_loop_and("i", 1, sym("M"), body)
+        # inner depends on i only; wrap in an outer loop over j via a
+        # j-dependent bound
+        outer = p_loop_and("j", 1, sym("N"), p_loop_and(
+            "i", 1, sym("j"), body))
+        assert inner.loop_depth() == 1
+        assert outer.loop_depth() == 2
+        assert outer.complexity_label() == "O(N^2)"
+
+
+class TestSimplify:
+    def test_invariant_hoisting_and(self):
+        inv = p_leaf(cmp_le(sym("NS"), 16 * sym("NP")))
+        var = p_leaf(cmp_gt(ArrayRef("B", [sym("i")]).as_expr(), 0))
+        lp = p_loop_and("i", 1, sym("N"), p_and(inv, var))
+        out = simplify(lp)
+        assert isinstance(out, PAnd)
+        # The invariant conjunct must appear outside any loop node.
+        hoisted = [a for a in out.args if a.loop_depth() == 0]
+        assert hoisted
+
+    def test_fm_elimination_collapses_loop(self):
+        """The Fig. 3(a) effect: an affine leaf under a loop node turns
+        into an O(1) predicate."""
+        leaf = p_leaf(cmp_lt(8 * sym("NP"), sym("NS") + 6))
+        lp = p_loop_and("i", 1, sym("N"), p_loop_and("k", 1, sym("M"), leaf))
+        out = simplify(lp)
+        assert out.loop_depth() == 0
+
+    def test_common_factor_extraction(self):
+        a = p_loop_and("i", 1, sym("N"),
+                       p_leaf(gt0(ArrayRef("B", [sym("i")]).as_expr())))
+        x = p_loop_and("j", 1, sym("N"),
+                       p_leaf(gt0(ArrayRef("C", [sym("j")]).as_expr())))
+        y = p_loop_and("j", 1, sym("N"),
+                       p_leaf(cmp_ge(ArrayRef("C", [sym("j")]).as_expr(), 5)))
+        node = p_and(p_or(x, a), p_or(y, a))
+        out = simplify(node)
+        # a is factored out: (x and y) or a
+        assert isinstance(out, POr)
+        assert a in out.args
+
+
+class TestCascade:
+    def _monotone_pred(self):
+        i = sym("i")
+        step = cmp_le(
+            sym("NS"),
+            32 * (ArrayRef("IB", [i + 1]) - ArrayRef("IA", [i]) - ArrayRef("IB", [i]) + 1),
+        )
+        return p_and(
+            p_leaf(cmp_le(sym("NS"), 16 * sym("NP"))),
+            p_loop_and("i", 1, sym("N") - 1, p_leaf(step)),
+        )
+
+    def test_stage_ordering(self):
+        cascade = build_cascade(self._monotone_pred())
+        labels = [s.label for s in cascade.stages]
+        assert labels == sorted(labels, key=lambda l: (l != "O(1)", l))
+
+    def test_first_success_wins(self):
+        cascade = build_cascade(self._monotone_pred())
+        env = {"NS": 2, "NP": 1, "N": 3, "IB": [1, 20, 40], "IA": [1, 1, 1]}
+        outcome = cascade.evaluate(env)
+        assert outcome.passed
+
+    def test_all_fail(self):
+        cascade = build_cascade(self._monotone_pred())
+        env = {"NS": 200, "NP": 1, "N": 3, "IB": [1, 2, 3], "IA": [1, 1, 1]}
+        assert not cascade.evaluate(env).passed
+
+    def test_strengthen_to_depth_zero(self):
+        pred = self._monotone_pred()
+        o1 = strengthen_to_depth(pred, 0)
+        assert o1.loop_depth() == 0
+
+    def test_strengthened_stage_implies_full(self):
+        """Soundness of the cascade: any passing stage is a strengthening
+        of the full predicate."""
+        pred = self._monotone_pred()
+        cascade = build_cascade(pred)
+        env = {"NS": 2, "NP": 1, "N": 3, "IB": [1, 20, 40], "IA": [1, 1, 1]}
+        for stage in cascade.stages:
+            if stage.predicate.evaluate(env):
+                assert pred.evaluate(env)
+
+    def test_duplicate_stages_dropped(self):
+        flat = p_leaf(cmp_le(sym("A"), sym("B")))
+        cascade = build_cascade(flat)
+        assert len(cascade.stages) == 1

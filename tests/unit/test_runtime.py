@@ -1,0 +1,298 @@
+"""Unit tests for the simulated runtime: scheduler, speculation,
+inspector, and the conditional-parallelization executor."""
+
+import pytest
+
+from repro.core import analyze_loop
+from repro.ir import parse_program
+from repro.ir.interp import IterationRecord, LoopTrace
+from repro.runtime import (
+    CostModel,
+    HybridExecutor,
+    Inspector,
+    evaluate_usr_cost,
+    lrpd_test,
+    schedule_parallel,
+)
+
+
+class TestScheduler:
+    def test_single_proc(self):
+        t = schedule_parallel([10, 10, 10, 10], 1, CostModel())
+        assert t.time == 40 and t.spawn == 0
+
+    def test_perfect_split(self):
+        cost = CostModel(spawn_overhead=5)
+        t = schedule_parallel([10] * 4, 4, cost)
+        assert t.time == 15  # 10 + spawn
+
+    def test_imbalance(self):
+        cost = CostModel(spawn_overhead=0)
+        t = schedule_parallel([100, 1, 1, 1], 2, cost)
+        assert t.time == 101  # contiguous blocks: [100,1] | [1,1]
+
+    def test_more_procs_than_iterations(self):
+        cost = CostModel(spawn_overhead=0, bandwidth_knee=64)
+        t = schedule_parallel([10, 10], 8, cost)
+        assert t.time == 10
+
+    def test_bandwidth_knee(self):
+        cost = CostModel(spawn_overhead=0, bandwidth_knee=8,
+                         bandwidth_efficiency=0.5)
+        t8 = schedule_parallel([1.0] * 64, 8, cost)
+        t16 = schedule_parallel([1.0] * 64, 16, cost)
+        # 16 procs still helps but far from 2x over 8.
+        assert t16.time < t8.time
+        assert t16.time > t8.time / 2
+
+    def test_empty(self):
+        assert schedule_parallel([], 4, CostModel()).time == 0
+
+
+def _trace(records):
+    return LoopTrace("t", records)
+
+
+class TestLRPD:
+    def test_independent_passes(self):
+        recs = [
+            IterationRecord(1, writes={"A": {1}}, exposed_reads={"B": {5}}),
+            IterationRecord(2, writes={"A": {2}}, exposed_reads={"B": {5}}),
+        ]
+        result = lrpd_test(_trace(recs))
+        assert result.success
+        assert result.traced_accesses == 4
+
+    def test_flow_conflict_fails(self):
+        recs = [
+            IterationRecord(1, writes={"A": {1}}),
+            IterationRecord(2, exposed_reads={"A": {1}}),
+        ]
+        assert not lrpd_test(_trace(recs)).success
+
+    def test_output_conflict_privatized(self):
+        recs = [
+            IterationRecord(1, writes={"A": {1}}),
+            IterationRecord(2, writes={"A": {1}}),
+        ]
+        result = lrpd_test(_trace(recs))
+        assert result.success
+        assert "A" in result.privatized
+
+    def test_output_conflict_without_privatization(self):
+        recs = [
+            IterationRecord(1, writes={"A": {1}}),
+            IterationRecord(2, writes={"A": {1}}),
+        ]
+        assert not lrpd_test(_trace(recs), privatize=False).success
+
+    def test_own_read_after_write_ok(self):
+        recs = [
+            IterationRecord(1, writes={"A": {1}}, exposed_reads={"A": set()}),
+            IterationRecord(2, writes={"A": {2}}),
+        ]
+        assert lrpd_test(_trace(recs)).success
+
+
+class TestInspector:
+    def test_cost_proportional_to_sets(self):
+        from repro.lmad import interval
+        from repro.usr import usr_leaf, usr_subtract
+
+        u = usr_subtract(usr_leaf(interval(1, 100)), usr_leaf(interval(0, 100)))
+        out, cost = evaluate_usr_cost(u, {})
+        assert out == set()
+        assert cost >= 200  # both operand sets materialized
+
+    def test_memoization(self):
+        from repro.lmad import interval
+        from repro.symbolic import sym
+        from repro.usr import usr_leaf, usr_subtract
+
+        u = usr_subtract(
+            usr_leaf(interval(1, sym("N"))), usr_leaf(interval(0, sym("N")))
+        )
+        insp = Inspector()
+        r1 = insp.check_empty(u, {"N": 50})
+        r2 = insp.check_empty(u, {"N": 50})
+        r3 = insp.check_empty(u, {"N": 60})
+        assert r1.cost > 0 and not r1.memoized
+        assert r2.cost == 0 and r2.memoized
+        assert not r3.memoized  # different inputs: fresh evaluation
+
+
+def _build(src):
+    return parse_program(src)
+
+
+EXEC_SRC = """
+program p
+param N, OFF
+array A(256), B(256)
+main
+  do i = 1, N @ l
+    A[OFF + i] = B[i] + 1
+  end
+end
+"""
+
+
+class TestExecutor:
+    def test_parallel_correct(self):
+        prog = _build(EXEC_SRC)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan)
+        r = ex.run({"N": 8, "OFF": 0}, {"B": list(range(256))})
+        assert r.parallel and r.correct
+        assert r.seq_work == sum(r.iteration_costs)
+
+    def test_speedup_monotone_in_procs(self):
+        prog = _build(EXEC_SRC)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan)
+        r = ex.run({"N": 32, "OFF": 0}, {"B": [0] * 256})
+        cost = CostModel(spawn_overhead=1)
+        assert r.speedup(4, cost) > r.speedup(2, cost) > 1.0
+
+    def test_privatization_with_output_deps(self):
+        src = """
+program p
+param N
+array A(64), B(64), T(8)
+main
+  do i = 1, N @ l
+    do j = 1, 4
+      T[j] = B[(i-1)*4 + j]
+    end
+    do j = 1, 4
+      A[(i-1)*4 + j] = T[j] * 2
+    end
+  end
+end
+"""
+        prog = _build(src)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan)
+        r = ex.run({"N": 8}, {"B": list(range(64))})
+        assert r.parallel and r.correct
+        assert r.decisions["T"].strategy == "private"
+
+    def test_reduction_merging(self):
+        src = """
+program p
+param N
+array A(64), B(64), W(64)
+main
+  do i = 1, N @ l
+    A[B[i]] = A[B[i]] + W[i]
+  end
+end
+"""
+        prog = _build(src)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan)
+        # Colliding targets: the reduction transform must still be exact.
+        arrays = {"B": [1, 2, 1, 2, 1, 2, 1, 2] + [1] * 56,
+                  "W": [1] * 64}
+        r = ex.run({"N": 8}, arrays)
+        assert r.parallel and r.correct
+        assert r.decisions["A"].strategy == "reduction"
+
+    def test_scalar_dep_runs_sequential(self):
+        src = """
+program p
+param N
+array A(64), B(64)
+main
+  t = 0
+  do i = 1, N @ l
+    t = t * 2 + B[i]
+    A[i] = t
+  end
+end
+"""
+        prog = _build(src)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan)
+        r = ex.run({"N": 8}, {"B": [1] * 64})
+        assert not r.parallel
+        assert r.correct
+
+    def test_speculation_on_independent_index_arrays(self):
+        src = """
+program p
+param N
+array Z(128), KX(64), KZ(64), W(64)
+main
+  do n = 1, N @ l
+    Z[KX[n]] = W[n] + Z[KZ[n]]
+  end
+end
+"""
+        prog = _build(src)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan, exact_strategy="tls")
+        kx = [2 * i + 1 for i in range(64)]
+        kz = [2 * i + 2 for i in range(64)]
+        r = ex.run({"N": 8}, {"KX": kx, "KZ": kz, "W": [3] * 64})
+        assert r.parallel and r.correct
+        assert r.used_speculation
+
+    def test_misspeculation_detected(self):
+        src = """
+program p
+param N
+array Z(128), KX(64), KZ(64), W(64)
+main
+  do n = 1, N @ l
+    Z[KX[n]] = W[n] + Z[KZ[n]]
+  end
+end
+"""
+        prog = _build(src)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan, exact_strategy="tls")
+        # Reads hit earlier iterations' writes: genuine flow dependence.
+        kx = [i + 1 for i in range(64)]
+        kz = [max(1, i) for i in range(64)]
+        r = ex.run({"N": 8}, {"KX": kx, "KZ": kz, "W": [3] * 64})
+        assert not r.parallel
+        assert r.correct  # ran sequentially, result untouched
+
+    def test_civ_comp_overhead_charged(self):
+        src = """
+program p
+param N
+array A(256), NSP(64)
+main
+  civ = 0
+  do i = 1, N @ l
+    if NSP[i] > 0 then
+      do j = 1, NSP[i]
+        A[civ + j] = i
+      end
+      civ = civ + NSP[i]
+    end
+  end
+end
+"""
+        prog = _build(src)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan)
+        r = ex.run({"N": 8}, {"NSP": [2] * 64})
+        assert r.parallel and r.correct
+        assert r.civ_overhead > 0
+
+    def test_bad_strategy_rejected(self):
+        prog = _build(EXEC_SRC)
+        plan = analyze_loop(prog, "l")
+        with pytest.raises(ValueError):
+            HybridExecutor(prog, plan, exact_strategy="nope")
+
+    def test_rtov_definition(self):
+        prog = _build(EXEC_SRC)
+        plan = analyze_loop(prog, "l")
+        ex = HybridExecutor(prog, plan)
+        r = ex.run({"N": 16, "OFF": 0}, {"B": [0] * 256})
+        cost = CostModel(spawn_overhead=1)
+        assert 0.0 <= r.rtov(4, cost) < 1.0

@@ -1,0 +1,152 @@
+"""Unit tests for ranges, Fourier-Motzkin elimination and monotone facts."""
+
+import pytest
+
+from repro.symbolic import (
+    ArrayRef,
+    as_expr,
+    bounds_of,
+    cmp_ge,
+    cmp_gt,
+    definitely_nonneg,
+    eliminate_symbol,
+    gt0,
+    reduce_ge0,
+    reduce_gt0,
+    sym,
+    try_sign,
+)
+from repro.symbolic.monotone import (
+    monotone_simplify,
+    provably_nonneg,
+    provably_positive,
+)
+
+
+class TestRanges:
+    def test_affine_bounds(self):
+        lo, hi = bounds_of(2 * sym("i") + 3, {"i": (as_expr(1), sym("N"))})
+        assert lo == 5
+        assert hi == 2 * sym("N") + 3
+
+    def test_negative_coefficient(self):
+        lo, hi = bounds_of(-sym("i"), {"i": (as_expr(1), as_expr(10))})
+        assert lo == -10
+        assert hi == -1
+
+    def test_square_bounds(self):
+        lo, hi = bounds_of(sym("i") * sym("i"), {"i": (as_expr(1), as_expr(10))})
+        assert lo == 1
+        assert hi == 100
+
+    def test_opaque_entanglement(self):
+        e = ArrayRef("A", [sym("i")]).as_expr()
+        lo, hi = bounds_of(e, {"i": (as_expr(1), as_expr(5))})
+        assert lo is None and hi is None
+
+    def test_unranged_symbol_is_point(self):
+        lo, hi = bounds_of(sym("M") + 1, {"i": (as_expr(1), as_expr(5))})
+        assert lo == sym("M") + 1
+        assert hi == sym("M") + 1
+
+    def test_try_sign_positive(self):
+        assert try_sign(sym("i"), {"i": (as_expr(1), sym("N"))}) == "+"
+
+    def test_try_sign_constant(self):
+        assert try_sign(as_expr(-3)) == "-"
+        assert try_sign(as_expr(0)) == "0"
+
+    def test_try_sign_unknown(self):
+        assert try_sign(sym("x")) is None
+
+    def test_definitely_nonneg(self):
+        assert definitely_nonneg(sym("i") - 1, {"i": (as_expr(1), sym("N"))})
+        assert not definitely_nonneg(sym("i") - 2, {"i": (as_expr(1), sym("N"))})
+
+
+class TestFourierMotzkin:
+    def test_paper_correc_do711(self):
+        """Paper Section 3.2: eliminating i from IX1+1-IX2-i > 0 with
+        i in [1, NOP] gives IX1+1-IX2-NOP > 0 (i.e. IX2+NOP <= IX1)."""
+        expr = sym("IX1") + 1 - sym("IX2") - sym("i")
+        p = reduce_gt0(expr, {"i": (as_expr(1), sym("NOP"))}, order=("i",))
+        assert p == gt0(sym("IX1") + 1 - sym("IX2") - sym("NOP"))
+
+    def test_positive_coefficient_uses_lower(self):
+        # i - 3 > 0 with i in [5, N]: at lower bound 5-3=2>0 -> TRUE.
+        p = reduce_gt0(sym("i") - 3, {"i": (as_expr(5), sym("N"))})
+        assert p.is_true()
+
+    def test_unsatisfiable(self):
+        # i - 3 > 0 with i in [1, 2]: both cases fail.
+        p = reduce_gt0(sym("i") - 3, {"i": (as_expr(1), as_expr(2))})
+        assert p.is_false()
+
+    def test_quadratic_terminates(self):
+        i = sym("i")
+        p = reduce_gt0(i * i - i + 1, {"i": (as_expr(1), as_expr(10))})
+        # i^2 - i + 1 > 0 for all i in [1,10]; the recursion on the
+        # residual coefficient must terminate and may prove it.
+        assert p.is_true() or not p.is_false()
+
+    def test_opaque_not_decomposable(self):
+        e = ArrayRef("A", [sym("i")]).as_expr() - 1
+        p = reduce_gt0(e, {"i": (as_expr(1), as_expr(5))})
+        # Cannot eliminate through the opaque atom: falls back to the leaf.
+        assert p == gt0(e)
+
+    def test_reduce_ge0(self):
+        p = reduce_ge0(sym("i") - 1, {"i": (as_expr(1), sym("N"))})
+        assert p.is_true()
+
+    def test_eliminate_symbol_conjunction(self):
+        i, n, m = sym("i"), sym("N"), sym("M")
+        pred = cmp_gt(m, i)  # M > i for all i in [1, N]  <=  M > N
+        out = eliminate_symbol(pred, "i", 1, n)
+        assert "i" not in out.free_symbols()
+        assert out.evaluate({"M": 5, "N": 4})
+        assert not out.evaluate({"M": 4, "N": 4})
+
+    def test_eliminate_noop_when_absent(self):
+        p = cmp_gt(sym("M"), 0)
+        assert eliminate_symbol(p, "i", 1, sym("N")) == p
+
+
+class TestMonotoneFacts:
+    def test_prefix_difference(self):
+        i = sym("i")
+        diff = ArrayRef("$c", [i + 1]) - ArrayRef("$c", [i])
+        assert provably_nonneg(diff, frozenset({"$c"}))
+
+    def test_wrong_direction(self):
+        i = sym("i")
+        diff = ArrayRef("$c", [i]) - ArrayRef("$c", [i + 1])
+        assert not provably_nonneg(diff, frozenset({"$c"}))
+
+    def test_not_monotone_array(self):
+        i = sym("i")
+        diff = ArrayRef("A", [i + 1]) - ArrayRef("A", [i])
+        assert not provably_nonneg(diff, frozenset({"$c"}))
+
+    def test_positive_needs_residue(self):
+        i = sym("i")
+        e = ArrayRef("$c", [i + 1]) - ArrayRef("$c", [i]) + 1
+        assert provably_positive(e, frozenset({"$c"}))
+        e2 = ArrayRef("$c", [i + 1]) - ArrayRef("$c", [i])
+        assert not provably_positive(e2, frozenset({"$c"}))
+
+    def test_unmatched_positive_rejected(self):
+        i = sym("i")
+        # A lone +$c(i) term has unknown sign even for monotone $c.
+        assert not provably_nonneg(
+            ArrayRef("$c", [i]).as_expr(), frozenset({"$c"})
+        )
+
+    def test_monotone_simplify_folds(self):
+        i = sym("i")
+        pred = cmp_ge(ArrayRef("$c", [i + 1]).as_expr(), ArrayRef("$c", [i]).as_expr())
+        assert monotone_simplify(pred, frozenset({"$c"})).is_true()
+
+    def test_monotone_simplify_keeps_others(self):
+        pred = cmp_ge(sym("x"), 1)
+        assert monotone_simplify(pred, frozenset({"$c"})) == pred

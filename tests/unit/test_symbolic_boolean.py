@@ -1,0 +1,161 @@
+"""Unit tests for boolean leaf predicates."""
+
+import pytest
+
+from repro.symbolic import (
+    FALSE,
+    TRUE,
+    AndB,
+    Cmp,
+    Divides,
+    OrB,
+    b_and,
+    b_not,
+    b_or,
+    cmp_eq,
+    cmp_ge,
+    cmp_gt,
+    cmp_le,
+    cmp_lt,
+    cmp_ne,
+    divides,
+    ge0,
+    gt0,
+    sym,
+)
+
+
+class TestComparisons:
+    def test_constant_fold_true(self):
+        assert cmp_lt(2, 3).is_true()
+        assert cmp_ge(3, 3).is_true()
+        assert cmp_eq(4, 4).is_true()
+
+    def test_constant_fold_false(self):
+        assert cmp_gt(2, 3).is_false()
+        assert cmp_ne(4, 4).is_false()
+
+    def test_canonical_lt_as_gt(self):
+        x = sym("x")
+        # x < y  ==  y > x : both canonicalize the same way
+        assert cmp_lt(x, sym("y")) == cmp_gt(sym("y"), x)
+
+    def test_gcd_normalization(self):
+        n = sym("N")
+        assert cmp_ge(2 * n, 4) == cmp_ge(n, 2)
+
+    def test_evaluation(self):
+        p = cmp_le(sym("NS"), 16 * sym("NP"))
+        assert p.evaluate({"NS": 16, "NP": 1})
+        assert not p.evaluate({"NS": 17, "NP": 1})
+
+    def test_negation_involution(self):
+        p = cmp_gt(sym("x"), 3)
+        assert b_not(b_not(p)) == p
+
+    def test_negation_semantics(self):
+        p = cmp_gt(sym("x"), 3)
+        q = b_not(p)
+        for v in (2, 3, 4):
+            assert p.evaluate({"x": v}) != q.evaluate({"x": v})
+
+    def test_eq_ne_negation(self):
+        p = cmp_eq(sym("x"), 0)
+        assert b_not(p) == cmp_ne(sym("x"), 0)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            Cmp(sym("x"), "<")
+
+
+class TestDivides:
+    def test_constant_fold(self):
+        assert divides(3, 9).is_true()
+        assert divides(3, 10).is_false()
+
+    def test_unit_divisor(self):
+        assert divides(1, sym("x")).is_true()
+
+    def test_all_coeffs_divisible(self):
+        assert divides(2, 4 * sym("x") + 6).is_true()
+
+    def test_symbolic(self):
+        p = divides(2, sym("x") + 1)
+        assert isinstance(p, Divides)
+        assert p.evaluate({"x": 1})
+        assert not p.evaluate({"x": 2})
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            divides(0, sym("x"))
+
+
+class TestConnectives:
+    def test_and_true_unit(self):
+        p = gt0(sym("x"))
+        assert b_and(TRUE, p) == p
+
+    def test_and_false_absorbs(self):
+        assert b_and(gt0(sym("x")), FALSE).is_false()
+
+    def test_or_false_unit(self):
+        p = gt0(sym("x"))
+        assert b_or(FALSE, p) == p
+
+    def test_or_true_absorbs(self):
+        assert b_or(gt0(sym("x")), TRUE).is_true()
+
+    def test_flattening(self):
+        a, b, c = gt0(sym("a")), gt0(sym("b")), gt0(sym("c"))
+        nested = b_and(a, b_and(b, c))
+        assert isinstance(nested, AndB)
+        assert len(nested.args) == 3
+
+    def test_dedup(self):
+        a = gt0(sym("a"))
+        assert b_or(a, a) == a
+
+    def test_absorption_or(self):
+        a, b = gt0(sym("a")), gt0(sym("b"))
+        assert b_or(a, b_and(a, b)) == a
+
+    def test_absorption_and(self):
+        a, b = gt0(sym("a")), gt0(sym("b"))
+        assert b_and(a, b_or(a, b)) == a
+
+    def test_complementary_or_folds_true(self):
+        p = cmp_eq(sym("x"), 3)
+        assert b_or(p, b_not(p)).is_true()
+
+    def test_complementary_gt(self):
+        p = cmp_gt(sym("x"), 3)
+        assert b_or(p, b_not(p)).is_true()
+
+    def test_de_morgan(self):
+        a, b = gt0(sym("a")), gt0(sym("b"))
+        assert b_not(b_and(a, b)) == b_or(b_not(a), b_not(b))
+        assert b_not(b_or(a, b)) == b_and(b_not(a), b_not(b))
+
+    def test_and_evaluation(self):
+        p = b_and(gt0(sym("a")), gt0(sym("b")))
+        assert p.evaluate({"a": 1, "b": 1})
+        assert not p.evaluate({"a": 1, "b": 0})
+
+    def test_or_evaluation(self):
+        p = b_or(gt0(sym("a")), gt0(sym("b")))
+        assert p.evaluate({"a": 0, "b": 1})
+        assert not p.evaluate({"a": 0, "b": 0})
+
+    def test_substitute(self):
+        p = b_and(gt0(sym("a")), ge0(sym("b") - sym("a")))
+        q = p.substitute({"a": sym("c") + 1})
+        assert q.evaluate({"c": 0, "b": 1})
+
+    def test_nary_requires_two(self):
+        with pytest.raises(ValueError):
+            AndB([TRUE])
+
+    def test_key_is_order_insensitive(self):
+        a, b = gt0(sym("a")), gt0(sym("b"))
+        assert b_and(a, b) == b_and(b, a)
+        assert b_or(a, b) == b_or(b, a)

@@ -1,0 +1,241 @@
+"""Unit tests for the canonical symbolic expression algebra."""
+
+import pytest
+
+from repro.symbolic import (
+    ArrayRef,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Sym,
+    as_expr,
+    floor_div,
+    smax,
+    smin,
+    sym,
+)
+
+
+class TestConstruction:
+    def test_int_coercion(self):
+        assert as_expr(5).is_constant()
+        assert as_expr(5).constant_value() == 5
+
+    def test_zero(self):
+        assert as_expr(0) == 0
+        assert (sym("x") - sym("x")) == 0
+
+    def test_sym_roundtrip(self):
+        x = sym("x")
+        assert x.free_symbols() == {"x"}
+        assert not x.is_constant()
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_expr("hello")
+
+    def test_direct_expr_constructor_forbidden(self):
+        with pytest.raises(TypeError):
+            Expr(1, 2)
+
+
+class TestArithmetic:
+    def test_addition_canonical(self):
+        x, y = sym("x"), sym("y")
+        assert x + y == y + x
+
+    def test_subtraction_cancels(self):
+        x = sym("x")
+        assert (3 * x + 2) - (3 * x) == 2
+
+    def test_multiplication_distributes(self):
+        x, y = sym("x"), sym("y")
+        assert (x + 1) * (y + 2) == x * y + 2 * x + y + 2
+
+    def test_multiplication_commutative(self):
+        x, y = sym("x"), sym("y")
+        assert x * y == y * x
+
+    def test_power_collection(self):
+        x = sym("x")
+        assert (x * x).max_degree_of("x") == 2
+
+    def test_neg(self):
+        x = sym("x")
+        assert -(-x) == x
+
+    def test_rsub(self):
+        x = sym("x")
+        assert (5 - x) + x == 5
+
+    def test_constant_fold(self):
+        assert as_expr(3) * 4 + 2 == 14
+
+    def test_floordiv_exact(self):
+        x = sym("x")
+        assert (4 * x + 8) // 4 == x + 2
+
+    def test_floordiv_irreducible(self):
+        x = sym("x")
+        e = (x + 1) // 2
+        atoms = e.atoms()
+        assert any(isinstance(a, FloorDiv) for a in atoms)
+
+    def test_floordiv_bad_den(self):
+        with pytest.raises(ValueError):
+            floor_div(sym("x"), 0)
+
+
+class TestQueries:
+    def test_constant_term(self):
+        x = sym("x")
+        assert (3 * x + 7).constant_term() == 7
+        assert (3 * x).constant_term() == 0
+
+    def test_constant_value_raises_on_symbolic(self):
+        with pytest.raises(ValueError):
+            sym("x").constant_value()
+
+    def test_coeff_of(self):
+        x, n = sym("x"), sym("N")
+        e = 3 * x * n + 2 * x + 5
+        assert e.coeff_of("x") == 3 * n + 2
+
+    def test_drop(self):
+        x, n = sym("x"), sym("N")
+        e = 3 * x + n + 1
+        assert e.drop("x") == n + 1
+
+    def test_affine_in(self):
+        x, n = sym("x"), sym("N")
+        assert (3 * x + n).is_affine_in(["x"])
+        assert not (x * x).is_affine_in(["x"])
+        assert (n * n + x).is_affine_in(["x"])
+
+    def test_affine_in_opaque_atom(self):
+        x = sym("x")
+        e = ArrayRef("A", [x]).as_expr()
+        assert not e.is_affine_in(["x"])
+
+    def test_content_gcd(self):
+        x, y = sym("x"), sym("y")
+        assert (4 * x + 6 * y).content_gcd() == 2
+        assert as_expr(0).content_gcd() == 0
+
+    def test_depends_on(self):
+        assert (sym("x") + sym("y")).depends_on("x")
+        assert not sym("x").depends_on("z")
+
+
+class TestEvaluation:
+    def test_basic(self):
+        x, y = sym("x"), sym("y")
+        assert (2 * x + y * y).evaluate({"x": 3, "y": 4}) == 22
+
+    def test_array_ref_sequence(self):
+        e = ArrayRef("A", [sym("i")]).as_expr()
+        assert e.evaluate({"i": 2, "A": [10, 20, 30]}) == 20  # 1-based
+
+    def test_array_ref_callable(self):
+        e = ArrayRef("A", [sym("i")]).as_expr()
+        assert e.evaluate({"i": 5, "A": lambda i: i * i}) == 25
+
+    def test_unbound_symbol(self):
+        with pytest.raises(KeyError):
+            sym("nope").evaluate({})
+
+    def test_unbound_array(self):
+        with pytest.raises(KeyError):
+            ArrayRef("A", [as_expr(1)]).as_expr().evaluate({})
+
+    def test_min_max(self):
+        e = smin(sym("a"), sym("b")) + smax(sym("a"), 3)
+        assert e.evaluate({"a": 5, "b": 2}) == 2 + 5
+
+    def test_floor_div_eval(self):
+        e = floor_div(sym("x") + 1, 2)
+        assert e.evaluate({"x": 4}) == 2
+        assert e.evaluate({"x": 5}) == 3
+
+
+class TestSubstitution:
+    def test_simple(self):
+        x, y = sym("x"), sym("y")
+        assert (x + y).substitute({"x": as_expr(3)}) == y + 3
+
+    def test_into_array_index(self):
+        e = ArrayRef("A", [sym("i") + 1]).as_expr()
+        out = e.substitute({"i": sym("j") * 2})
+        assert out == ArrayRef("A", [sym("j") * 2 + 1]).as_expr()
+
+    def test_product_substitution(self):
+        x = sym("x")
+        e = x * x
+        assert e.substitute({"x": sym("y") + 1}) == (sym("y") + 1) * (sym("y") + 1)
+
+    def test_noop_when_absent(self):
+        e = sym("x") + 1
+        assert e.substitute({"z": as_expr(9)}) is e
+
+    def test_eval_substitute_commute(self):
+        x, y = sym("x"), sym("y")
+        e = 3 * x * y + y + 2
+        env = {"y": 7}
+        subbed = e.substitute({"x": as_expr(4)})
+        assert subbed.evaluate(env) == e.evaluate({"x": 4, "y": 7})
+
+
+class TestExtrema:
+    def test_min_constant_fold(self):
+        assert smin(3, 5, 1) == 1
+        assert smax(3, 5, 1) == 5
+
+    def test_min_flatten(self):
+        x, y, z = sym("x"), sym("y"), sym("z")
+        nested = smin(x, smin(y, z))
+        flat = smin(x, y, z)
+        assert nested == flat
+
+    def test_min_dedup_single(self):
+        x = sym("x")
+        assert smin(x, x) == x
+
+    def test_min_atom_class(self):
+        m = smin(sym("x"), sym("y"))
+        assert any(isinstance(a, Min) for a in m.atoms())
+
+    def test_max_atom_class(self):
+        m = smax(sym("x"), sym("y"))
+        assert any(isinstance(a, Max) for a in m.atoms())
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smin()
+
+
+class TestHashingOrdering:
+    def test_equal_hash(self):
+        a = 3 * sym("x") + sym("y")
+        b = sym("y") + sym("x") * 3
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_constant_hash_matches_int(self):
+        assert hash(as_expr(42)) == hash(42)
+
+    def test_array_refs_order_stably(self):
+        i = sym("i")
+        e = ArrayRef("B", [i + 1]) + ArrayRef("A", [i]) - ArrayRef("B", [i])
+        # Just ensure canonicalization doesn't blow up and is stable.
+        assert e == ArrayRef("A", [i]) + ArrayRef("B", [i + 1]) - ArrayRef("B", [i])
+
+    def test_atoms_set(self):
+        i = sym("i")
+        e = ArrayRef("A", [i]) * 2 + i
+        names = {type(a).__name__ for a in e.atoms()}
+        assert names == {"ArrayRef", "Sym"}

@@ -1,0 +1,148 @@
+"""Unit tests for USR nodes, smart constructors, and exact evaluation."""
+
+import pytest
+
+from repro.lmad import interval, point
+from repro.symbolic import TRUE, cmp_eq, cmp_ge, cmp_ne, sym
+from repro.usr import (
+    EMPTY,
+    CallSite,
+    Gate,
+    Intersect,
+    Leaf,
+    Recurrence,
+    Subtract,
+    Union,
+    usr_call,
+    usr_gate,
+    usr_intersect,
+    usr_leaf,
+    usr_recurrence,
+    usr_subtract,
+    usr_union,
+)
+
+A = usr_leaf(interval(1, 10))
+B = usr_leaf(interval(5, 15))
+C = usr_leaf(interval(20, 30))
+
+
+class TestConstructors:
+    def test_union_flattens_and_merges_leaves(self):
+        u = usr_union(A, usr_union(B, C))
+        assert isinstance(u, Leaf)  # adjacent leaves merge into one
+        assert u.evaluate({}) == set(range(1, 16)) | set(range(20, 31))
+
+    def test_union_drops_empty(self):
+        assert usr_union(EMPTY, A) == A
+
+    def test_union_empty(self):
+        assert usr_union().is_empty_leaf()
+
+    def test_intersect_idempotent(self):
+        assert usr_intersect(A, A) == A
+
+    def test_intersect_empty_propagates(self):
+        assert usr_intersect(A, EMPTY).is_empty_leaf()
+
+    def test_subtract_identity(self):
+        assert usr_subtract(A, EMPTY) == A
+        assert usr_subtract(EMPTY, A).is_empty_leaf()
+        assert usr_subtract(A, A).is_empty_leaf()
+
+    def test_subtract_regroups(self):
+        """(A - B) - C  ->  A - (B u C): the Section 3.4 reshaping."""
+        s = usr_subtract(usr_subtract(A, B), C)
+        assert isinstance(s, Subtract)
+        assert s.left == A
+        assert s.right.evaluate({}) == B.evaluate({}) | C.evaluate({})
+
+    def test_gate_folds_constants(self):
+        assert usr_gate(TRUE, A) == A
+        from repro.symbolic import FALSE
+
+        assert usr_gate(FALSE, A).is_empty_leaf()
+
+    def test_gate_fuses_nested(self):
+        g = usr_gate(cmp_ne(sym("x"), 1), usr_gate(cmp_ge(sym("y"), 0), A))
+        assert isinstance(g, Gate)
+        assert isinstance(g.body, Leaf)
+
+    def test_call_barrier(self):
+        c = usr_call("foo", A)
+        assert isinstance(c, CallSite)
+        assert c.evaluate({}) == A.evaluate({})
+
+    def test_recurrence_exact_aggregation(self):
+        r = usr_recurrence("i", 1, sym("N"), usr_leaf(point(sym("i"))))
+        # Aggregates into a gated leaf, not a Recurrence node.
+        assert not isinstance(r, Recurrence)
+        assert r.evaluate({"N": 5}) == {1, 2, 3, 4, 5}
+
+    def test_recurrence_invariant_body(self):
+        r = usr_recurrence("i", 1, sym("N"), A)
+        assert r.evaluate({"N": 3}) == A.evaluate({})
+        assert r.evaluate({"N": 0}) == set()  # empty range gate
+
+    def test_recurrence_irreducible(self):
+        from repro.symbolic import ArrayRef
+
+        body = usr_leaf(point(ArrayRef("B", [sym("i")])))
+        r = usr_recurrence("i", 1, sym("N"), body)
+        assert isinstance(r, Recurrence)
+        assert r.evaluate({"N": 3, "B": [7, 7, 9]}) == {7, 9}
+
+
+class TestEvaluation:
+    def test_gate_semantics(self):
+        g = usr_gate(cmp_eq(sym("s"), 1), A)
+        assert g.evaluate({"s": 1}) == A.evaluate({})
+        assert g.evaluate({"s": 0}) == set()
+
+    def test_subtract_semantics(self):
+        s = usr_subtract(A, B)
+        assert s.evaluate({}) == {1, 2, 3, 4}
+
+    def test_intersect_semantics(self):
+        s = usr_intersect(A, B)
+        assert s.evaluate({}) == {5, 6, 7, 8, 9, 10}
+
+    def test_nested_recurrences(self):
+        inner = usr_recurrence(
+            "j", 1, sym("i"), usr_leaf(point(sym("i") * 10 + sym("j")))
+        )
+        outer = usr_recurrence("i", 1, 3, inner)
+        expected = {i * 10 + j for i in range(1, 4) for j in range(1, i + 1)}
+        assert outer.evaluate({}) == expected
+
+    def test_partial_recurrence_flag_roundtrip(self):
+        from repro.symbolic import ArrayRef
+
+        body = usr_leaf(point(ArrayRef("B", [sym("k")])))
+        r = usr_recurrence("k", 1, sym("i") - 1, body, partial=True)
+        assert isinstance(r, Recurrence) and r.partial
+
+    def test_substitute(self):
+        r = usr_gate(cmp_ge(sym("N"), 1), usr_leaf(interval(1, sym("N"))))
+        out = r.substitute({"N": sym("M") * 2})
+        assert out.evaluate({"M": 2}) == {1, 2, 3, 4}
+
+    def test_substitute_respects_binding(self):
+        from repro.symbolic import ArrayRef
+
+        body = usr_leaf(point(ArrayRef("B", [sym("i")])))
+        r = usr_recurrence("i", 1, sym("N"), body)
+        out = r.substitute({"i": sym("ZZZ")})  # bound: must not substitute
+        assert out == r
+
+    def test_loop_depth(self):
+        from repro.symbolic import ArrayRef
+
+        body = usr_leaf(point(ArrayRef("B", [sym("i")])))
+        r = usr_recurrence("i", 1, sym("N"), body)
+        assert r.loop_depth() == 1
+        assert A.loop_depth() == 0
+
+    def test_node_count(self):
+        s = usr_subtract(A, B)
+        assert s.node_count() == 3
