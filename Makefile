@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench docs-check batch clean
+
+## Tier-1 verification: the full unit/property/integration/benchmark suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Performance micro-benchmarks only (interning speedup, overheads, ...).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## Verify README/ARCHITECTURE links and module-map paths resolve.
+docs-check:
+	$(PYTHON) tools/check_doc_links.py
+
+## Analyze the whole benchmark suite concurrently (persistent cache).
+batch:
+	$(PYTHON) -m repro.evaluation batch
+
+clean:
+	rm -rf .repro-cache .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

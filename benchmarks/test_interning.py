@@ -1,0 +1,95 @@
+"""Micro-benchmarks for the hash-consed symbolic core.
+
+The acceptance bar for the interning/memoization layer is that a
+*repeated* full-suite analysis runs at least 2x faster than the cold
+path.  The caches make it dramatically faster than that (the second run
+is almost entirely dict lookups), but the assertion is kept at the
+conservative 2x so the benchmark stays robust on slow or noisy machines.
+"""
+
+import time
+
+import pytest
+
+from repro.core import HybridAnalyzer
+from repro.pdag import Cascade, CascadeStage, p_leaf
+from repro.symbolic import as_expr, cache_stats, clear_caches, gt0, sym
+from repro.symbolic.expr import ArrayRef
+from repro.workloads import ALL_BENCHMARKS
+
+
+def _analyze_full_suite():
+    for spec in ALL_BENCHMARKS:
+        analyzer = HybridAnalyzer(spec.program)
+        for loop in spec.loops:
+            analyzer.analyze(loop.label)
+
+
+def test_expressions_are_hash_consed():
+    """Structurally equal expressions are pointer-equal."""
+    a = sym("N") * 3 + sym("M") - 7
+    b = sym("N") * 3 + sym("M") - 7
+    assert a is b
+    assert (a + 1) is (b + 1)
+
+
+def test_interning_survives_cache_clear():
+    """Clearing caches degrades identity, never correctness."""
+    a = sym("N") + 1
+    clear_caches()
+    b = sym("N") + 1
+    assert a == b  # structural equality still holds
+    assert b is (sym("N") + 1)  # and new values intern afresh
+
+
+def test_repeated_full_suite_analysis_speedup():
+    """Second full-suite analysis must be >= 2x faster than the cold run."""
+    clear_caches()
+    t0 = time.perf_counter()
+    _analyze_full_suite()
+    cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    _analyze_full_suite()
+    warm = time.perf_counter() - t0
+
+    speedup = cold / max(warm, 1e-9)
+    assert speedup >= 2.0, (
+        f"warm full-suite analysis only {speedup:.2f}x faster "
+        f"(cold={cold:.3f}s, warm={warm:.3f}s)"
+    )
+
+
+def test_caches_report_hits_after_warm_run():
+    """The memo registry records real reuse during repeated analysis."""
+    clear_caches()
+    _analyze_full_suite()
+    _analyze_full_suite()
+    stats = cache_stats()
+    assert stats["core.cascade_of"]["hits"] > 0
+    assert stats["symbolic.expr"]["hit_rate"] > 0.5
+    assert stats["usr.nodes"]["hits"] > 0
+
+
+def test_cascade_shares_leaf_evaluations_across_stages():
+    """A leaf shared by several cascade stages evaluates its (possibly
+    expensive) condition once per cascade run; the modelled cost still
+    counts each logical evaluation."""
+    calls = {"n": 0}
+
+    def probe(_idx):
+        calls["n"] += 1
+        return -1  # leaf is false -> every stage is consulted
+
+    shared = p_leaf(gt0(as_expr(ArrayRef("PROBE", [1]))))
+    cascade = Cascade(
+        [
+            CascadeStage("O(1)", shared),
+            CascadeStage("O(N)", shared),
+            CascadeStage("O(N^2)", shared),
+        ]
+    )
+    outcome = cascade.evaluate({"PROBE": probe})
+    assert not outcome.passed
+    assert calls["n"] == 1  # evaluated once, shared across stages
+    assert outcome.stats.leaf_evals == 3  # modelled cost unchanged

@@ -1,3 +1,30 @@
-from setuptools import setup
+"""Packaging for the hybrid-analysis reproduction (src/ layout).
 
-setup()
+``pip install -e .`` makes ``import repro`` work without PYTHONPATH
+hacks and installs the ``repro-eval`` console entry point (equivalent to
+``python -m repro.evaluation``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-hybrid-analysis",
+    version="0.2.0",
+    description=(
+        "Reproduction of a hybrid static/dynamic automatic-parallelization "
+        "framework: USR summaries, FACTOR predicate extraction, cascaded "
+        "runtime tests, and the paper's evaluation harness."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[],  # pure standard library at runtime
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-eval=repro.evaluation.cli:main",
+        ],
+    },
+)

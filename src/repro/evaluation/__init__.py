@@ -1,5 +1,15 @@
-"""Evaluation harness: regenerates Tables 1-3 and Figures 10-13."""
+"""Evaluation harness: regenerates Tables 1-3 and Figures 10-13, and
+batch-analyzes the whole suite concurrently (:mod:`.batch`)."""
 
+from .batch import (
+    BatchCache,
+    BatchReport,
+    BenchmarkResult,
+    LoopResult,
+    analyze_benchmark,
+    format_batch,
+    run_batch,
+)
 from .figures import FIGURES, FigureSeries, format_figure, generate_figure
 from .model import (
     BenchmarkMeasurement,
@@ -19,4 +29,6 @@ __all__ = [
     "generate_table", "format_table", "TableReport", "TableRow",
     "classification_compatible",
     "generate_figure", "format_figure", "FigureSeries", "FIGURES",
+    "run_batch", "analyze_benchmark", "format_batch",
+    "BatchCache", "BatchReport", "BenchmarkResult", "LoopResult",
 ]

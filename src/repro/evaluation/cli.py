@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate any table or figure.
+"""Command-line entry point: regenerate any table or figure, or batch-run
+the whole suite.
 
 Usage::
 
@@ -7,6 +8,13 @@ Usage::
     repro-eval fig10 fig13       # figures
     repro-eval all               # everything
     repro-eval table1 --scale 2  # larger datasets
+
+    repro-eval batch                     # all 26 benchmarks, in parallel
+    repro-eval batch --suite perfect     # one suite only
+    repro-eval batch --jobs 4 --no-cache # bounded workers, force re-run
+    repro-eval batch --clear-cache       # drop the persistent cache
+
+(``python -m repro.evaluation ...`` is equivalent to ``repro-eval ...``.)
 """
 
 from __future__ import annotations
@@ -14,24 +22,88 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .batch import BatchCache, format_batch, run_batch
 from .figures import FIGURES, format_figure, generate_figure
 from .tables import format_table, generate_table
 
 __all__ = ["main"]
 
 _TABLES = {"table1": "perfect", "table2": "spec92", "table3": "spec2000"}
+_SUITES = ("perfect", "spec92", "spec2000")
+
+
+def _batch_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval batch",
+        description="Analyze all benchmarks concurrently with a persistent "
+        "on-disk result cache.",
+    )
+    parser.add_argument(
+        "--suite", action="append", choices=_SUITES,
+        help="restrict to one suite (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--benchmark", action="append", metavar="NAME",
+        help="restrict to named benchmarks (repeatable)",
+    )
+    parser.add_argument(
+        "--system", choices=("hybrid", "baseline"), default="hybrid",
+        help="which system to measure (default: hybrid)",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker threads (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cache location (default: .repro-cache or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the persistent cache entirely",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="delete the persistent cache and exit",
+    )
+    args = parser.parse_args(argv)
+
+    cache = BatchCache(args.cache_dir)
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    try:
+        report = run_batch(
+            suites=args.suite,
+            names=args.benchmark,
+            system=args.system,
+            scale=args.scale,
+            jobs=args.jobs,
+            cache=None if args.no_cache else cache,
+            use_cache=not args.no_cache,
+        )
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc.args[0] if exc.args else exc))
+    print(format_batch(report))
+    return 0 if all(l.correct for r in report.results for l in r.loops) else 1
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "batch":
+        return _batch_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eval",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures "
+        "(or 'batch' to analyze the whole suite concurrently).",
     )
     parser.add_argument(
         "artifacts",
         nargs="+",
         choices=sorted(_TABLES) + sorted(FIGURES) + ["all"],
-        help="which artifacts to regenerate",
+        help="which artifacts to regenerate (or the 'batch' subcommand)",
     )
     parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
     args = parser.parse_args(argv)
@@ -47,7 +119,3 @@ def main(argv: list[str] | None = None) -> int:
             print(format_figure(generate_figure(artifact, scale=args.scale)))
         print()
     return 0
-
-
-if __name__ == "__main__":
-    sys.exit(main())

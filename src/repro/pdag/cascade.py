@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..symbolic import EvalEnv
+from ..symbolic.intern import Memo
 from .nodes import EvalStats, PAnd, PCall, PDAG, PFALSE, PLeaf, PLoopAnd, POr, p_and, p_call, p_loop_and, p_or
 from .simplify import simplify
 
@@ -83,10 +84,18 @@ class Cascade:
     def evaluate(self, env: EvalEnv) -> CascadeOutcome:
         """Evaluate stages in order; the first success wins (Section 5:
         'the first successful predicate disables the evaluation of the
-        rest')."""
+        rest').
+
+        A single leaf-evaluation memo is shared across the stages: each
+        stage is a strengthened copy of the full predicate, so the
+        invariant leaves it shares with cheaper stages evaluate only
+        once per cascade run.  The modelled cost (:class:`EvalStats`)
+        still counts every logical evaluation.
+        """
         stats = EvalStats()
+        memo: dict = {}
         for i, stage in enumerate(self.stages):
-            if stage.predicate.evaluate(env, stats):
+            if stage.predicate.evaluate(env, stats, memo):
                 return CascadeOutcome(True, stage.label, i, stats)
         return CascadeOutcome(False, None, None, stats)
 
@@ -98,13 +107,27 @@ class Cascade:
         return f"Cascade[{inside}]"
 
 
+#: Memo for :func:`build_cascade`: cascade factoring re-simplifies the
+#: predicate once per depth, and identical predicates recur across arrays
+#: and across repeated full-suite analysis runs.
+_CASCADE_MEMO = Memo("pdag.build_cascade", max_size=100_000)
+
+
 def build_cascade(pred: PDAG) -> Cascade:
     """Factor *pred* into the complexity-ordered cascade.
 
     Stages are deduplicated: a depth-k stage identical to a cheaper stage
     (or provably false) is dropped.  The full predicate always terminates
     the cascade unless a cheaper stage is already equivalent to it.
+    Memoized on the predicate (cascades are immutable once built).
     """
+    cached = _CASCADE_MEMO.get(pred)
+    if cached is not None:
+        return cached
+    return _CASCADE_MEMO.put(pred, _build_cascade(pred))
+
+
+def _build_cascade(pred: PDAG) -> Cascade:
     full = simplify(pred)
     max_depth = full.loop_depth()
     stages: list[CascadeStage] = []

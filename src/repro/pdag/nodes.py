@@ -56,11 +56,26 @@ class EvalStats:
 
 class PDAG:
     """Base class of predicate-DAG nodes.  Immutable and hashable (hash
-    cached -- predicates are DAGs with heavy sharing)."""
+    cached -- predicates are DAGs with heavy sharing).
+
+    ``evaluate`` optionally takes a *memo* dictionary mapping leaf nodes
+    to already-computed truth values under the current (top-level)
+    environment.  A cascade passes one memo across all of its stages, so
+    sub-predicates shared between the O(1)/O(N)/full stages evaluate
+    once.  The memo is dropped when entering a loop conjunction (the
+    environment changes per iteration) and never alters the modelled
+    cost: :class:`EvalStats` counters advance exactly as if every leaf
+    had been re-evaluated, keeping the paper's RTov accounting intact.
+    """
 
     __slots__ = ("_hash_cache",)
 
-    def evaluate(self, env: EvalEnv, stats: Optional[EvalStats] = None) -> bool:
+    def evaluate(
+        self,
+        env: EvalEnv,
+        stats: Optional[EvalStats] = None,
+        memo: Optional[dict] = None,
+    ) -> bool:
         raise NotImplementedError
 
     def children(self) -> tuple["PDAG", ...]:
@@ -99,6 +114,8 @@ class PDAG:
         return f"O(N^{d})"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(self) is type(other) and self.key() == other.key()
 
     def __hash__(self) -> int:
@@ -117,9 +134,21 @@ class PLeaf(PDAG):
     def __init__(self, cond: BoolExpr):
         self.cond = cond
 
-    def evaluate(self, env: EvalEnv, stats: Optional[EvalStats] = None) -> bool:
+    def evaluate(
+        self,
+        env: EvalEnv,
+        stats: Optional[EvalStats] = None,
+        memo: Optional[dict] = None,
+    ) -> bool:
         if stats is not None:
             stats.leaf_evals += 1
+        if memo is not None:
+            cached = memo.get(self)
+            if cached is not None:
+                return cached
+            result = self.cond.evaluate(env)
+            memo[self] = result
+            return result
         return self.cond.evaluate(env)
 
     def children(self) -> tuple[PDAG, ...]:
@@ -173,8 +202,13 @@ class PAnd(_NaryP):
     __slots__ = ()
     _symbol = "AND"
 
-    def evaluate(self, env: EvalEnv, stats: Optional[EvalStats] = None) -> bool:
-        return all(a.evaluate(env, stats) for a in self.args)
+    def evaluate(
+        self,
+        env: EvalEnv,
+        stats: Optional[EvalStats] = None,
+        memo: Optional[dict] = None,
+    ) -> bool:
+        return all(a.evaluate(env, stats, memo) for a in self.args)
 
     def substitute(self, mapping: Mapping[str, Expr]) -> PDAG:
         return p_and(*(a.substitute(mapping) for a in self.args))
@@ -186,8 +220,13 @@ class POr(_NaryP):
     __slots__ = ()
     _symbol = "OR"
 
-    def evaluate(self, env: EvalEnv, stats: Optional[EvalStats] = None) -> bool:
-        return any(a.evaluate(env, stats) for a in self.args)
+    def evaluate(
+        self,
+        env: EvalEnv,
+        stats: Optional[EvalStats] = None,
+        memo: Optional[dict] = None,
+    ) -> bool:
+        return any(a.evaluate(env, stats, memo) for a in self.args)
 
     def substitute(self, mapping: Mapping[str, Expr]) -> PDAG:
         return p_or(*(a.substitute(mapping) for a in self.args))
@@ -209,7 +248,14 @@ class PLoopAnd(PDAG):
         self.upper = as_expr(upper)
         self.body = body
 
-    def evaluate(self, env: EvalEnv, stats: Optional[EvalStats] = None) -> bool:
+    def evaluate(
+        self,
+        env: EvalEnv,
+        stats: Optional[EvalStats] = None,
+        memo: Optional[dict] = None,
+    ) -> bool:
+        # The body runs under per-iteration environments: the shared
+        # cascade memo (keyed on the top-level env) must not leak in.
         lo = self.lower.evaluate(env)
         hi = self.upper.evaluate(env)
         child_env = dict(env)
@@ -254,8 +300,13 @@ class PCall(PDAG):
         self.callee = callee
         self.body = body
 
-    def evaluate(self, env: EvalEnv, stats: Optional[EvalStats] = None) -> bool:
-        return self.body.evaluate(env, stats)
+    def evaluate(
+        self,
+        env: EvalEnv,
+        stats: Optional[EvalStats] = None,
+        memo: Optional[dict] = None,
+    ) -> bool:
+        return self.body.evaluate(env, stats, memo)
 
     def children(self) -> tuple[PDAG, ...]:
         return (self.body,)

@@ -23,6 +23,7 @@ has no negative positions), preserving the sufficiency invariant
 from __future__ import annotations
 
 from ..symbolic import eliminate_symbol
+from ..symbolic.intern import Memo
 from .nodes import (
     PAnd,
     PCall,
@@ -88,7 +89,7 @@ def _try_eliminate(leaf: PLeaf, index: str, lower, upper) -> PDAG:
     return p_leaf(reduced)
 
 
-_HOIST_MEMO: dict = {}
+_HOIST_MEMO = Memo("pdag.hoist_invariants", max_size=200_000)
 
 
 def hoist_invariants(node: PDAG) -> PDAG:
@@ -100,10 +101,7 @@ def hoist_invariants(node: PDAG) -> PDAG:
     cached = _HOIST_MEMO.get(node)
     if cached is not None:
         return cached
-    result = _hoist_invariants(node)
-    if len(_HOIST_MEMO) < 200_000:
-        _HOIST_MEMO[node] = result
-    return result
+    return _HOIST_MEMO.put(node, _hoist_invariants(node))
 
 
 def _hoist_invariants(node: PDAG) -> PDAG:
@@ -160,12 +158,23 @@ def _hoist_invariants(node: PDAG) -> PDAG:
     raise TypeError(f"unknown PDAG node {node!r}")
 
 
+_SIMPLIFY_MEMO = Memo("pdag.simplify", max_size=100_000)
+
+
 def simplify(node: PDAG) -> PDAG:
-    """Run hoisting + factor extraction to a (bounded) fixpoint."""
+    """Run hoisting + factor extraction to a (bounded) fixpoint.
+
+    Memoized on the input node: the analyzer simplifies the same factored
+    predicates once per array per run, and cascade construction
+    re-simplifies each strengthened stage.
+    """
+    cached = _SIMPLIFY_MEMO.get(node)
+    if cached is not None:
+        return cached
     current = node
     for _ in range(_MAX_PASSES):
         improved = hoist_invariants(current)
         if improved == current:
-            return current
+            break
         current = improved
-    return current
+    return _SIMPLIFY_MEMO.put(node, current)

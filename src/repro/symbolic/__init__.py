@@ -50,6 +50,7 @@ from .expr import (
     sym,
 )
 from .fourier_motzkin import eliminate_symbol, reduce_ge0, reduce_gt0
+from .intern import Interner, Memo, cache_stats, clear_caches
 from .ranges import Bounds, BoundsEnv, bounds_of, definitely_nonneg, try_sign
 
 __all__ = [
@@ -63,4 +64,6 @@ __all__ = [
     # ranges / FM
     "Bounds", "BoundsEnv", "bounds_of", "try_sign", "definitely_nonneg",
     "reduce_gt0", "reduce_ge0", "eliminate_symbol",
+    # interning / memoization
+    "Interner", "Memo", "cache_stats", "clear_caches",
 ]

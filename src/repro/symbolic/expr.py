@@ -16,12 +16,19 @@ Atoms are themselves small immutable objects:
 Keeping expressions in normal form makes structural equality coincide with
 (most) semantic equality, which the inference rules of the FACTOR algorithm
 rely on: e.g. proving two LMADs share a stride reduces to an ``==`` check.
+
+Expressions and symbols are *hash-consed* (see :mod:`repro.symbolic.intern`):
+the canonicalizing constructors intern their results, so structural
+equality additionally coincides with pointer equality for values built
+after the last :func:`~repro.symbolic.intern.clear_caches` call.
 """
 
 from __future__ import annotations
 
 from functools import total_ordering
 from typing import Callable, Iterable, Iterator, Mapping, Union
+
+from .intern import Interner
 
 __all__ = [
     "Atom",
@@ -81,6 +88,8 @@ class Atom:
 
     # -- comparisons / hashing ------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(self) is type(other) and self.key() == other.key()
 
     def __lt__(self, other: "Atom") -> bool:
@@ -126,14 +135,33 @@ class Atom:
         return -self.as_expr()
 
 
+#: Interning table for :class:`Sym` atoms (symbol names recur endlessly).
+_SYM_INTERN = Interner("symbolic.sym", max_size=100_000)
+
+
 @total_ordering
 class Sym(Atom):
-    """A named integer-valued program symbol."""
+    """A named integer-valued program symbol.
+
+    Instances are hash-consed by name: ``Sym('i') is Sym('i')``.
+    """
 
     __slots__ = ("name",)
 
+    def __new__(cls, name: str):
+        cached = _SYM_INTERN.data.get(name)
+        if cached is not None:
+            _SYM_INTERN.hits += 1
+            return cached
+        _SYM_INTERN.misses += 1
+        self = super().__new__(cls)
+        return _SYM_INTERN.put(name, self)
+
     def __init__(self, name: str):
         self.name = name
+
+    def __getnewargs__(self) -> tuple:
+        return (self.name,)
 
     def key(self) -> tuple:
         return (self.name,)
@@ -288,12 +316,23 @@ class FloorDiv(Atom):
 Monomial = tuple
 
 
+#: Interning table for :class:`Expr`: canonical terms tuple -> instance.
+_EXPR_INTERN = Interner("symbolic.expr", max_size=1_000_000)
+
+
 class Expr:
     """An integer polynomial over symbolic atoms, in canonical form.
 
     Construct via :func:`as_expr`, :func:`sym`, arithmetic on existing
     expressions, or the atom classes.  Instances are immutable and hashable;
     structural equality is canonical-form equality.
+
+    Expressions are hash-consed: :meth:`_from_terms` interns on the
+    canonical terms tuple, so structurally equal expressions built
+    anywhere in the system are pointer-equal.  Equality therefore hits
+    the identity fast path on the (very hot) comparison-heavy paths of
+    the FACTOR rules, and every downstream cache can key on expressions
+    cheaply.
     """
 
     __slots__ = ("_terms", "_hash")
@@ -303,11 +342,17 @@ class Expr:
 
     @classmethod
     def _from_terms(cls, terms: Mapping[Monomial, int]) -> "Expr":
-        self = object.__new__(cls)
         clean = {m: c for m, c in terms.items() if c != 0}
-        object.__setattr__(self, "_terms", tuple(sorted(clean.items(), key=cls._mono_key)))
-        object.__setattr__(self, "_hash", hash(self._terms))
-        return self
+        canonical = tuple(sorted(clean.items(), key=cls._mono_key))
+        cached = _EXPR_INTERN.data.get(canonical)
+        if cached is not None:
+            _EXPR_INTERN.hits += 1
+            return cached
+        _EXPR_INTERN.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "_terms", canonical)
+        object.__setattr__(self, "_hash", hash(canonical))
+        return _EXPR_INTERN.put(canonical, self)
 
     @staticmethod
     def _mono_key(item: tuple) -> tuple:
@@ -487,13 +532,15 @@ class Expr:
         return tuple((self._mono_key((m, c)), c) for m, c in self._terms)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, int):
             return self.is_constant() and self.constant_value() == other
         if isinstance(other, Atom):
             other = other.as_expr()
         if not isinstance(other, Expr):
             return NotImplemented
-        return self._terms == other._terms
+        return self._terms is other._terms or self._terms == other._terms
 
     def __hash__(self) -> int:
         if self.is_constant():

@@ -19,7 +19,8 @@ from typing import Optional, Sequence
 
 from .boolean import FALSE, TRUE, BoolExpr, b_and, b_or, gt0
 from .expr import Expr, ExprLike, as_expr
-from .ranges import BoundsEnv, try_sign
+from .intern import Memo
+from .ranges import BoundsEnv, freeze_bounds_env, try_sign
 
 __all__ = ["reduce_gt0", "reduce_ge0", "eliminate_symbol"]
 
@@ -83,6 +84,14 @@ def _decomposable(expr: Expr, name: str) -> bool:
     return True
 
 
+#: Memo for :func:`reduce_gt0`.  The elimination is exponential in the
+#: eliminated symbols (Section 3.6) and the same subproblems recur both
+#: within one elimination (the four-way case split shares ``a``/``b``
+#: pieces) and across simplification passes; the recursion depth is part
+#: of the key so cold and warm runs produce bit-identical predicates.
+_REDUCE_MEMO = Memo("symbolic.reduce_gt0", max_size=500_000)
+
+
 def reduce_gt0(
     expr: ExprLike,
     bounds: BoundsEnv,
@@ -94,9 +103,36 @@ def reduce_gt0(
     *bounds* maps symbol names to inclusive ``(lower, upper)`` expressions;
     *order* optionally prioritizes elimination (outermost loop index first,
     per Section 3.6).  Falls back to the raw comparison when no eliminable
-    symbol remains.
+    symbol remains.  Memoized on interned identities; the environment is
+    frozen once here and threaded through the (exponential) recursion so
+    the hot path never re-canonicalizes it.
     """
-    expr = as_expr(expr)
+    return _reduce_cached(
+        as_expr(expr), bounds, freeze_bounds_env(bounds), tuple(order), _depth
+    )
+
+
+def _reduce_cached(
+    expr: Expr,
+    bounds: BoundsEnv,
+    fenv: tuple,
+    order: tuple,
+    depth: int,
+) -> BoolExpr:
+    key = (expr, fenv, order, depth)
+    cached = _REDUCE_MEMO.get(key)
+    if cached is not None:
+        return cached
+    return _REDUCE_MEMO.put(key, _reduce_gt0(expr, bounds, fenv, order, depth))
+
+
+def _reduce_gt0(
+    expr: Expr,
+    bounds: BoundsEnv,
+    fenv: tuple,
+    order: Sequence[str],
+    _depth: int,
+) -> BoolExpr:
     sign = try_sign(expr, bounds)
     if sign == "+":
         return TRUE
@@ -113,14 +149,14 @@ def reduce_gt0(
     sub = {name: lower}
     at_lower = (a * lower + b).substitute(sub) if a.depends_on(name) else a * lower + b
     case_nonneg = b_and(
-        reduce_gt0(a + 1, bounds, order, _depth + 1),
-        reduce_gt0(at_lower, bounds, order, _depth + 1),
+        _reduce_cached(a + 1, bounds, fenv, tuple(order), _depth + 1),
+        _reduce_cached(at_lower, bounds, fenv, tuple(order), _depth + 1),
     )
     sub = {name: upper}
     at_upper = (a * upper + b).substitute(sub) if a.depends_on(name) else a * upper + b
     case_neg = b_and(
-        reduce_gt0(-a, bounds, order, _depth + 1),
-        reduce_gt0(at_upper, bounds, order, _depth + 1),
+        _reduce_cached(-a, bounds, fenv, tuple(order), _depth + 1),
+        _reduce_cached(at_upper, bounds, fenv, tuple(order), _depth + 1),
     )
     return b_or(case_nonneg, case_neg)
 
@@ -130,7 +166,7 @@ def reduce_ge0(expr: ExprLike, bounds: BoundsEnv, order: Sequence[str] = ()) -> 
     return reduce_gt0(as_expr(expr) + 1, bounds, order)
 
 
-_ELIM_MEMO: dict = {}
+_ELIM_MEMO = Memo("symbolic.eliminate_symbol", max_size=200_000)
 
 
 def eliminate_symbol(
@@ -148,10 +184,7 @@ def eliminate_symbol(
     cached = _ELIM_MEMO.get(key)
     if cached is not None:
         return cached
-    result = _eliminate_symbol(pred, name, lower, upper)
-    if len(_ELIM_MEMO) < 200_000:
-        _ELIM_MEMO[key] = result
-    return result
+    return _ELIM_MEMO.put(key, _eliminate_symbol(pred, name, lower, upper))
 
 
 def _eliminate_symbol(

@@ -1,0 +1,134 @@
+"""Hash-consing and memoization infrastructure for the symbolic core.
+
+Every layer of the analysis pipeline -- symbolic expressions, USR
+summaries, predicate DAGs -- rebuilds structurally identical immutable
+values over and over: the same loop is re-analyzed per array, the same
+sub-predicates recur across cascade stages, and a full-suite evaluation
+run touches each benchmark's expressions thousands of times.  This module
+provides the two primitives that turn that redundancy into speed:
+
+* :class:`Interner` -- a structural interning table.  Constructors route
+  through it so that structurally equal values become pointer-equal,
+  which makes ``__eq__`` an identity check on the hot path and makes
+  every downstream memo table key cheap.
+* :class:`Memo` -- a bounded memoization dictionary with hit/miss
+  accounting.  All caches in the package register here, so
+  :func:`clear_caches` can restore a cold-start state (used by the
+  micro-benchmarks and the cache-correctness property tests) and
+  :func:`cache_stats` can report effectiveness.
+
+Both are intentionally simple dictionaries: under CPython's GIL the
+individual get/put operations are atomic, so concurrent analysis threads
+(see :mod:`repro.evaluation.batch`) at worst recompute a value, never
+corrupt a table.  Caches are bounded by entry count; on overflow new
+results are simply not stored (the table never evicts, matching the
+access pattern of a batch run where early entries are the hottest).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+__all__ = ["Memo", "Interner", "register_cache", "clear_caches", "cache_stats"]
+
+#: Registry of every cache created in the package, by name.
+_REGISTRY: Dict[str, "Memo"] = {}
+
+
+class Memo:
+    """A bounded memo table with hit/miss statistics.
+
+    ``get``/``put`` are the raw operations used on hand-rolled hot paths;
+    :meth:`memoize` wraps a zero-argument thunk for the common
+    compute-if-absent pattern.
+    """
+
+    __slots__ = ("name", "max_size", "data", "hits", "misses")
+
+    def __init__(self, name: str, max_size: int = 200_000):
+        self.name = name
+        self.max_size = max_size
+        self.data: dict = {}
+        self.hits = 0
+        self.misses = 0
+        register_cache(self)
+
+    def get(self, key: Any) -> Optional[Any]:
+        value = self.data.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> Any:
+        if len(self.data) < self.max_size:
+            self.data[key] = value
+        return value
+
+    def memoize(self, key: Any, thunk: Callable[[], Any]) -> Any:
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        return self.put(key, thunk())
+
+    def clear(self) -> None:
+        self.data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "name": self.name,
+            "entries": len(self.data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+class Interner(Memo):
+    """A structural interning table: ``intern(key, obj)`` returns the
+    canonical instance for *key*, storing *obj* on first sight.
+
+    Interned values are held strongly.  That is deliberate: the analysis
+    working set (expressions and summary nodes of the benchmark suite) is
+    small and maximally reused, and strong references keep identity
+    stable across repeated full-suite runs -- which is what downstream
+    identity-keyed memo tables rely on.
+    """
+
+    __slots__ = ()
+
+    def intern(self, key: Any, obj: Any) -> Any:
+        cached = self.data.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        return self.put(key, obj)
+
+
+def register_cache(cache: Memo) -> Memo:
+    """Add *cache* to the global registry (done by the constructors)."""
+    _REGISTRY[cache.name] = cache
+    return cache
+
+
+def clear_caches(names: Optional[Iterable[str]] = None) -> None:
+    """Empty every registered cache (or just *names*), restoring the
+    cold-start state.  Interning tables are cleared too; identity-based
+    fast paths degrade gracefully because all comparisons still fall back
+    to structural equality."""
+    for name, cache in _REGISTRY.items():
+        if names is None or name in names:
+            cache.clear()
+
+
+def cache_stats() -> Dict[str, dict]:
+    """Hit/miss/size statistics for every registered cache, by name."""
+    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}

@@ -13,8 +13,16 @@ from __future__ import annotations
 from typing import Mapping, Optional
 
 from .expr import Expr, ExprLike, as_expr
+from .intern import Memo
 
-__all__ = ["Bounds", "BoundsEnv", "bounds_of", "try_sign", "definitely_nonneg"]
+__all__ = [
+    "Bounds",
+    "BoundsEnv",
+    "bounds_of",
+    "freeze_bounds_env",
+    "try_sign",
+    "definitely_nonneg",
+]
 
 #: A pair of optional symbolic bounds (lower, upper); ``None`` = unknown.
 Bounds = tuple[Optional[Expr], Optional[Expr]]
@@ -74,6 +82,20 @@ def _mul_bounds(b1: Bounds, b2: Bounds) -> Bounds:
     return (None, None)
 
 
+#: Memo for :func:`bounds_of`: (expr, frozen env) -> Bounds.  Range
+#: queries dominate sign tests, which the Fourier-Motzkin elimination
+#: issues for the same (expression, loop-range) pairs across every
+#: simplification pass and cascade stage.
+_BOUNDS_MEMO = Memo("symbolic.bounds_of", max_size=500_000)
+
+
+def freeze_bounds_env(env: BoundsEnv) -> tuple:
+    """A hashable canonical form of a symbol-range environment."""
+    return tuple(
+        sorted((name, as_expr(lo), as_expr(hi)) for name, (lo, hi) in env.items())
+    )
+
+
 def bounds_of(expr: ExprLike, env: BoundsEnv) -> Bounds:
     """Conservative symbolic bounds of *expr* under symbol ranges *env*.
 
@@ -82,8 +104,19 @@ def bounds_of(expr: ExprLike, env: BoundsEnv) -> Bounds:
     falls outside *env* (treated as an unknown -> ``(None, None)`` unless
     the whole monomial is that lone atom, in which case the atom itself is
     both bounds -- it is a symbolic constant as far as *env* goes).
+
+    Memoized on the interned expression identity plus the frozen
+    environment.
     """
     expr = as_expr(expr)
+    key = (expr, freeze_bounds_env(env))
+    cached = _BOUNDS_MEMO.get(key)
+    if cached is not None:
+        return cached
+    return _BOUNDS_MEMO.put(key, _bounds_of(expr, env))
+
+
+def _bounds_of(expr: Expr, env: BoundsEnv) -> Bounds:
     total_lo: Optional[Expr] = as_expr(0)
     total_hi: Optional[Expr] = as_expr(0)
     ranged = set(env.keys())

@@ -28,12 +28,13 @@ from .nodes import (
     Subtract,
     Union,
     USR,
+    intern_usr,
 )
 from .reshape import mutually_exclusive, reshape, umeg_parts
 
 __all__ = [
     "USR", "Leaf", "Union", "Intersect", "Subtract", "Gate", "CallSite",
-    "Recurrence", "EMPTY",
+    "Recurrence", "EMPTY", "intern_usr",
     "usr_leaf", "usr_union", "usr_intersect", "usr_subtract", "usr_gate",
     "usr_call", "usr_recurrence",
     "Summary", "LoopSummaries", "compose", "merge_branches", "aggregate_loop",

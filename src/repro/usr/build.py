@@ -4,6 +4,12 @@ These apply the cheap, always-valid algebraic simplifications during
 summary construction (empty-set propagation, flattening, idempotence,
 constant-gate folding, exact LMAD aggregation over loops), keeping the
 DAGs small before the expensive inference of Section 3 runs.
+
+Every constructed node is hash-consed (:func:`repro.usr.nodes.intern_usr`):
+structurally equal summaries built for different arrays or loops are
+pointer-equal, so the estimate/factor memo tables key on cheap
+identities and DAG sharing survives across analysis runs.  See
+``src/repro/usr/README.md`` for the node algebra itself.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from .nodes import (
     Subtract,
     Union,
     USR,
+    intern_usr,
 )
 
 __all__ = [
@@ -36,7 +43,7 @@ __all__ = [
 
 def usr_leaf(*lmads: LMAD) -> Leaf:
     """A leaf from LMADs, dropping provably empty descriptors."""
-    return Leaf(x for x in lmads if not x.is_definitely_empty())
+    return intern_usr(Leaf(x for x in lmads if not x.is_definitely_empty()))
 
 
 def usr_union(*args: USR) -> USR:
@@ -65,13 +72,13 @@ def usr_union(*args: USR) -> USR:
         lmads: list[LMAD] = []
         for leaf in leaves:
             lmads.extend(leaf.lmads)
-        merged.append(Leaf(lmads))
+        merged.append(intern_usr(Leaf(lmads)))
     merged.extend(others)
     if not merged:
         return EMPTY
     if len(merged) == 1:
         return merged[0]
-    return Union(merged)
+    return intern_usr(Union(merged))
 
 
 def usr_intersect(*args: USR) -> USR:
@@ -90,7 +97,7 @@ def usr_intersect(*args: USR) -> USR:
         raise ValueError("intersection of no operands")
     if len(flat) == 1:
         return flat[0]
-    return Intersect(flat)
+    return intern_usr(Intersect(flat))
 
 
 def usr_subtract(left: USR, right: USR) -> USR:
@@ -105,8 +112,8 @@ def usr_subtract(left: USR, right: USR) -> USR:
     if left == right:
         return EMPTY
     if isinstance(left, Subtract):
-        return Subtract(left.left, usr_union(left.right, right))
-    return Subtract(left, right)
+        return intern_usr(Subtract(left.left, usr_union(left.right, right)))
+    return intern_usr(Subtract(left, right))
 
 
 def usr_gate(cond: BoolExpr, body: USR) -> USR:
@@ -118,15 +125,15 @@ def usr_gate(cond: BoolExpr, body: USR) -> USR:
     if cond.is_true():
         return body
     if isinstance(body, Gate):
-        return Gate(b_and(cond, body.cond), body.body)
-    return Gate(cond, body)
+        return intern_usr(Gate(b_and(cond, body.cond), body.body))
+    return intern_usr(Gate(cond, body))
 
 
 def usr_call(callee: str, body: USR) -> USR:
     """Call-site barrier; empty bodies stay empty."""
     if body.is_empty_leaf():
         return EMPTY
-    return CallSite(callee, body)
+    return intern_usr(CallSite(callee, body))
 
 
 def usr_recurrence(
@@ -161,7 +168,7 @@ def usr_recurrence(
         else:
             from ..symbolic import cmp_ge
 
-            return usr_gate(cmp_ge(upper, lower), Leaf(aggregated))
+            return usr_gate(cmp_ge(upper, lower), intern_usr(Leaf(aggregated)))
     if isinstance(body, Union):
         # Distribute the union over the recurrence: each part may still
         # aggregate exactly on its own.
@@ -171,4 +178,4 @@ def usr_recurrence(
         ]
         if any(not isinstance(p, Recurrence) for p in parts):
             return usr_union(*parts)
-    return Recurrence(index, lower, upper, body, partial=partial)
+    return intern_usr(Recurrence(index, lower, upper, body, partial=partial))

@@ -23,11 +23,19 @@ from typing import FrozenSet, Optional
 
 from ..lmad import LMAD
 from ..symbolic import FALSE, TRUE, BoolExpr, b_and, b_or, cmp_gt, sym
+from ..symbolic.intern import Memo
 from .nodes import CallSite, Gate, Intersect, Leaf, Recurrence, Subtract, Union, USR
 
 __all__ = ["CondEstimate", "overestimate", "underestimate"]
 
 _NO_MONOTONE: FrozenSet[str] = frozenset()
+
+#: Memos for the conditional estimates.  The FACTOR rules re-estimate the
+#: same (interned) sub-summaries once per inference rule that fires, and
+#: the analyzer re-estimates whole-loop RW regions per array; results are
+#: immutable ``CondEstimate`` pairs, so sharing them is free.
+_OVER_MEMO = Memo("usr.overestimate", max_size=200_000)
+_UNDER_MEMO = Memo("usr.underestimate", max_size=200_000)
 
 
 @dataclass(frozen=True)
@@ -72,7 +80,16 @@ def overestimate(
     arrays); recurrences whose per-iteration intervals have monotone
     endpoints are overestimated by their interval hull even when exact
     LMAD aggregation fails (the ``[Q+1, CIV@5]`` hull of Fig. 7(b)).
+    Memoized on (node, monotone-fact set).
     """
+    key = (usr, monotone)
+    cached = _OVER_MEMO.get(key)
+    if cached is not None:
+        return cached
+    return _OVER_MEMO.put(key, _overestimate(usr, monotone))
+
+
+def _overestimate(usr: USR, monotone: FrozenSet[str]) -> CondEstimate:
     if isinstance(usr, Leaf):
         return CondEstimate(_leaf_empty_pred(usr), usr.lmads)
     if isinstance(usr, Gate):
@@ -123,7 +140,17 @@ def overestimate(
 
 
 def underestimate(usr: USR) -> CondEstimate:
-    """``(P_D, [D])``: validity predicate + LMAD underestimate of *usr*."""
+    """``(P_D, [D])``: validity predicate + LMAD underestimate of *usr*.
+
+    Memoized on the (interned) node identity.
+    """
+    cached = _UNDER_MEMO.get(usr)
+    if cached is not None:
+        return cached
+    return _UNDER_MEMO.put(usr, _underestimate(usr))
+
+
+def _underestimate(usr: USR) -> CondEstimate:
     if isinstance(usr, Leaf):
         return CondEstimate(TRUE, usr.lmads)
     if isinstance(usr, Gate):

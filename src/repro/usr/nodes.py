@@ -21,6 +21,7 @@ from typing import Iterable, Mapping
 
 from ..lmad import LMAD
 from ..symbolic import BoolExpr, EvalEnv, Expr, ExprLike, as_expr
+from ..symbolic.intern import Interner
 
 __all__ = [
     "USR",
@@ -32,7 +33,19 @@ __all__ = [
     "CallSite",
     "Recurrence",
     "EMPTY",
+    "intern_usr",
 ]
+
+#: Interning table for USR nodes: (type name, structural key) -> node.
+#: The smart constructors of :mod:`repro.usr.build` intern their results,
+#: so summaries built independently for different arrays/loops share
+#: structure and the estimate/factor memo tables key on cheap identities.
+_USR_INTERN = Interner("usr.nodes", max_size=500_000)
+
+
+def intern_usr(node: "USR") -> "USR":
+    """Return the canonical instance of *node* (hash-consing)."""
+    return _USR_INTERN.intern((type(node).__name__,) + node.key(), node)
 
 
 class USR:
@@ -69,6 +82,8 @@ class USR:
         return inner + (1 if isinstance(self, Recurrence) else 0)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(self) is type(other) and self.key() == other.key()
 
     def __hash__(self) -> int:

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Documentation link checker (`make docs-check`).
+
+Scans the repository's markdown files and verifies that
+
+* every relative markdown link target ``[text](path)`` exists, and
+* every backticked repository path (````src/repro/...````,
+  ``docs/...`` -- anything with a slash that ends in ``.py`` or ``.md``)
+  points at a real file,
+
+so the README module map and the ARCHITECTURE paper-section→module map
+can never silently rot. Exits non-zero listing every broken reference.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files under these locations are checked.  (ISSUE/CHANGES/
+#: PAPERS and other process files are intentionally out of scope.)
+DOC_GLOBS = ["README.md", "docs/*.md", "src/**/README.md"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)[^)]*\)")
+_CODE_PATH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_./-]+\.(?:py|md))`")
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (md.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{md.relative_to(ROOT)}: broken link -> {target}")
+    for target in _CODE_PATH.findall(text):
+        # Backticked paths are repo-root-relative by convention.
+        if not (ROOT / target).exists():
+            errors.append(f"{md.relative_to(ROOT)}: missing path -> {target}")
+    return errors
+
+
+def main() -> int:
+    docs: list[Path] = []
+    for pattern in DOC_GLOBS:
+        docs.extend(ROOT.glob(pattern))
+    docs = sorted(set(d for d in docs if d.is_file()))
+    errors = []
+    for md in docs:
+        errors.extend(check_file(md))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken reference(s) in {len(docs)} file(s)")
+        return 1
+    print(f"docs-check: {len(docs)} markdown file(s), all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
