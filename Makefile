@@ -1,11 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench docs-check batch clean
+.PHONY: test test-fast bench docs-check batch fuzz clean
 
 ## Tier-1 verification: the full unit/property/integration/benchmark suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Fast path: everything except the slow soak tests (what CI's test job runs).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
 
 ## Performance micro-benchmarks only (interning speedup, overheads, ...).
 bench:
@@ -18,6 +22,10 @@ docs-check:
 ## Analyze the whole benchmark suite concurrently (persistent cache).
 batch:
 	$(PYTHON) -m repro.evaluation batch
+
+## Differential fuzzing: 500 seeds, parallel, cached per seed.
+fuzz:
+	$(PYTHON) -m repro.evaluation fuzz --seeds 500
 
 clean:
 	rm -rf .repro-cache .pytest_cache

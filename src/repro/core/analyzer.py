@@ -64,6 +64,10 @@ class ArrayPlan:
     needs_bounds_comp: bool = False
     #: EXT-RRED shape: reduction array also written by plain statements
     extended_reduction: bool = False
+    #: every update of this reduction array is additive (delta-merge
+    #: safe); when False, a failed/absent RRED proof must fall back to
+    #: an exact test instead of the reduction transform
+    reduction_additive: bool = True
     #: no cascade could prove independence; exact fallback required
     needs_exact: bool = False
     #: USR whose emptiness the exact fallback must decide
@@ -128,7 +132,11 @@ class LoopPlan:
         if self.has_scalar_dependence():
             return "STATIC-SEQ"
         if self.static_parallel():
-            return "CIVagg" if self.civs else "STATIC-PAR"
+            if self.civs:
+                return "CIVagg"
+            if any(p.transform == "reduction" for p in self.arrays.values()):
+                return "SRED"
+            return "STATIC-PAR"
         if self.needs_exact_fallback():
             return "EXACT"
         kinds = []
@@ -241,12 +249,20 @@ class HybridAnalyzer:
 
     def __init__(self, program: Program, use_monotonicity: bool = True,
                  use_reshaping: bool = True, use_civagg: bool = True,
-                 interprocedural: bool = True):
+                 interprocedural: bool = True,
+                 size_cap: Optional[int] = None,
+                 work_cap: Optional[int] = None):
         self.program = program
         self.use_monotonicity = use_monotonicity
         self.use_reshaping = use_reshaping
         self.use_civagg = use_civagg
         self.interprocedural = interprocedural
+        #: optional overrides of FactorContext.size_cap (Section 3.6's
+        #: predicate-size bound) and FactorContext.work_cap (inference
+        #: budget); None keeps the defaults.  The fuzz harness tightens
+        #: both to bound analysis time on adversarial generated programs.
+        self.size_cap = size_cap
+        self.work_cap = work_cap
 
     def _context(self, analysis: LoopAnalysisInput, array: str) -> FactorContext:
         from ..ir.convert import to_expr
@@ -259,11 +275,17 @@ class HybridAnalyzer:
             if size is not None:
                 extent = (as_expr(1), size)
         monotone = analysis.monotone_arrays if self.use_civagg else frozenset()
+        kwargs = {}
+        if self.size_cap is not None:
+            kwargs["size_cap"] = self.size_cap
+        if self.work_cap is not None:
+            kwargs["work_cap"] = self.work_cap
         return FactorContext(
             array_extent=extent,
             monotone=monotone,
             use_monotonicity=self.use_monotonicity,
             use_reshaping=self.use_reshaping,
+            **kwargs,
         )
 
     def analyze(self, label: str) -> LoopPlan:
@@ -286,7 +308,7 @@ class HybridAnalyzer:
             reduction = analysis.reductions.get(array)
             if reduction is not None:
                 plan.arrays[array] = self._plan_reduction(
-                    array, ls, ctx, reduction.has_other_writes
+                    array, ls, ctx, reduction
                 )
             else:
                 plan.arrays[array] = self._plan_regular(array, ls, ctx)
@@ -344,7 +366,7 @@ class HybridAnalyzer:
         )
 
     def _plan_reduction(
-        self, array: str, ls, ctx: FactorContext, has_other_writes: bool
+        self, array: str, ls, ctx: FactorContext, info
     ) -> ArrayPlan:
         overlap = rw_self_overlap_usr(ls)
         rred_cascade, rred_static, rred_failed = self._cascade_of(overlap, ctx)
@@ -356,18 +378,38 @@ class HybridAnalyzer:
             # Updates are provably independent: no reduction transform is
             # needed at all; plan the array like a regular one.
             return self._plan_regular(array, ls, ctx)
-        # EXT-RRED flow condition: write-first accesses must not meet the
-        # reduction accesses across iterations.
+        has_other_writes = info.has_other_writes
+        # Enabling flow condition: any NON-update access of the array --
+        # write-first (EXT-RRED, Section 4) *or* plain read -- must not
+        # meet the reduction accesses across iterations.  A read of a
+        # location other iterations update would observe the pre-loop
+        # value under the reduction transform but the running sum
+        # sequentially, so reads gate the transform exactly like writes.
+        has_other_reads = not ls.per_iteration.ro.is_empty_leaf()
         needs_exact = False
         flow_cascade = None
         exact = None
-        if has_other_writes:
+        if has_other_writes or has_other_reads:
             enabling = ext_rred_usr(ls)
             flow_cascade, flow_static, flow_failed = self._cascade_of(enabling, ctx)
             if flow_failed:
                 needs_exact = True
                 flow_cascade = None
             exact = enabling
+        if not info.additive:
+            # Non-additive updates cannot be delta-merged: the only
+            # parallel avenues are a passing RRED cascade (updates
+            # proven disjoint at runtime -> direct access) or an exact
+            # test over every access including the update overlap.
+            from ..usr import usr_union
+
+            exact = usr_union(exact, overlap) if exact is not None else overlap
+            if rred_failed:
+                # No cascade can validate the updates either: the exact
+                # test is the only avenue, and the plan must say so (a
+                # silent rred=None here would read as a statically valid
+                # SRED, which the executor never runs).
+                needs_exact = True
         bounds_needed = self._needs_bounds_comp(ls, ctx)
         return ArrayPlan(
             array=array,
@@ -376,6 +418,7 @@ class HybridAnalyzer:
             rred=None if rred_static else (None if rred_failed else rred_cascade),
             needs_bounds_comp=bounds_needed,
             extended_reduction=has_other_writes,
+            reduction_additive=info.additive,
             needs_exact=needs_exact,
             exact_usr=exact,
         )
@@ -425,28 +468,22 @@ class HybridAnalyzer:
         value -- identical keys yield bit-identical cascades regardless
         of call order or cache warmth.
         """
-        key = (
-            usr,
-            ctx.array_extent,
-            ctx.monotone,
-            ctx.use_monotonicity,
-            ctx.use_reshaping,
-            ctx.distribute_disjoint_recurrences,
-            ctx.max_depth,
-            ctx.size_cap,
-        )
+        from dataclasses import fields as _dc_fields
+
+        # Every public FactorContext field is a semantic knob; deriving
+        # the memo key and the fresh-context copy from the dataclass
+        # definition means a future knob can never be forgotten in one
+        # of them (which would serve cascades across configurations).
+        knobs = {
+            f.name: getattr(ctx, f.name)
+            for f in _dc_fields(FactorContext)
+            if not f.name.startswith("_")
+        }
+        key = (usr,) + tuple(knobs[name] for name in sorted(knobs))
         cached = _CASCADE_MEMO.get(key)
         if cached is not None:
             return cached
-        fresh_ctx = FactorContext(
-            array_extent=ctx.array_extent,
-            monotone=ctx.monotone,
-            use_monotonicity=ctx.use_monotonicity,
-            use_reshaping=ctx.use_reshaping,
-            distribute_disjoint_recurrences=ctx.distribute_disjoint_recurrences,
-            max_depth=ctx.max_depth,
-            size_cap=ctx.size_cap,
-        )
+        fresh_ctx = FactorContext(**knobs)
         pred = simplify(factor(usr, fresh_ctx))
         if pred.is_true():
             result = (None, True, False)

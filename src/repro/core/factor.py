@@ -99,7 +99,15 @@ class FactorContext:
     #: potential explosion in predicate size via a convenient constant
     #: factor"); oversized results are dropped to false (still sufficient).
     size_cap: int = 50_000
+    #: optional bound on the number of factor/included/disjoint
+    #: subproblems explored per run.  The pair recursion is memoized but
+    #: its subproblem space is still combinatorial on adversarial
+    #: summaries; once the budget is spent every further query folds to
+    #: false (still sufficient -- the loop falls back to exact tests).
+    #: Deterministic, unlike a wall-clock bound.  None = unlimited.
+    work_cap: Optional[int] = None
     _fresh: int = field(default=0, repr=False)
+    _work: int = field(default=0, repr=False)
     _factor_memo: dict = field(default_factory=dict, repr=False)
     _incl_memo: dict = field(default_factory=dict, repr=False)
     _disj_memo: dict = field(default_factory=dict, repr=False)
@@ -107,6 +115,15 @@ class FactorContext:
     def fresh_index(self, base: str) -> str:
         self._fresh += 1
         return f"{base}${self._fresh}"
+
+    def spend(self) -> bool:
+        """Consume one unit of inference budget; True when exhausted."""
+        if self.work_cap is None:
+            return False
+        if self._work >= self.work_cap:
+            return True
+        self._work += 1
+        return False
 
 
 def _leaf_empty(leaf: Leaf) -> PDAG:
@@ -126,27 +143,60 @@ def factor(s: USR, ctx: Optional[FactorContext] = None) -> PDAG:
     return result
 
 
-def _fold_monotone_leaves(pred: PDAG, monotone: frozenset[str]) -> PDAG:
-    """Fold comparison leaves provable from CIV monotonicity facts."""
+def _fold_monotone_leaves(
+    pred: PDAG, monotone: frozenset[str], memo: Optional[dict] = None
+) -> PDAG:
+    """Fold comparison leaves provable from CIV monotonicity facts.
+
+    PDAGs are DAGs with heavy structural sharing; the *memo* (per top
+    call, keyed on node identity semantics via the cached hashes) keeps
+    this walk linear in the number of distinct nodes -- a naive tree
+    recursion is exponential on factored predicates.
+    """
     from ..pdag import PAnd, PCall, PLeaf, PLoopAnd, POr
     from ..symbolic.monotone import monotone_simplify
 
+    if memo is None:
+        memo = {}
+    cached = memo.get(pred)
+    if cached is not None:
+        return cached
     if isinstance(pred, PLeaf):
-        return p_leaf(monotone_simplify(pred.cond, monotone))
-    if isinstance(pred, PAnd):
-        return p_and(*(_fold_monotone_leaves(a, monotone) for a in pred.args))
-    if isinstance(pred, POr):
-        return p_or(*(_fold_monotone_leaves(a, monotone) for a in pred.args))
-    if isinstance(pred, PCall):
-        return p_call(pred.callee, _fold_monotone_leaves(pred.body, monotone))
-    if isinstance(pred, PLoopAnd):
-        return p_loop_and(
+        result = p_leaf(monotone_simplify(pred.cond, monotone))
+    elif isinstance(pred, PAnd):
+        result = p_and(
+            *(_fold_monotone_leaves(a, monotone, memo) for a in pred.args)
+        )
+    elif isinstance(pred, POr):
+        result = p_or(
+            *(_fold_monotone_leaves(a, monotone, memo) for a in pred.args)
+        )
+    elif isinstance(pred, PCall):
+        result = p_call(
+            pred.callee, _fold_monotone_leaves(pred.body, monotone, memo)
+        )
+    elif isinstance(pred, PLoopAnd):
+        result = p_loop_and(
             pred.index,
             pred.lower,
             pred.upper,
-            _fold_monotone_leaves(pred.body, monotone),
+            _fold_monotone_leaves(pred.body, monotone, memo),
         )
-    raise TypeError(f"unknown PDAG node {pred!r}")
+    else:
+        raise TypeError(f"unknown PDAG node {pred!r}")
+    memo[pred] = result
+    return result
+
+
+def _capped(result: PDAG, ctx: FactorContext) -> PDAG:
+    """Enforce Section 3.6's predicate-size bound: an oversized result
+    is dropped to false, which stays sufficient (the paper: "we bound a
+    potential explosion in predicate size via a convenient constant
+    factor").  Without this, the included/disjoint double recursion can
+    go combinatorial on adversarial (e.g. fuzz-generated) summaries."""
+    if result.node_count() > ctx.size_cap:
+        return PFALSE
+    return result
 
 
 def _factor(s: USR, ctx: FactorContext, fuel: int) -> PDAG:
@@ -155,7 +205,9 @@ def _factor(s: USR, ctx: FactorContext, fuel: int) -> PDAG:
     cached = ctx._factor_memo.get(s)
     if cached is not None:
         return cached
-    result = _factor_uncached(s, ctx, fuel)
+    if ctx.spend():
+        return PFALSE
+    result = _capped(_factor_uncached(s, ctx, fuel), ctx)
     ctx._factor_memo[s] = result
     return result
 
@@ -210,7 +262,9 @@ def included(s1: USR, s2: USR, ctx: FactorContext, fuel: int) -> PDAG:
     cached = ctx._incl_memo.get(memo_key)
     if cached is not None:
         return cached
-    result = _included_uncached(s1, s2, ctx, fuel)
+    if ctx.spend():
+        return PFALSE
+    result = _capped(_included_uncached(s1, s2, ctx, fuel), ctx)
     ctx._incl_memo[memo_key] = result
     return result
 
@@ -322,7 +376,9 @@ def disjoint(s1: USR, s2: USR, ctx: FactorContext, fuel: int) -> PDAG:
     cached = ctx._disj_memo.get(memo_key)
     if cached is not None:
         return cached
-    result = _disjoint_uncached(s1, s2, ctx, fuel)
+    if ctx.spend():
+        return PFALSE
+    result = _capped(_disjoint_uncached(s1, s2, ctx, fuel), ctx)
     ctx._disj_memo[memo_key] = result
     return result
 

@@ -38,13 +38,16 @@ from typing import Iterable, Optional, Sequence
 
 from ..workloads import ALL_BENCHMARKS, BenchmarkSpec
 from .model import measure_benchmark
+from .tables import _SUITE_PROCS
 
 __all__ = [
     "CACHE_VERSION",
     "LoopResult",
     "BenchmarkResult",
     "BatchReport",
+    "JsonDiskCache",
     "BatchCache",
+    "parallel_map",
     "analyze_benchmark",
     "run_batch",
     "format_batch",
@@ -52,12 +55,13 @@ __all__ = [
 
 #: Bump when the result schema or the analysis semantics change: every
 #: existing on-disk entry is invalidated by construction (new keys).
-CACHE_VERSION = 1
+#: v2: reduction soundness fixes (additive-update gate, read-gated
+#: EXT-RRED enabling) changed classifications.
+CACHE_VERSION = 2
 
 #: Default on-disk cache location (overridable via $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
-_SUITE_PROCS = {"perfect": 4, "spec92": 4, "spec2000": 8}
 
 
 @dataclass(frozen=True)
@@ -117,7 +121,69 @@ class BatchReport:
         return sum(1 for r in self.results if not r.cached)
 
 
-class BatchCache:
+class JsonDiskCache:
+    """A persistent key -> JSON-document store under one directory.
+
+    The generic layer beneath :class:`BatchCache` (and the fuzz
+    harness's per-seed cache): atomic writes, key-is-filename, a shared
+    default location (``.repro-cache`` / ``$REPRO_CACHE_DIR``).
+    Subclasses own key construction -- a key must digest every input
+    that could change the stored document, so stale entries become
+    unreachable rather than merely suspect.
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        root = directory or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.directory = Path(root)
+
+    @staticmethod
+    def digest(text: str) -> str:
+        """Short stable digest of *text* for use inside keys."""
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load_json(self, key: str) -> Optional[dict]:
+        try:
+            return json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def store_json(self, key: str, payload: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        tmp.replace(path)  # atomic: concurrent workers never see partial files
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+
+def parallel_map(fn, items, jobs: Optional[int] = None) -> list:
+    """Apply *fn* to *items* on a worker pool, preserving order.
+
+    The shared concurrency layer of the batch and fuzz drivers: the
+    analysis memo tables are plain dicts guarded by the GIL, so workers
+    share warm caches and at worst recompute a value, never corrupt one.
+    """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (got {jobs})")
+    items = list(items)
+    workers = jobs or os.cpu_count() or 4
+    with ThreadPoolExecutor(max_workers=min(workers, max(len(items), 1))) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+
+class BatchCache(JsonDiskCache):
     """Persistent per-benchmark result cache, keyed on the spec's inputs.
 
     The key digests every *data* input of the measurement: benchmark
@@ -132,10 +198,6 @@ class BatchCache:
     change.
     """
 
-    def __init__(self, directory: Optional[str] = None):
-        root = directory or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
-        self.directory = Path(root)
-
     def key(self, spec: BenchmarkSpec, system: str, scale: int) -> str:
         digest = hashlib.sha256()
         digest.update(f"v{CACHE_VERSION}\0{spec.name}\0{system}\0{scale}\0".encode())
@@ -148,14 +210,9 @@ class BatchCache:
             )
         return f"{spec.name}-{system}-s{scale}-{digest.hexdigest()[:16]}"
 
-    def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
-
     def load(self, spec: BenchmarkSpec, system: str, scale: int) -> Optional[BenchmarkResult]:
-        path = self._path(self.key(spec, system, scale))
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        payload = self.load_json(self.key(spec, system, scale))
+        if payload is None:
             return None
         try:
             return BenchmarkResult.from_json(payload)
@@ -163,20 +220,7 @@ class BatchCache:
             return None  # unreadable/foreign schema: treat as a miss
 
     def store(self, spec: BenchmarkSpec, system: str, scale: int, result: BenchmarkResult) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(self.key(spec, system, scale))
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(result.to_json(), indent=1, sort_keys=True))
-        tmp.replace(path)  # atomic: concurrent workers never see partial files
-
-    def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
-        removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                path.unlink()
-                removed += 1
-        return removed
+        self.store_json(self.key(spec, system, scale), result.to_json())
 
 
 def analyze_benchmark(
@@ -258,22 +302,18 @@ def run_batch(
     *cache* to control its location, or ``use_cache=False`` to force a
     full recomputation without touching the disk.
     """
-    if jobs is not None and jobs < 1:
-        raise ValueError(f"jobs must be >= 1 (got {jobs})")
     selected = _select(suites, names)
     if use_cache and cache is None:
         cache = BatchCache()
     elif not use_cache:
         cache = None
-    workers = jobs or os.cpu_count() or 4
     started = time.perf_counter()
     report = BatchReport()
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(analyze_benchmark, spec, system, scale, cache)
-            for spec in selected
-        ]
-        report.results = [f.result() for f in futures]
+    report.results = parallel_map(
+        lambda spec: analyze_benchmark(spec, system, scale, cache),
+        selected,
+        jobs,
+    )
     report.elapsed_s = time.perf_counter() - started
     return report
 
@@ -287,7 +327,7 @@ def _classification_rank(label: str) -> tuple:
     """
     if label.startswith(("EXACT", "TLS", "HOIST-USR")):
         return (3, 0, label)
-    if label.startswith(("STATIC-PAR", "STATIC-SEQ", "CIVagg")):
+    if label.startswith(("STATIC-PAR", "STATIC-SEQ", "CIVagg", "SRED")):
         return (0, 0, label)
     depth = 0
     if "O(N^" in label:

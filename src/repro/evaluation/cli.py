@@ -1,5 +1,5 @@
-"""Command-line entry point: regenerate any table or figure, or batch-run
-the whole suite.
+"""Command-line entry point: regenerate any table or figure, batch-run
+the whole suite, or differential-fuzz the pipeline.
 
 Usage::
 
@@ -13,6 +13,10 @@ Usage::
     repro-eval batch --suite perfect     # one suite only
     repro-eval batch --jobs 4 --no-cache # bounded workers, force re-run
     repro-eval batch --clear-cache       # drop the persistent cache
+
+    repro-eval fuzz --seeds 500          # differential soundness fuzzing
+    repro-eval fuzz --seeds 50 --jobs 2  # CI smoke configuration
+    repro-eval fuzz --seeds 100 --shrink # minimize + store any failures
 
 (``python -m repro.evaluation ...`` is equivalent to ``repro-eval ...``.)
 """
@@ -90,20 +94,91 @@ def _batch_main(argv: list[str]) -> int:
     return 0 if all(l.correct for r in report.results for l in r.loops) else 1
 
 
+def _fuzz_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval fuzz",
+        description="Differential fuzzing: generate random loop programs "
+        "and cross-check analyzer, trace oracle and executor; non-zero "
+        "exit on any soundness violation or crash.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=100,
+        help="number of seeds to run (default: 100)",
+    )
+    parser.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first seed (default: 0); seed S is deterministic forever",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker threads (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cache location (default: .repro-cache or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the persistent per-seed verdict cache",
+    )
+    parser.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug each failure and write the minimized repro "
+        "into the regression corpus",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None,
+        help="corpus directory for --shrink "
+        "(default: tests/regression/corpus)",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+
+    from ..fuzz import (
+        FuzzCache,
+        format_fuzz_report,
+        generate_case,
+        run_fuzz,
+        shrink_case,
+        write_corpus_case,
+    )
+    from ..fuzz.shrink import corpus_dir
+
+    cache = None if args.no_cache else FuzzCache(args.cache_dir)
+    report = run_fuzz(
+        seeds=args.seeds,
+        seed_start=args.seed_start,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    print(format_fuzz_report(report))
+    if args.shrink and report.failures:
+        directory = corpus_dir(args.corpus_dir)
+        for failure in report.failures:
+            shrunk = shrink_case(generate_case(failure.seed))
+            path = write_corpus_case(shrunk, directory)
+            print(f"seed {failure.seed}: minimized repro -> {path}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "batch":
         return _batch_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return _fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eval",
         description="Regenerate the paper's tables and figures "
-        "(or 'batch' to analyze the whole suite concurrently).",
+        "(or 'batch' to analyze the whole suite concurrently, "
+        "'fuzz' to differential-fuzz the pipeline).",
     )
     parser.add_argument(
         "artifacts",
         nargs="+",
         choices=sorted(_TABLES) + sorted(FIGURES) + ["all"],
-        help="which artifacts to regenerate (or the 'batch' subcommand)",
+        help="which artifacts to regenerate (or the 'batch'/'fuzz' subcommands)",
     )
     parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
     args = parser.parse_args(argv)

@@ -11,7 +11,10 @@ from dataclasses import dataclass, field
 from ..workloads import ALL_BENCHMARKS
 from .model import measure_benchmark
 
-__all__ = ["TableRow", "TableReport", "generate_table", "format_table"]
+__all__ = [
+    "TableRow", "TableReport", "generate_table", "format_table",
+    "format_fuzz_table",
+]
 
 _SUITE_PROCS = {"perfect": 4, "spec92": 4, "spec2000": 8}
 
@@ -56,6 +59,10 @@ def classification_compatible(measured: str, paper: str) -> bool:
     pairs = [
         (("TLS",), ("TLS", "EXACT")),
         (("HOIST-USR",), ("HOIST-USR", "EXACT")),
+        # A statically-planned reduction (SRED) is a static parallel
+        # decision -- no runtime test runs; the paper's STATIC-PAR rows
+        # for pure reduction loops (e.g. EK[1] += VF[i]) match it.
+        (("STATIC-PAR",), ("STATIC-PAR", "SRED")),
         (("CIV-COMP", "CIVagg"), ("CIVagg", "CIV-COMP", "STATIC-PAR")),
         (("SLV",), ("OI", "CIVagg", "SLV")),
         (("BOUNDS-COMP",), ("BOUNDS-COMP", "RRED", "SRED")),
@@ -109,6 +116,43 @@ def generate_table(suite: str, scale: int = 1) -> TableReport:
         report.benchmark_scrt[spec.name] = measurement.measured_scrt()
         report.benchmark_techniques[spec.name] = sorted(techniques)
     return report
+
+
+def format_fuzz_table(report) -> str:
+    """Soundness/precision summary of a differential-fuzzing run.
+
+    *report* is a :class:`repro.fuzz.oracle.FuzzReport` (duck-typed here
+    to keep the evaluation layer import-free of the fuzz package).
+    """
+    total = len(report.results)
+    counts = report.counts
+    lines = [
+        f"Differential fuzzing: {total} seed(s) in {report.elapsed_s:.2f}s "
+        f"({report.cache_hits} cached)",
+        f"{'outcome':<18}{'count':>7}{'%':>8}",
+        "-" * 33,
+    ]
+    for name in ("sound-parallel", "sound-sequential", "precision-gap",
+                 "unsound", "crash"):
+        n = counts.get(name, 0)
+        pct = (100.0 * n / total) if total else 0.0
+        lines.append(f"{name:<18}{n:>7}{pct:>7.1f}%")
+    lines.append("-" * 33)
+    parallelized = counts.get("sound-parallel", 0)
+    gaps = counts.get("precision-gap", 0)
+    candidates = parallelized + gaps
+    precision = (100.0 * parallelized / candidates) if candidates else 100.0
+    verdict = "SOUND" if report.ok else "UNSOUND/CRASHING"
+    lines.append(
+        f"soundness: {verdict} "
+        f"({counts.get('unsound', 0)} unsound, {counts.get('crash', 0)} crash); "
+        f"precision: {precision:.1f}% of independent runs parallelized"
+    )
+    hist = report.classification_histogram()
+    if hist:
+        top = ", ".join(f"{label} x{n}" for label, n in hist[:10])
+        lines.append(f"classifications: {top}")
+    return "\n".join(lines)
 
 
 def format_table(report: TableReport) -> str:

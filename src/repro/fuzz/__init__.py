@@ -1,0 +1,46 @@
+"""Differential fuzzing of the whole analysis + runtime pipeline.
+
+The paper's central claim is *soundness*: whenever an extracted
+sufficient-independence predicate (or an exact fallback) validates a
+loop, parallel execution must produce the sequential result.  This
+package stress-tests that claim at scale:
+
+* :mod:`.generator` -- a seeded random generator of loop programs in the
+  mini-Fortran IR, every language feature behind a weighted grammar knob;
+* :mod:`.oracle` -- the three-way differential driver: full analyzer
+  plan vs. the interpreter's trace-derived true dependences vs. the
+  executor's parallel-against-sequential memory comparison;
+* :mod:`.shrink` -- delta-debugging of failing cases into minimal repro
+  programs, persisted to ``tests/regression/corpus/`` and replayed by
+  the regression suite forever after.
+
+Entry point: ``repro-eval fuzz --seeds N --jobs J``.
+"""
+
+from .generator import FuzzCase, GeneratorConfig, generate_case, render_program
+from .oracle import (
+    OUTCOMES,
+    CaseResult,
+    FuzzCache,
+    FuzzReport,
+    format_fuzz_report,
+    run_case,
+    run_fuzz,
+    run_seed,
+)
+from .shrink import (
+    CorpusCase,
+    ReplayResult,
+    load_corpus_case,
+    replay_corpus_case,
+    shrink_case,
+    write_corpus_case,
+)
+
+__all__ = [
+    "FuzzCase", "GeneratorConfig", "generate_case", "render_program",
+    "OUTCOMES", "CaseResult", "FuzzCache", "FuzzReport", "run_case",
+    "run_fuzz", "run_seed", "format_fuzz_report",
+    "CorpusCase", "ReplayResult", "shrink_case", "write_corpus_case",
+    "load_corpus_case", "replay_corpus_case",
+]

@@ -1,0 +1,599 @@
+"""Seeded random generator of loop programs in the mini-Fortran IR.
+
+Every program has one labelled target loop (``fuzz_loop``) whose body is
+drawn from a weighted grammar over the features the analysis pipeline
+claims to handle: affine subscripts (including loop-invariant symbolic
+offsets), CIV-style conditionally-incremented induction variables,
+nested DO loops, conditionals, additive reduction updates, privatizable
+temporaries (scalar and array), indirect subscripts through an index
+array, and while-loops with an unknown trip count.
+
+Two invariants make a generated case usable as a differential-test
+input:
+
+* **determinism** -- a case is a pure function of ``(seed, config)``;
+  the only entropy source is one ``random.Random(seed)``;
+* **runtime safety** -- every subscript template carries the concrete
+  bounds it can reach (parameter values are known at generation time),
+  and each array is declared exactly as large as the maximum index any
+  of its subscripts can produce, so the interpreter can never fault on
+  a generated program.  A crash anywhere in the pipeline is therefore a
+  bug in the pipeline, never in the input.
+
+The generated AST is rendered to concrete syntax and *re-parsed*, so a
+case's :class:`~repro.ir.ast.Program` is always exactly what
+``parse_program(case.source)`` yields (the parser is the component that
+marks reduction-update shapes); corpus files can store the source text
+alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..ir.ast import (
+    ArrayDecl,
+    ArrayRead,
+    AssignArray,
+    AssignScalar,
+    BinOp,
+    Call,
+    Do,
+    If,
+    Intrinsic,
+    IRExpr,
+    IRStmt,
+    Num,
+    Program,
+    Subroutine,
+    UnaryOp,
+    Var,
+    While,
+)
+from ..ir.parser import parse_program
+
+__all__ = [
+    "GeneratorConfig",
+    "FuzzCase",
+    "generate_case",
+    "render_program",
+    "render_stmt",
+    "render_expr",
+    "TARGET_LABEL",
+]
+
+#: Label of the loop every generated program targets.
+TARGET_LABEL = "fuzz_loop"
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Weighted grammar knobs.  All probabilities are independent."""
+
+    #: maximum trip count of the target loop (N is drawn from [0, max_trip])
+    max_trip: int = 9
+    #: statements per loop body (before nesting expansion)
+    min_body_stmts: int = 1
+    max_body_stmts: int = 5
+    #: recursion depth of generated right-hand-side expressions
+    max_expr_depth: int = 2
+    #: probability the target loop is a while-loop with a scalar counter
+    p_while: float = 0.12
+    #: probability of drawing a zero-/one-trip loop (degenerate shapes)
+    p_degenerate: float = 0.08
+    #: probability a body slot becomes a nested DO loop
+    p_nested: float = 0.18
+    #: probability a body slot becomes an if/else conditional
+    p_if: float = 0.30
+    #: probability a generated if has an else branch
+    p_else: float = 0.45
+    #: probability a body slot becomes an additive reduction update
+    p_reduction: float = 0.25
+    #: probability a body slot assigns a scalar temporary
+    p_scalar_temp: float = 0.25
+    #: probability the program carries a conditionally-incremented CIV
+    p_civ: float = 0.20
+    #: probability a subscript is indirect (through the IDX array)
+    p_indirect: float = 0.18
+    #: probability a subscript carries a loop-invariant symbolic offset
+    p_param_offset: float = 0.30
+    #: probability an array write targets the privatizable temp array T
+    p_private_temp: float = 0.25
+    #: candidate exact-test fallback strategies (drawn per case)
+    exact_strategies: tuple = ("inspector", "tls")
+
+    def digest_text(self) -> str:
+        """Stable text form of every knob, for cache keys."""
+        fields = sorted(self.__dataclass_fields__)
+        return "|".join(f"{k}={getattr(self, k)!r}" for k in fields)
+
+
+@dataclass
+class FuzzCase:
+    """One generated differential-test input."""
+
+    seed: int
+    program: Program
+    #: concrete syntax; ``parse_program(source)`` == ``program``
+    source: str
+    params: dict
+    arrays: dict
+    label: str = TARGET_LABEL
+    exact_strategy: str = "inspector"
+
+    def reparsed(self) -> "FuzzCase":
+        """A copy whose program is freshly parsed from ``source``."""
+        return replace(self, program=parse_program(self.source))
+
+
+# -- rendering (AST -> concrete syntax) -------------------------------------
+
+
+def render_expr(expr: IRExpr) -> str:
+    """Fully parenthesized concrete syntax for *expr* (round-trips)."""
+    if isinstance(expr, Num):
+        if expr.value < 0:
+            return f"(0 - {-expr.value})"
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, ArrayRead):
+        return f"{expr.array}[{render_expr(expr.index)}]"
+    if isinstance(expr, BinOp):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return f"(not {render_expr(expr.arg)})"
+        return f"(- {render_expr(expr.arg)})"
+    if isinstance(expr, Intrinsic):
+        inside = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.name}({inside})"
+    raise TypeError(f"cannot render expression {expr!r}")
+
+
+def render_stmt(stmt: IRStmt, indent: int = 0) -> list:
+    """Concrete-syntax lines for one statement."""
+    pad = "  " * indent
+    if isinstance(stmt, AssignScalar):
+        return [f"{pad}{stmt.name} = {render_expr(stmt.expr)}"]
+    if isinstance(stmt, AssignArray):
+        return [
+            f"{pad}{stmt.array}[{render_expr(stmt.index)}] = "
+            f"{render_expr(stmt.expr)}"
+        ]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {render_expr(stmt.cond)} then"]
+        for s in stmt.then_body:
+            lines.extend(render_stmt(s, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            for s in stmt.else_body:
+                lines.extend(render_stmt(s, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(stmt, Do):
+        head = (
+            f"{pad}do {stmt.index} = {render_expr(stmt.lower)}, "
+            f"{render_expr(stmt.upper)}"
+        )
+        if stmt.label:
+            head += f" @ {stmt.label}"
+        lines = [head]
+        for s in stmt.body:
+            lines.extend(render_stmt(s, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(stmt, While):
+        head = f"{pad}while {render_expr(stmt.cond)}"
+        if stmt.label:
+            head += f" @ {stmt.label}"
+        lines = [head]
+        for s in stmt.body:
+            lines.extend(render_stmt(s, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(stmt, Call):
+        parts = []
+        for arg in stmt.args:
+            if arg.is_array():
+                text = f"{arg.array}[]"
+                if arg.offset is not None:
+                    text += f" + {render_expr(arg.offset)}"
+                parts.append(text)
+            else:
+                parts.append(render_expr(arg.scalar))
+        return [f"{pad}call {stmt.callee}({', '.join(parts)})"]
+    raise TypeError(f"cannot render statement {stmt!r}")
+
+
+def _render_sub(sub: Subroutine) -> list:
+    formals = [f"{p}" for p in sub.scalar_params]
+    formals += [f"{p}[]" for p in sub.array_params]
+    lines = [f"subroutine {sub.name}({', '.join(formals)})"]
+    for s in sub.body:
+        lines.extend(render_stmt(s, 1))
+    lines.append("end")
+    return lines
+
+
+def render_program(program: Program) -> str:
+    """Concrete syntax for a whole program (parses back identically)."""
+    lines = [f"program {program.name}"]
+    if program.params:
+        lines.append("param " + ", ".join(program.params))
+    if program.arrays:
+        decls = ", ".join(
+            f"{d.name}({render_expr(d.size)})" for d in program.arrays
+        )
+        lines.append("array " + decls)
+    for sub in program.subroutines.values():
+        lines.append("")
+        lines.extend(_render_sub(sub))
+    lines.append("")
+    lines.append("main")
+    for s in program.main:
+        lines.extend(render_stmt(s, 1))
+    lines.append("end")
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+# -- generation --------------------------------------------------------------
+
+
+class _Gen:
+    """One generation run: carries the rng, name pools and bounds state."""
+
+    DATA_ARRAYS = ("A", "B")
+    TEMP_ARRAY = "T"
+    IDX_ARRAY = "IDX"
+    #: index-array contents are drawn from [1, IDX_MAX]
+    IDX_MAX = 12
+
+    def __init__(self, seed: int, config: GeneratorConfig):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.config = config
+        #: per-array maximum index any subscript template can produce
+        self.max_index: dict = {
+            name: 1 for name in (*self.DATA_ARRAYS, self.TEMP_ARRAY)
+        }
+        self.max_index[self.IDX_ARRAY] = 1
+        #: scalar temporaries defined so far in the current body
+        self.temps: list = []
+        self.temp_counter = 0
+        self.civ_enabled = False
+        #: arrays subscripted by the CIV: sized after generation, once
+        #: the total per-iteration increment is known
+        self.civ_arrays: set = set()
+        self.civ_inc_total = 0
+        #: increments only at the target-loop body level (an increment
+        #: inside a nested DO would run more than once per iteration and
+        #: break the conservative bound)
+        self.civ_allow_inc = True
+        self.params: dict = {}
+
+    # -- parameters ---------------------------------------------------------
+    def draw_params(self) -> None:
+        cfg = self.config
+        if self.rng.random() < cfg.p_degenerate:
+            n = self.rng.choice([0, 1])
+        else:
+            n = self.rng.randint(2, cfg.max_trip)
+        self.params["N"] = n
+        self.params["M"] = self.rng.randint(1, 4)
+        self.params["K1"] = self.rng.randint(1, 6)
+        self.params["K2"] = self.rng.randint(1, 6)
+
+    # -- subscripts ---------------------------------------------------------
+    def subscript(self, vars_in_scope: dict, array: str) -> IRExpr:
+        """Draw a subscript template; record the array's index bound.
+
+        *vars_in_scope* maps variable name -> (lo, hi) concrete range.
+        Every template's reachable index interval stays within
+        [1, recorded bound].
+        """
+        rng = self.rng
+        cfg = self.config
+        choices = []  # (weight, builder) where builder -> (expr, lo, hi)
+
+        def affine(var, lo, hi):
+            def build():
+                a = rng.choice([1, 1, 1, 2])
+                c = rng.randint(max(0, 1 - a * lo), 5)
+                expr: IRExpr = Var(var)
+                if a != 1:
+                    expr = BinOp("*", Num(a), expr)
+                if c != 0:
+                    expr = BinOp("+", expr, Num(c))
+                return expr, a * lo + c, a * hi + c
+            return build
+
+        def constant():
+            c = rng.randint(1, 6)
+            return Num(c), c, c
+
+        for var, (lo, hi) in vars_in_scope.items():
+            choices.append((4.0, affine(var, lo, hi)))
+        choices.append((1.0, lambda: constant()))
+
+        if vars_in_scope and rng.random() < cfg.p_param_offset:
+            # K + i: loop-invariant symbolic offset -- the classic
+            # runtime-disambiguated subscript.
+            var, (lo, hi) = rng.choice(list(vars_in_scope.items()))
+            k = rng.choice(["K1", "K2"])
+            kv = self.params[k]
+
+            def param_offset():
+                return (
+                    BinOp("+", Var(k), Var(var)),
+                    kv + lo,
+                    kv + hi,
+                )
+
+            choices.append((4.0, param_offset))
+
+        if vars_in_scope and rng.random() < cfg.p_indirect and array != self.IDX_ARRAY:
+            var, (lo, hi) = rng.choice(list(vars_in_scope.items()))
+            shift = max(0, 1 - lo)
+
+            def indirect():
+                idx_expr: IRExpr = Var(var)
+                if shift:
+                    idx_expr = BinOp("+", idx_expr, Num(shift))
+                self._bump(self.IDX_ARRAY, hi + shift)
+                return ArrayRead(self.IDX_ARRAY, idx_expr), 1, self.IDX_MAX
+
+            choices.append((2.5, indirect))
+
+        if self.civ_enabled and array != self.IDX_ARRAY:
+            def civ():
+                # The reachable bound depends on how many increment
+                # sites end up in the body; record the array and size it
+                # after generation (see :meth:`generate`).
+                self.civ_arrays.add(array)
+                return Var("civ"), 1, 1
+            choices.append((2.5, civ))
+
+        total = sum(w for w, _ in choices)
+        pick = rng.uniform(0, total)
+        acc = 0.0
+        builder = choices[-1][1]
+        for w, b in choices:
+            acc += w
+            if pick <= acc:
+                builder = b
+                break
+        expr, lo, hi = builder()
+        self._bump(array, hi)
+        return expr
+
+    def _bump(self, array: str, hi: int) -> None:
+        self.max_index[array] = max(self.max_index[array], hi, 1)
+
+    # -- expressions --------------------------------------------------------
+    def expr(self, vars_in_scope: dict, depth: Optional[int] = None) -> IRExpr:
+        rng = self.rng
+        if depth is None:
+            depth = rng.randint(0, self.config.max_expr_depth)
+        if depth <= 0:
+            roll = rng.random()
+            if roll < 0.35:
+                return Num(rng.randint(-4, 9))
+            if roll < 0.60 and vars_in_scope:
+                return Var(rng.choice(list(vars_in_scope)))
+            if roll < 0.72 and self.temps:
+                return Var(rng.choice(self.temps))
+            if roll < 0.80:
+                return Var(rng.choice(["N", "K1", "K2"]))
+            array = rng.choice([*self.DATA_ARRAYS, self.TEMP_ARRAY])
+            return ArrayRead(array, self.subscript(vars_in_scope, array))
+        roll = rng.random()
+        if roll < 0.80:
+            op = rng.choice(["+", "+", "-", "*"])
+            return BinOp(
+                op,
+                self.expr(vars_in_scope, depth - 1),
+                self.expr(vars_in_scope, depth - 1),
+            )
+        return Intrinsic(
+            rng.choice(["min", "max"]),
+            (
+                self.expr(vars_in_scope, depth - 1),
+                self.expr(vars_in_scope, depth - 1),
+            ),
+        )
+
+    def condition(self, vars_in_scope: dict) -> IRExpr:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.40 and vars_in_scope:
+            var = rng.choice(list(vars_in_scope))
+            divisor = rng.choice([2, 2, 3])
+            return BinOp("==", BinOp("%", Var(var), Num(divisor)), Num(0))
+        if roll < 0.70 and vars_in_scope:
+            var = rng.choice(list(vars_in_scope))
+            rhs = rng.choice(["K1", "K2", "N"])
+            op = rng.choice(["<", "<=", ">", ">=", "!="])
+            return BinOp(op, Var(var), Var(rhs))
+        left = self.expr(vars_in_scope, depth=1)
+        op = rng.choice(["<", "<=", ">", "=="])
+        return BinOp(op, left, Num(rng.randint(-2, 8)))
+
+    # -- statements ---------------------------------------------------------
+    def body(self, vars_in_scope: dict, depth: int, budget: int) -> tuple:
+        """A loop/branch body: *budget* statement slots, nesting allowed
+        while *depth* > 0."""
+        rng = self.rng
+        cfg = self.config
+        stmts = []
+        for _ in range(budget):
+            roll = rng.random()
+            if roll < cfg.p_if and depth > 0:
+                stmts.append(self._if(vars_in_scope, depth))
+            elif roll < cfg.p_if + cfg.p_nested and depth > 0:
+                stmts.append(self._nested_do(vars_in_scope, depth))
+            elif roll < cfg.p_if + cfg.p_nested + cfg.p_scalar_temp:
+                stmts.append(self._scalar_temp(vars_in_scope))
+            elif roll < cfg.p_if + cfg.p_nested + cfg.p_scalar_temp + cfg.p_reduction:
+                stmts.append(self._reduction(vars_in_scope))
+            else:
+                stmts.append(self._array_write(vars_in_scope))
+        return tuple(stmts)
+
+    def _pick_array(self) -> str:
+        if self.rng.random() < self.config.p_private_temp:
+            return self.TEMP_ARRAY
+        return self.rng.choice(self.DATA_ARRAYS)
+
+    def _array_write(self, vars_in_scope: dict) -> IRStmt:
+        array = self._pick_array()
+        index = self.subscript(vars_in_scope, array)
+        return AssignArray(array, index, self.expr(vars_in_scope))
+
+    def _reduction(self, vars_in_scope: dict) -> IRStmt:
+        array = self._pick_array()
+        index = self.subscript(vars_in_scope, array)
+        op = self.rng.choice(["+", "+", "-"])
+        rhs = BinOp(op, ArrayRead(array, index), self.expr(vars_in_scope, depth=1))
+        return AssignArray(array, index, rhs, is_update=True)
+
+    def _scalar_temp(self, vars_in_scope: dict) -> IRStmt:
+        # Reuse an existing temp (write-before-read within the iteration
+        # keeps it privatizable) or mint a new one.
+        if self.temps and self.rng.random() < 0.5:
+            name = self.rng.choice(self.temps)
+        else:
+            name = f"t{self.temp_counter}"
+            self.temp_counter += 1
+        stmt = AssignScalar(name, self.expr(vars_in_scope))
+        if name not in self.temps:
+            self.temps.append(name)
+        return stmt
+
+    def _if(self, vars_in_scope: dict, depth: int) -> IRStmt:
+        cond = self.condition(vars_in_scope)
+        then_budget = self.rng.randint(1, 2)
+        # Temporaries minted inside a branch are only conditionally
+        # written; hide them from later statements so no read can ever
+        # see an unbound scalar.
+        outer_temps = list(self.temps)
+        then_body = self.body(vars_in_scope, depth - 1, then_budget)
+        self.temps = list(outer_temps)
+        else_body: tuple = ()
+        if self.rng.random() < self.config.p_else:
+            else_body = self.body(vars_in_scope, depth - 1, self.rng.randint(1, 2))
+            self.temps = list(outer_temps)
+        if self.civ_enabled and self.civ_allow_inc and self.rng.random() < 0.5:
+            # The paper's CIV shape: the induction increment sits under a
+            # conditional.
+            inc = self.rng.choice([1, 2])
+            self.civ_inc_total += inc
+            then_body = then_body + (
+                AssignScalar("civ", BinOp("+", Var("civ"), Num(inc))),
+            )
+        return If(cond, then_body, else_body)
+
+    def _nested_do(self, vars_in_scope: dict, depth: int) -> IRStmt:
+        rng = self.rng
+        m = self.params["M"]
+        inner = f"j{depth}"
+        scope = dict(vars_in_scope)
+        scope[inner] = (1, m)
+        # Occasionally use the blocked subscript (i-1)*M + j: disjoint
+        # per-outer-iteration footprints that only reshaping/LMAD
+        # aggregation can prove independent.
+        allow_inc = self.civ_allow_inc
+        self.civ_allow_inc = False
+        body = list(self.body(scope, depth - 1, rng.randint(1, 2)))
+        self.civ_allow_inc = allow_inc
+        if vars_in_scope and rng.random() < 0.5:
+            outer = rng.choice(list(vars_in_scope))
+            olo, ohi = vars_in_scope[outer]
+            shift = max(0, 1 - olo)
+            array = rng.choice(self.DATA_ARRAYS)
+            index = BinOp(
+                "+",
+                BinOp("*", BinOp("-", BinOp("+", Var(outer), Num(shift)), Num(1)), Num(m)),
+                Var(inner),
+            )
+            self._bump(array, (ohi + shift - 1) * m + m)
+            body.append(AssignArray(array, index, self.expr(scope, depth=1)))
+        return Do(inner, Num(1), Num(m), tuple(body), label=None)
+
+    # -- whole program ------------------------------------------------------
+    def generate(self) -> FuzzCase:
+        rng = self.rng
+        cfg = self.config
+        self.draw_params()
+        n = self.params["N"]
+        self.civ_enabled = rng.random() < cfg.p_civ
+        is_while = rng.random() < cfg.p_while
+
+        prelude: list = []
+        if self.civ_enabled:
+            prelude.append(AssignScalar("civ", Num(1)))
+
+        budget = rng.randint(cfg.min_body_stmts, cfg.max_body_stmts)
+        if is_while:
+            # while i < N with i starting at 0: trip count N (unknown to
+            # the analyzer), body sees i in [0, N-1].
+            prelude.append(AssignScalar("i", Num(0)))
+            scope = {"i": (0, max(n - 1, 0))}
+            self.temps = []
+            body = self.body(scope, depth=2, budget=budget)
+            body = body + (AssignScalar("i", BinOp("+", Var("i"), Num(1))),)
+            loop: IRStmt = While(
+                BinOp("<", Var("i"), Var("N")), body, label=TARGET_LABEL
+            )
+        else:
+            scope = {"i": (1, max(n, 1))}
+            self.temps = []
+            body = self.body(scope, depth=2, budget=budget)
+            loop = Do("i", Num(1), Var("N"), body, label=TARGET_LABEL)
+
+        # Size CIV-subscripted arrays now that every increment site is
+        # known: civ starts at 1 and gains at most civ_inc_total per trip.
+        civ_cap = 1 + self.civ_inc_total * max(n, 1)
+        for name in self.civ_arrays:
+            self._bump(name, civ_cap)
+
+        arrays = []
+        init: dict = {}
+        for name in (*self.DATA_ARRAYS, self.TEMP_ARRAY):
+            size = self.max_index[name] + 2
+            arrays.append(ArrayDecl(name, Num(size)))
+            init[name] = [rng.randint(-9, 20) for _ in range(size)]
+        idx_size = max(self.max_index[self.IDX_ARRAY] + 2, self.IDX_MAX)
+        arrays.append(ArrayDecl(self.IDX_ARRAY, Num(idx_size)))
+        init[self.IDX_ARRAY] = [
+            rng.randint(1, self.IDX_MAX) for _ in range(idx_size)
+        ]
+
+        program = Program(
+            params=("N", "M", "K1", "K2"),
+            arrays=tuple(arrays),
+            subroutines={},
+            main=tuple(prelude) + (loop,),
+            name=f"fuzz{self.seed}",
+        )
+        source = render_program(program)
+        # Re-parse: the parser is what marks reduction-update shapes, and
+        # this guarantees source and program can never drift apart.
+        program = parse_program(source)
+        return FuzzCase(
+            seed=self.seed,
+            program=program,
+            source=source,
+            params=dict(self.params),
+            arrays=init,
+            label=TARGET_LABEL,
+            exact_strategy=rng.choice(list(cfg.exact_strategies)),
+        )
+
+
+def generate_case(seed: int, config: Optional[GeneratorConfig] = None) -> FuzzCase:
+    """Generate the differential-test case for *seed* (deterministic)."""
+    return _Gen(seed, config or GeneratorConfig()).generate()

@@ -50,7 +50,9 @@ from .ast import (
 )
 from .lexer import Token, tokenize
 
-__all__ = ["parse_program", "parse_expression", "ParseError"]
+__all__ = [
+    "parse_program", "parse_expression", "ParseError", "is_additive_update",
+]
 
 
 class ParseError(ValueError):
@@ -372,6 +374,33 @@ class _Parser:
             self.expect("sym", ")")
             return inner
         raise ParseError(f"line {tok.line}:{tok.col}: unexpected {tok.text!r}")
+
+
+def is_additive_update(expr: IRExpr, array: str, index: IRExpr) -> bool:
+    """Is *expr* an additive update of ``array[index]`` -- a ``+``/``-``
+    spine with exactly one ``array[index]`` read on it and a delta that
+    never reads the element again?
+
+    Only these shapes commute as delta reductions: the runtime merges a
+    parallel reduction by accumulating ``final - initial`` per
+    iteration, which is wrong for e.g. ``A[i] = max(A[i], e)`` or
+    ``A[i] = A[i] * e`` when updates of different iterations collide.
+    """
+    if isinstance(expr, ArrayRead):
+        return expr.array == array and expr.index == index
+    if isinstance(expr, BinOp) and expr.op == "+":
+        left_reads = _reads_same_element(expr.left, array, index)
+        right_reads = _reads_same_element(expr.right, array, index)
+        if left_reads and not right_reads:
+            return is_additive_update(expr.left, array, index)
+        if right_reads and not left_reads:
+            return is_additive_update(expr.right, array, index)
+        return False
+    if isinstance(expr, BinOp) and expr.op == "-":
+        if _reads_same_element(expr.right, array, index):
+            return False
+        return is_additive_update(expr.left, array, index)
+    return False
 
 
 def _reads_same_element(expr: IRExpr, array: str, index: IRExpr) -> bool:

@@ -82,6 +82,11 @@ class ReductionInfo:
     #: True when the loop also writes the array outside update statements
     #: (the EXT-RRED shape of Section 4).
     has_other_writes: bool
+    #: True when every update of the array has the additive spine
+    #: ``A[e] = A[e] +/- delta``.  Only additive updates commute under
+    #: the runtime's delta-merge; a non-additive update (``max``,
+    #: ``*``, ...) may run as a reduction only if proven non-overlapping.
+    additive: bool = True
 
 
 @dataclass
@@ -92,6 +97,8 @@ class RegionSummary:
     scalars: dict[str, Expr] = field(default_factory=dict)
     #: arrays updated by reduction-shaped statements in this region
     reduction_arrays: set[str] = field(default_factory=set)
+    #: arrays with at least one non-additive update (cannot delta-merge)
+    nonadditive_updates: set[str] = field(default_factory=set)
     #: arrays written by non-reduction statements in this region
     plain_written: set[str] = field(default_factory=set)
     #: region contained constructs the converter could not represent
@@ -175,6 +182,7 @@ class Summarizer:
                 region.arrays[name] = summary
         region.scalars = step.scalars
         region.reduction_arrays |= step.reduction_arrays
+        region.nonadditive_updates |= step.nonadditive_updates
         region.plain_written |= step.plain_written
         region.approximate |= step.approximate
 
@@ -239,10 +247,24 @@ class Summarizer:
         else:
             target = usr_leaf(point(index))
             if stmt.is_update:
+                from .parser import is_additive_update
+
                 out.arrays[stmt.array] = Summary.read_write(target)
                 out.reduction_arrays.add(stmt.array)
-                # The self-read is part of the update; drop it from reads.
-                reads.pop(stmt.array, None)
+                if not is_additive_update(stmt.expr, stmt.array, stmt.index):
+                    out.nonadditive_updates.add(stmt.array)
+                # Only the self-read ``A[index]`` is part of the update;
+                # any OTHER element of the same array read by the RHS
+                # (``A[e] = A[e] + A[f]``) is a genuine exposed read and
+                # must stay in the summary, or flow dependences through
+                # it would be invisible to the independence equations.
+                self_reads = reads.pop(stmt.array, None)
+                if self_reads is not None and self_reads != target:
+                    from ..usr.build import usr_subtract
+
+                    other = usr_subtract(self_reads, target)
+                    if other is not EMPTY:
+                        reads[stmt.array] = other
             else:
                 out.arrays[stmt.array] = Summary.write(target)
                 out.plain_written.add(stmt.array)
@@ -334,6 +356,9 @@ class Summarizer:
                 else:
                     out.scalars[name] = self.fresh_symbol(name)
         out.reduction_arrays = then_region.reduction_arrays | else_region.reduction_arrays
+        out.nonadditive_updates = (
+            then_region.nonadditive_updates | else_region.nonadditive_updates
+        )
         out.plain_written = then_region.plain_written | else_region.plain_written
         out.approximate |= then_region.approximate or else_region.approximate
         for arr, usr in cond_reads.items():
@@ -370,6 +395,7 @@ class Summarizer:
         body = self.summarize_region(stmt.body, body_scalars)
         out = RegionSummary(scalars=dict(scalars))
         out.reduction_arrays = set(body.reduction_arrays)
+        out.nonadditive_updates = set(body.nonadditive_updates)
         out.plain_written = set(body.plain_written)
         out.approximate = body.approximate
         if lower is None or upper is None:
@@ -408,6 +434,7 @@ class Summarizer:
         body = self.summarize_region(stmt.body, body_scalars)
         out = RegionSummary(scalars=dict(scalars))
         out.reduction_arrays = set(body.reduction_arrays)
+        out.nonadditive_updates = set(body.nonadditive_updates)
         out.plain_written = set(body.plain_written)
         out.approximate = body.approximate
         for name, summary in body.arrays.items():
@@ -487,6 +514,8 @@ class Summarizer:
             )
             if formal in callee.reduction_arrays:
                 out.reduction_arrays.add(target)
+            if formal in callee.nonadditive_updates:
+                out.nonadditive_updates.add(target)
             if formal in callee.plain_written:
                 out.plain_written.add(target)
             if target in out.arrays:
@@ -760,7 +789,9 @@ def summarize_loop(
     reductions: dict[str, ReductionInfo] = {}
     for arr in body.reduction_arrays:
         reductions[arr] = ReductionInfo(
-            array=arr, has_other_writes=arr in body.plain_written
+            array=arr,
+            has_other_writes=arr in body.plain_written,
+            additive=arr not in body.nonadditive_updates,
         )
     return LoopAnalysisInput(
         label=label,

@@ -68,7 +68,7 @@ class PDAG:
     had been re-evaluated, keeping the paper's RTov accounting intact.
     """
 
-    __slots__ = ("_hash_cache",)
+    __slots__ = ("_hash_cache", "_free_cache", "_count_cache")
 
     def evaluate(
         self,
@@ -82,6 +82,17 @@ class PDAG:
         raise NotImplementedError
 
     def free_symbols(self) -> frozenset[str]:
+        """Free symbols, cached per node: predicates are DAGs with heavy
+        structural sharing, and the constructors (`p_loop_and`) and the
+        hoisting passes query this on every visit -- an uncached walk is
+        exponential on factored predicates."""
+        cached = getattr(self, "_free_cache", None)
+        if cached is None:
+            cached = self._free_symbols()
+            self._free_cache = cached
+        return cached
+
+    def _free_symbols(self) -> frozenset[str]:
         raise NotImplementedError
 
     def substitute(self, mapping: Mapping[str, Expr]) -> "PDAG":
@@ -102,7 +113,14 @@ class PDAG:
         return isinstance(self, PLeaf) and self.cond.is_false()
 
     def node_count(self) -> int:
-        return 1 + sum(c.node_count() for c in self.children())
+        """Tree node count (shared subgraphs counted per occurrence),
+        cached per node -- the size-cap checks in FACTOR query this on
+        every inference step."""
+        cached = getattr(self, "_count_cache", None)
+        if cached is None:
+            cached = 1 + sum(c.node_count() for c in self.children())
+            self._count_cache = cached
+        return cached
 
     def complexity_label(self) -> str:
         """Human-readable cost class: ``O(1)``, ``O(N)``, ``O(N^2)``..."""
@@ -154,7 +172,7 @@ class PLeaf(PDAG):
     def children(self) -> tuple[PDAG, ...]:
         return ()
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         return self.cond.free_symbols()
 
     def substitute(self, mapping: Mapping[str, Expr]) -> PDAG:
@@ -183,7 +201,7 @@ class _NaryP(PDAG):
     def children(self) -> tuple[PDAG, ...]:
         return self.args
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         out: frozenset[str] = frozenset()
         for a in self.args:
             out |= a.free_symbols()
@@ -270,7 +288,7 @@ class PLoopAnd(PDAG):
     def children(self) -> tuple[PDAG, ...]:
         return (self.body,)
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         out = self.lower.free_symbols() | self.upper.free_symbols()
         out |= self.body.free_symbols() - {self.index}
         return out
@@ -311,7 +329,7 @@ class PCall(PDAG):
     def children(self) -> tuple[PDAG, ...]:
         return (self.body,)
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         return self.body.free_symbols()
 
     def substitute(self, mapping: Mapping[str, Expr]) -> PDAG:

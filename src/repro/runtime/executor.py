@@ -344,6 +344,10 @@ class HybridExecutor:
                 if outcome.passed:
                     # Updates proven independent: direct shared access.
                     return ArrayDecision(array, "shared", "predicate", outcome.stage_label)
+            if not aplan.reduction_additive:
+                # Maybe-overlapping non-additive updates cannot be
+                # delta-merged; only an exact test can still validate.
+                return self._exact_fallback(array, aplan, env, report, trace)
             if aplan.needs_bounds_comp:
                 self._run_bounds_comp(array, env, report)
             return ArrayDecision(array, "reduction", via, passed)

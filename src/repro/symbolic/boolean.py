@@ -50,12 +50,21 @@ class BoolExpr:
     certainty only.
     """
 
-    __slots__ = ("_hash_cache",)
+    __slots__ = ("_hash_cache", "_free_cache")
 
     def evaluate(self, env: EvalEnv) -> bool:
         raise NotImplementedError
 
     def free_symbols(self) -> frozenset[str]:
+        """Free symbols, cached per node (predicates share subtrees
+        heavily; see the matching caches on Expr and PDAG)."""
+        cached = getattr(self, "_free_cache", None)
+        if cached is None:
+            cached = self._free_symbols()
+            self._free_cache = cached
+        return cached
+
+    def _free_symbols(self) -> frozenset[str]:
         raise NotImplementedError
 
     def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
@@ -89,7 +98,7 @@ class BTrue(BoolExpr):
     def evaluate(self, env: EvalEnv) -> bool:
         return True
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         return frozenset()
 
     def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
@@ -110,7 +119,7 @@ class BFalse(BoolExpr):
     def evaluate(self, env: EvalEnv) -> bool:
         return False
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         return frozenset()
 
     def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
@@ -154,7 +163,7 @@ class Cmp(BoolExpr):
     def evaluate(self, env: EvalEnv) -> bool:
         return _OPS[self.op](self.expr.evaluate(env))
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         return self.expr.free_symbols()
 
     def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
@@ -188,7 +197,7 @@ class Divides(BoolExpr):
     def evaluate(self, env: EvalEnv) -> bool:
         return self.expr.evaluate(env) % self.k == 0
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         return self.expr.free_symbols()
 
     def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
@@ -212,7 +221,7 @@ class NotB(BoolExpr):
     def evaluate(self, env: EvalEnv) -> bool:
         return not self.arg.evaluate(env)
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         return self.arg.free_symbols()
 
     def substitute(self, mapping: Mapping[str, Expr]) -> "BoolExpr":
@@ -238,7 +247,7 @@ class _NaryBool(BoolExpr):
         if len(self.args) < 2:
             raise ValueError("n-ary boolean needs at least two arguments")
 
-    def free_symbols(self) -> frozenset[str]:
+    def _free_symbols(self) -> frozenset[str]:
         out: frozenset[str] = frozenset()
         for a in self.args:
             out |= a.free_symbols()

@@ -335,7 +335,7 @@ class Expr:
     cheaply.
     """
 
-    __slots__ = ("_terms", "_hash")
+    __slots__ = ("_terms", "_hash", "_free_cache")
 
     def __init__(self, *args, **kwargs):
         raise TypeError("use as_expr()/sym() or arithmetic to build Expr")
@@ -382,11 +382,17 @@ class Expr:
         return 0
 
     def free_symbols(self) -> frozenset[str]:
-        out: frozenset[str] = frozenset()
-        for mono, _ in self._terms:
-            for atom, _p in mono:
-                out |= atom.free_symbols()
-        return out
+        # Cached per instance: expressions are hash-consed, so one
+        # computation serves every structurally equal occurrence.
+        cached = getattr(self, "_free_cache", None)
+        if cached is None:
+            out: frozenset[str] = frozenset()
+            for mono, _ in self._terms:
+                for atom, _p in mono:
+                    out |= atom.free_symbols()
+            self._free_cache = out
+            cached = out
+        return cached
 
     def atoms(self) -> frozenset[Atom]:
         out: set[Atom] = set()

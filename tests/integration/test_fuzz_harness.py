@@ -1,0 +1,151 @@
+"""Integration tests of the differential-fuzzing harness: the oracle's
+verdict logic, the shrinker, the per-seed verdict cache, and soundness
+smoke/soak sweeps over seed ranges."""
+
+import pytest
+
+from repro.fuzz import (
+    FuzzCache,
+    GeneratorConfig,
+    format_fuzz_report,
+    generate_case,
+    run_case,
+    run_fuzz,
+    run_seed,
+    shrink_case,
+)
+from repro.fuzz.oracle import FAILING_OUTCOMES, OUTCOMES
+from repro.ir import parse_program
+
+
+def _case_from(source, params, arrays, exact_strategy="inspector"):
+    from repro.fuzz.generator import FuzzCase
+
+    return FuzzCase(
+        seed=0,
+        program=parse_program(source),
+        source=source,
+        params=params,
+        arrays=arrays,
+        label="fuzz_loop",
+        exact_strategy=exact_strategy,
+    )
+
+
+class TestOracleVerdicts:
+    def test_independent_loop_is_sound_parallel(self):
+        case = _case_from(
+            "program p\nparam N\narray A(20), B(20)\nmain\n"
+            "do i = 1, N @ fuzz_loop\nA[i] = B[i] + 1\nend\nend\nend\n",
+            {"N": 8},
+            {"A": [0] * 20, "B": list(range(20))},
+        )
+        result = run_case(case)
+        assert result.outcome == "sound-parallel"
+        assert result.parallel
+        assert result.dependent is False
+
+    def test_flow_dependent_loop_is_sound_sequential(self):
+        case = _case_from(
+            "program p\nparam N\narray A(20)\nmain\n"
+            "do i = 2, N @ fuzz_loop\nA[i] = A[i - 1] + 1\nend\nend\nend\n",
+            {"N": 8},
+            {"A": [0] * 20},
+        )
+        result = run_case(case)
+        assert result.outcome == "sound-sequential"
+        assert result.dependent is True
+
+    def test_crash_is_reported_with_layer(self):
+        # Out-of-bounds write: the interpreter faults, and the oracle
+        # attributes the crash instead of raising.
+        case = _case_from(
+            "program p\nparam N\narray A(3)\nmain\n"
+            "do i = 1, N @ fuzz_loop\nA[i] = i\nend\nend\nend\n",
+            {"N": 9},
+            {"A": [0] * 3},
+        )
+        result = run_case(case)
+        assert result.outcome == "crash"
+        assert "interpreter:" in result.detail or "executor:" in result.detail
+
+    def test_outcomes_vocabulary_is_closed(self):
+        for seed in range(30):
+            assert run_seed(seed).outcome in OUTCOMES
+
+
+class TestShrinker:
+    def test_shrinks_crash_to_minimal_program(self):
+        source = (
+            "program p\nparam N\narray A(3), B(50)\nmain\n"
+            "t = 1\n"
+            "do i = 1, N @ fuzz_loop\n"
+            "B[i] = i\n"
+            "if (i > 1) then\nB[i + 1] = 0\nend\n"
+            "A[i + 3] = i\n"  # the actual out-of-bounds site
+            "end\nend\nend\n"
+        )
+        case = _case_from(source, {"N": 4}, {"A": [0] * 3, "B": [0] * 50})
+        baseline = run_case(case)
+        assert baseline.outcome == "crash"
+        shrunk = shrink_case(case)
+        assert shrunk.outcome == "crash"
+        # The unrelated statements must be gone.
+        assert "B[i]" not in shrunk.case.source
+        assert "if" not in shrunk.case.source
+        assert shrunk.stmts_after < shrunk.stmts_before
+        assert "seed 0" in shrunk.provenance
+        # The minimized program still reproduces.
+        assert run_case(shrunk.case).outcome == "crash"
+
+    def test_shrink_preserves_target_loop(self):
+        case = generate_case(11)
+        shrunk = shrink_case(case, budget=60)
+        assert shrunk.case.program.find_loop("fuzz_loop") is not None
+
+
+class TestFuzzDriverAndCache:
+    def test_run_fuzz_counts_and_format(self):
+        report = run_fuzz(seeds=12, jobs=2)
+        assert len(report.results) == 12
+        assert sum(report.counts.values()) == 12
+        text = format_fuzz_report(report)
+        assert "Differential fuzzing: 12 seed(s)" in text
+        assert "soundness:" in text
+        assert "classifications:" in text
+
+    def test_verdicts_are_cached_and_stable(self, tmp_path):
+        cache = FuzzCache(str(tmp_path))
+        cold = run_fuzz(seeds=6, jobs=2, cache=cache)
+        warm = run_fuzz(seeds=6, jobs=2, cache=cache)
+        assert warm.cache_hits == 6
+        for a, b in zip(cold.results, warm.results):
+            assert (a.seed, a.outcome, a.classification) == (
+                b.seed, b.outcome, b.classification,
+            )
+
+    def test_cache_key_depends_on_config(self, tmp_path):
+        cache = FuzzCache(str(tmp_path))
+        a = GeneratorConfig()
+        b = GeneratorConfig(max_trip=5)
+        assert cache.seed_key(1, a) != cache.seed_key(1, b)
+        assert cache.seed_key(1, a) != cache.seed_key(2, a)
+
+    def test_seed_start_selects_range(self):
+        report = run_fuzz(seeds=3, seed_start=20, jobs=1)
+        assert [r.seed for r in report.results] == [20, 21, 22]
+
+
+class TestSoundnessSweep:
+    def test_smoke_no_soundness_violations(self):
+        """Fast tier-1 guard: the first 25 seeds stay sound."""
+        report = run_fuzz(seeds=25, jobs=4)
+        assert report.ok, format_fuzz_report(report)
+
+    @pytest.mark.slow
+    def test_soak_no_soundness_violations(self):
+        """Slow soak (excluded from -m 'not slow'): a wide seed range
+        must produce zero unsound/crash verdicts."""
+        report = run_fuzz(seeds=150, seed_start=1000, jobs=4)
+        failing = [r for r in report.results if r.outcome in FAILING_OUTCOMES]
+        assert not failing, format_fuzz_report(report, verbose_failures=10)

@@ -1,0 +1,130 @@
+"""Property tests for LRPD speculation against the trace oracle.
+
+The headline property: for any traced loop with no cross-iteration
+dependences, ``lrpd_test`` succeeds, and its ``privatized`` set is
+always consistent with the trace's expose-reads (a privatized array is
+never expose-read across iterations).  Exercised both over synthetic
+traces (hypothesis) and over real traces of fuzz-generated programs.
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz import generate_case
+from repro.ir import Machine
+from repro.ir.interp import IterationRecord, LoopTrace
+from repro.runtime.speculation import lrpd_test
+
+ARRAYS = ("A", "B")
+LOCS = list(range(1, 12))
+
+
+@st.composite
+def independent_traces(draw):
+    """Traces with no cross-iteration dependences by construction:
+    writes are drawn from per-iteration disjoint location blocks, and
+    exposed reads touch only own-written or never-written locations."""
+    n_iters = draw(st.integers(1, 4))
+    # Partition the universe: block k belongs to iteration k; the tail
+    # is the shared never-written pool.
+    per_iter = len(LOCS) // (n_iters + 1)
+    trace = LoopTrace("t")
+    free_pool = LOCS[n_iters * per_iter:]
+    for it in range(n_iters):
+        block = LOCS[it * per_iter:(it + 1) * per_iter]
+        rec = IterationRecord(iteration=it + 1)
+        for arr in ARRAYS:
+            writes = draw(st.sets(st.sampled_from(block), max_size=3)) if block else set()
+            if writes:
+                rec.writes[arr] = set(writes)
+            readable = sorted(set(writes) | set(free_pool))
+            reads = draw(st.sets(st.sampled_from(readable), max_size=3)) if readable else set()
+            if reads:
+                rec.exposed_reads[arr] = set(reads)
+        trace.iterations.append(rec)
+    return trace
+
+
+@st.composite
+def arbitrary_traces(draw):
+    n_iters = draw(st.integers(1, 4))
+    trace = LoopTrace("t")
+    for it in range(n_iters):
+        rec = IterationRecord(iteration=it + 1)
+        for arr in ARRAYS:
+            writes = draw(st.sets(st.sampled_from(LOCS), max_size=4))
+            reads = draw(st.sets(st.sampled_from(LOCS), max_size=4))
+            if writes:
+                rec.writes[arr] = set(writes)
+            if reads:
+                rec.exposed_reads[arr] = set(reads)
+        trace.iterations.append(rec)
+    return trace
+
+
+def _flow_conflict(trace, array):
+    """Is some location of *array* written in one iteration and
+    expose-read in a different one?"""
+    writers = {}
+    for rec in trace.iterations:
+        for loc in rec.writes.get(array, ()):
+            writers.setdefault(loc, set()).add(rec.iteration)
+    for rec in trace.iterations:
+        for loc in rec.exposed_reads.get(array, ()):
+            if writers.get(loc, set()) - {rec.iteration}:
+                return True
+    return False
+
+
+@given(independent_traces())
+@settings(max_examples=120, deadline=None)
+def test_independent_trace_speculates_successfully(trace):
+    assert not trace.has_cross_iteration_dependence()
+    result = lrpd_test(trace)
+    assert result.success
+    # Nothing needed privatization: no output conflicts exist at all.
+    assert result.privatized == frozenset()
+
+
+@given(arbitrary_traces())
+@settings(max_examples=150, deadline=None)
+def test_privatized_set_is_consistent_with_expose_reads(trace):
+    result = lrpd_test(trace)
+    if result.success:
+        for array in result.privatized:
+            assert not _flow_conflict(trace, array)
+    else:
+        # A failure must be justified by a genuine flow conflict.
+        assert any(_flow_conflict(trace, a) for a in ARRAYS)
+
+
+@given(arbitrary_traces())
+@settings(max_examples=100, deadline=None)
+def test_no_privatization_mode_rejects_output_conflicts(trace):
+    strict = lrpd_test(trace, privatize=False)
+    if strict.success:
+        assert trace.output_independent()
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_generated_traces_uphold_the_property(seed):
+    """The same property over real traces: trace a fuzz-generated
+    program's target loop and cross-check lrpd_test against it."""
+    case = generate_case(seed)
+    machine = Machine(
+        case.program,
+        params=case.params,
+        arrays=copy.deepcopy(case.arrays),
+        trace_label=case.label,
+    )
+    trace = machine.run().trace
+    assert trace is not None
+    result = lrpd_test(trace)
+    if not trace.has_cross_iteration_dependence():
+        assert result.success
+        assert result.privatized == frozenset()
+    if result.success:
+        for array in result.privatized:
+            assert not _flow_conflict(trace, array)

@@ -1,0 +1,76 @@
+"""The corpus replayer itself is under test: a known-bad program placed
+in a (temporary) corpus must be collected, executed and reported with
+its seed and shrink provenance."""
+
+import json
+
+from repro.fuzz import load_corpus_case, replay_corpus_case
+from repro.fuzz.shrink import CORPUS_SCHEMA
+
+#: A program that the oracle must classify as a failure: the subscript
+#: walks off the end of the declared array, so the interpreter (and
+#: therefore the oracle) reports a crash -- the generator's bounds
+#: guarantee makes any such crash a reportable bug.
+_KNOWN_BAD = {
+    "schema": CORPUS_SCHEMA,
+    "seed": 424242,
+    "label": "fuzz_loop",
+    "exact_strategy": "inspector",
+    "params": {"N": 5},
+    "arrays": {"A": [0, 0, 0]},
+    "source": (
+        "program knownbad\n"
+        "param N\n"
+        "array A(3)\n"
+        "main\n"
+        "  do i = 1, N @ fuzz_loop\n"
+        "    A[i] = i\n"
+        "  end\n"
+        "end\n"
+        "end\n"
+    ),
+    "original_outcome": "crash",
+    "original_detail": "interpreter: InterpError: A[4] out of bounds",
+    "provenance": "hand-written replayer fixture (never shipped in corpus/)",
+}
+
+
+def _write(tmp_path):
+    path = tmp_path / "seed424242-crash.json"
+    path.write_text(json.dumps(_KNOWN_BAD))
+    return path
+
+
+def test_known_bad_program_is_reported_with_provenance(tmp_path):
+    path = _write(tmp_path)
+    entry = load_corpus_case(path)
+    result = replay_corpus_case(entry, str(path))
+    assert not result.ok
+    assert result.outcome == "crash"
+    # The report must carry enough to reproduce: seed + provenance +
+    # the original verdict it was committed under.
+    assert "424242" in result.message
+    assert "hand-written replayer fixture" in result.message
+    assert "originally crash" in result.message
+    assert str(path) in result.message
+
+
+def test_loader_roundtrips_inputs(tmp_path):
+    path = _write(tmp_path)
+    entry = load_corpus_case(path)
+    assert entry.seed == 424242
+    assert entry.params == {"N": 5}
+    assert entry.arrays == {"A": [0, 0, 0]}
+    case = entry.to_case()
+    assert case.program.find_loop("fuzz_loop") is not None
+    assert case.exact_strategy == "inspector"
+
+
+def test_loader_rejects_unknown_schema(tmp_path):
+    payload = dict(_KNOWN_BAD, schema=CORPUS_SCHEMA + 999)
+    path = tmp_path / "bad-schema.json"
+    path.write_text(json.dumps(payload))
+    import pytest
+
+    with pytest.raises(ValueError):
+        load_corpus_case(path)

@@ -72,3 +72,57 @@ class TestSchedule:
         text = format_schedule(generate_schedule(plan))
         assert "runtime tests for loop solvh_do20" in text
         assert "run parallel ELSE run sequential" in text
+
+    def test_schedule_is_deduplicated(self):
+        """A predicate stage shared between the flow and output cascades
+        of one array (or repeated across stages) is emitted once per
+        (array, kind, complexity)."""
+        spec = get_benchmark("dyfesm")
+        plan = HybridAnalyzer(spec.program).analyze("solvh_do20")
+        schedule = generate_schedule(plan)
+        keys = [(t.array, t.kind, t.complexity) for t in schedule.tests]
+        assert len(keys) == len(set(keys))
+
+    def test_ranks_are_dense_and_ordered(self):
+        spec = get_benchmark("dyfesm")
+        plan = HybridAnalyzer(spec.program).analyze("solvh_do20")
+        schedule = generate_schedule(plan)
+        assert [t.rank for t in schedule.tests] == sorted(
+            t.rank for t in schedule.tests
+        )
+
+    def test_cheapest_first_synthetic(self):
+        """A loop with both an O(1)-testable offset pair and an
+        indirection-driven stage orders O(1) before the rest."""
+        plan = _plan("""
+  do i = 1, N @ l
+    A[K1 + i] = A[K2 + i] + B[B[i] + 1]
+  end
+""")
+        schedule = generate_schedule(plan)
+        labels = schedule.ordered_kinds()
+        assert labels == sorted(labels, key=lambda l: {"O(1)": 0, "O(N)": 1}.get(l, 2))
+
+    def test_stable_across_hash_consing_runs(self):
+        """Cold-start and warm-cache analysis must emit bit-identical
+        schedules: clear every interning/memo table, re-parse, re-plan,
+        and compare the full RuntimeTest lists."""
+        from repro.symbolic.intern import clear_caches
+
+        def build():
+            prog = parse_program(
+                "program t\nparam N, K1, K2\narray A(512), B(512)\n\nmain\n"
+                "  do i = 1, N @ l\n"
+                "    A[K1 + i] = A[K2 + i] + B[i]\n"
+                "  end\nend\nend\n"
+            )
+            return generate_schedule(analyze_loop(prog, "l"))
+
+        warm = build()
+        clear_caches()
+        cold = build()
+        assert cold.tests == warm.tests
+        assert cold.precomputed == warm.precomputed
+        assert cold.bounds_comp == warm.bounds_comp
+        assert cold.exact_fallback == warm.exact_fallback
+        assert format_schedule(cold) == format_schedule(warm)
