@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench docs-check batch fuzz clean
+.PHONY: test test-fast bench docs-check api-surface examples batch fuzz clean
 
 ## Tier-1 verification: the full unit/property/integration/benchmark suite.
 test:
@@ -18,6 +18,14 @@ bench:
 ## Verify README/ARCHITECTURE links and module-map paths resolve.
 docs-check:
 	$(PYTHON) tools/check_doc_links.py
+
+## Verify repro.api.__all__ matches the committed docs/api_surface.txt.
+api-surface:
+	$(PYTHON) tools/check_api_surface.py
+
+## Run every example script (facade smoke test).
+examples:
+	for example in examples/*.py; do echo "== $$example"; $(PYTHON) "$$example" || exit 1; done
 
 ## Analyze the whole benchmark suite concurrently (persistent cache).
 batch:

@@ -22,10 +22,9 @@ Run:  python examples/civ_while_loops.py
 
 import random
 
+from repro.api import default_engine
 from repro.baselines import StaticAffineCompiler
-from repro.core import HybridAnalyzer
-from repro.ir import parse_program
-from repro.runtime import CostModel, HybridExecutor
+from repro.runtime import CostModel
 
 SOURCE = """
 program track_extend
@@ -49,9 +48,10 @@ end
 
 
 def main() -> None:
-    program = parse_program(SOURCE)
+    compiled = default_engine().compile(SOURCE)
+    program = compiled.program
 
-    plan = HybridAnalyzer(program).analyze("extend_do400")
+    plan = compiled.plan("extend_do400")
     print(f"classification: {plan.classification()}")
     print(f"techniques:     {', '.join(plan.techniques())}")
     for info in plan.civs:
@@ -67,7 +67,7 @@ def main() -> None:
         "NHITS": [rng.randrange(0, 5) for _ in range(4096)],
         "TRK": [i % 9 for i in range(1, 8193)],
     }
-    report = HybridExecutor(program, plan).run(params, arrays)
+    report = compiled.execute("extend_do400", params, arrays)
     cost = CostModel(spawn_overhead=10)
     print(f"\nparallelized:   {report.parallel}, correct: {report.correct}")
     print(f"CIV-COMP slice: {report.civ_overhead:.0f} work units "

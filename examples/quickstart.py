@@ -2,18 +2,17 @@
 """Quickstart: analyze and conditionally parallelize one loop.
 
 This walks the full pipeline of the paper on the Section 1.2 running
-example (dyfesm's SOLVH_DO20): interprocedural USR summarization, the
-FACTOR translation to a predicate cascade, and the hybrid runtime that
-evaluates the cascade and executes the loop in parallel with the
-appropriate transforms -- then validates the result against sequential
-execution.
+example (dyfesm's SOLVH_DO20) through the :mod:`repro.api` Engine
+facade: compile once (interprocedural USR summarization, memoized), ask
+the compiled handle for the loop plan (the FACTOR translation to a
+predicate cascade), and execute the loop under the hybrid runtime --
+which validates the result against sequential execution.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import HybridAnalyzer
-from repro.ir import parse_program
-from repro.runtime import CostModel, HybridExecutor
+from repro.api import Engine, EngineConfig
+from repro.runtime import CostModel
 
 SOURCE = """
 program dyfesm_solvh
@@ -59,11 +58,15 @@ end
 
 
 def main() -> None:
-    program = parse_program(SOURCE)
+    # One long-lived engine owns parsing, summaries, plan memoization
+    # and the disk cache; compile once, then plan/execute through the
+    # compiled handle.
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    compiled = engine.compile(SOURCE)
 
     # 1. Static analysis: summaries -> independence USRs -> FACTOR ->
     #    simplified predicate cascades, per array.
-    plan = HybridAnalyzer(program).analyze("solvh_do20")
+    plan = compiled.plan("solvh_do20")
     print(f"classification: {plan.classification()}")
     print(f"techniques:     {', '.join(plan.techniques())}")
     for name, aplan in plan.arrays.items():
@@ -78,8 +81,7 @@ def main() -> None:
         "IA": [2] * 64,
         "IB": [1 + 2 * i for i in range(64)],  # disjoint HE slots
     }
-    executor = HybridExecutor(program, plan)
-    report = executor.run(params, arrays)
+    report = compiled.execute("solvh_do20", params, arrays)
     cost = CostModel(spawn_overhead=5)
     print(f"\nparallelized:   {report.parallel}")
     print(f"result correct: {report.correct}")
@@ -94,7 +96,7 @@ def main() -> None:
     # 3. The same loop with colliding slots: predicates fail, the runtime
     #    falls back -- and the result is STILL correct.
     arrays_bad = dict(arrays, IB=[1] * 64)
-    report_bad = executor.run(params, arrays_bad)
+    report_bad = compiled.execute("solvh_do20", params, arrays_bad)
     print(f"\nwith colliding IB slots: parallel={report_bad.parallel}, "
           f"correct={report_bad.correct}")
     print("decisions:",

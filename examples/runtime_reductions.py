@@ -18,9 +18,7 @@ Three progressively harder histogram/force-accumulation loops:
 Run:  python examples/runtime_reductions.py
 """
 
-from repro.core import HybridAnalyzer
-from repro.ir import parse_program
-from repro.runtime import HybridExecutor
+from repro.api import default_engine
 
 SOURCE = """
 program reductions
@@ -43,31 +41,28 @@ end
 
 
 def main() -> None:
-    program = parse_program(SOURCE)
-    analyzer = HybridAnalyzer(program)
+    compiled = default_engine().compile(SOURCE)
 
     # --- 1+2: the histogram loop under two datasets -------------------
-    plan = analyzer.analyze("histogram")
+    plan = compiled.plan("histogram")
     print("histogram loop:", plan.classification())
-    executor = HybridExecutor(program, plan)
 
     monotone = {"B": [3 * i + 1 for i in range(4096)], "W": [1] * 4096}
-    r1 = executor.run({"N": 32, "FSIZE": 4096}, monotone)
+    r1 = compiled.execute("histogram", {"N": 32, "FSIZE": 4096}, monotone)
     print(f"  monotone index array -> {r1.decisions['A'].strategy} "
           f"(via {r1.decisions['A'].via}, stage {r1.decisions['A'].passed_stage}); "
           f"correct={r1.correct}")
 
     colliding = {"B": [(i % 7) + 1 for i in range(4096)], "W": [1] * 4096}
-    r2 = executor.run({"N": 32, "FSIZE": 4096}, colliding)
+    r2 = compiled.execute("histogram", {"N": 32, "FSIZE": 4096}, colliding)
     print(f"  colliding index array -> {r2.decisions['A'].strategy}; "
           f"correct={r2.correct}")
 
     # --- 3: assumed-size reduction needs BOUNDS-COMP -------------------
-    plan_f = analyzer.analyze("forces")
+    plan_f = compiled.plan("forces")
     aplan = plan_f.arrays["F"]
     print(f"\nforces loop: {plan_f.classification()} "
           f"(needs BOUNDS-COMP: {aplan.needs_bounds_comp})")
-    exec_f = HybridExecutor(program, plan_f)
     data = {
         "SHIFT": [((i * 389) % 1000) for i in range(4096)],
         "X": [i % 5 for i in range(1, 8193)],
@@ -75,7 +70,7 @@ def main() -> None:
         "B": [(i % 7) + 1 for i in range(4096)],
         "W": [1] * 4096,
     }
-    r3 = exec_f.run({"N": 48, "FSIZE": 4096}, data)
+    r3 = compiled.execute("forces", {"N": 48, "FSIZE": 4096}, data)
     print(f"  bounds estimation cost: {r3.bounds_overhead:.0f} iterations "
           f"(vs {r3.seq_work:.0f} loop work units "
           f"-> {r3.bounds_overhead / r3.seq_work:.1%}; the paper's gromacs "

@@ -20,24 +20,40 @@ Layers, bottom-up:
 * :mod:`repro.baselines` -- the commercial-compiler model and classical
   dependence tests;
 * :mod:`repro.workloads` -- the 26 benchmark models of Tables 1-3;
-* :mod:`repro.evaluation` -- regenerates every table and figure.
+* :mod:`repro.evaluation` -- regenerates every table and figure;
+* :mod:`repro.fuzz` -- the differential fuzzing harness (generator,
+  three-way soundness oracle, delta-debugging shrinker);
+* :mod:`repro.api` -- the stable Engine facade: one cached, concurrent
+  entry point for analyze/plan/execute (see ``docs/API.md``).
 
 Quickstart::
 
-    from repro.ir import parse_program
-    from repro.core import analyze_loop
-    from repro.runtime import HybridExecutor
+    from repro.api import Engine, EngineConfig
 
-    program = parse_program(SOURCE)
-    plan = analyze_loop(program, "my_loop")
-    report = HybridExecutor(program, plan).run(params, arrays)
+    engine = Engine(EngineConfig())
+    compiled = engine.compile(SOURCE)
+    plan = compiled.plan("my_loop")
+    report = compiled.execute("my_loop", params, arrays)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import baselines, core, evaluation, ir, lmad, pdag, runtime, symbolic, usr, workloads
+from . import (
+    api,
+    baselines,
+    core,
+    evaluation,
+    fuzz,
+    ir,
+    lmad,
+    pdag,
+    runtime,
+    symbolic,
+    usr,
+    workloads,
+)
 
 __all__ = [
     "symbolic", "lmad", "usr", "pdag", "core", "ir", "runtime",
-    "baselines", "workloads", "evaluation", "__version__",
+    "baselines", "workloads", "evaluation", "fuzz", "api", "__version__",
 ]

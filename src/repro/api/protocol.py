@@ -1,0 +1,446 @@
+"""Versioned request/response dataclasses with a stable JSON schema.
+
+Every consumer of the analysis pipeline -- the CLI, the batch driver,
+the fuzz harness, a future HTTP front-end -- speaks this protocol:
+
+* :class:`AnalyzeRequest` -> :class:`AnalyzeResponse`: compile the
+  source and plan one labelled loop (classification, techniques,
+  per-array transforms and cascade stages);
+* :class:`ExecuteRequest` -> :class:`ExecuteResponse`: additionally run
+  the planned loop against concrete inputs under the hybrid runtime and
+  report decisions, overheads and the ground-truth verdict.
+
+Schema stability contract: for any response, ``serialize -> deserialize
+-> re-serialize`` is byte-identical (enforced by
+``tests/unit/test_api_protocol.py``).  :data:`PROTOCOL_VERSION` is part
+of every document; a reader must reject documents whose version it does
+not understand rather than guess.  The transient ``cached`` flag is
+deliberately *not* part of the wire schema (it describes how this
+process obtained the document, not the document itself).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "canonical_json",
+    "ArrayPlanSummary",
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "ExecuteRequest",
+    "ExecuteResponse",
+    "request_from_json",
+    "response_from_json",
+]
+
+#: Bump on any incompatible change to the request/response schemas.
+#: Readers reject unknown versions; the engine's disk-cache keys include
+#: it, so a bump orphans stale cached responses by construction.
+PROTOCOL_VERSION = 1
+
+
+def canonical_json(payload: dict) -> str:
+    """The one true serialization (sorted keys, indent=1) -- the form the
+    byte-identity contract and the disk cache are defined over."""
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def _check_version(payload: dict, what: str) -> None:
+    version = payload.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ValueError(
+            f"{what}: unsupported protocol version {version!r} "
+            f"(this reader speaks {PROTOCOL_VERSION})"
+        )
+
+
+# -- requests ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """Compile *source* and plan the loop labelled *loop*.
+
+    *options* may override the engine's analyzer knobs per request
+    (``use_monotonicity``, ``use_reshaping``, ``use_civagg``,
+    ``interprocedural``, ``size_cap``, ``work_cap``).
+    """
+
+    source: str
+    loop: str
+    options: dict = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "analyze",
+            "version": self.version,
+            "source": self.source,
+            "loop": self.loop,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AnalyzeRequest":
+        _check_version(payload, "AnalyzeRequest")
+        return cls(
+            source=payload["source"],
+            loop=payload["loop"],
+            options=dict(payload.get("options", {})),
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+@dataclass(frozen=True)
+class ExecuteRequest:
+    """Plan *loop* and execute it against concrete inputs.
+
+    *params* maps parameter names to integers; *arrays* maps array names
+    to initial contents (missing arrays start zeroed).
+    """
+
+    source: str
+    loop: str
+    params: dict = field(default_factory=dict)
+    arrays: dict = field(default_factory=dict)
+    #: exact-test fallback: 'inspector' (hoistable USR evaluation) or
+    #: 'tls' (LRPD speculation)
+    exact_strategy: str = "inspector"
+    options: dict = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "execute",
+            "version": self.version,
+            "source": self.source,
+            "loop": self.loop,
+            "params": dict(self.params),
+            "arrays": {k: list(v) for k, v in self.arrays.items()},
+            "exact_strategy": self.exact_strategy,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ExecuteRequest":
+        _check_version(payload, "ExecuteRequest")
+        return cls(
+            source=payload["source"],
+            loop=payload["loop"],
+            params=dict(payload.get("params", {})),
+            arrays={k: list(v) for k, v in payload.get("arrays", {}).items()},
+            exact_strategy=payload.get("exact_strategy", "inspector"),
+            options=dict(payload.get("options", {})),
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+#: Either request type (what :meth:`repro.api.Engine.serve` accepts).
+Request = Union[AnalyzeRequest, ExecuteRequest]
+
+
+def request_from_json(payload: dict) -> Request:
+    """Dispatch a request document on its ``kind`` tag."""
+    kind = payload.get("kind")
+    if kind == "analyze":
+        return AnalyzeRequest.from_json(payload)
+    if kind == "execute":
+        return ExecuteRequest.from_json(payload)
+    raise ValueError(f"unknown request kind {kind!r}")
+
+
+# -- responses ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayPlanSummary:
+    """Wire form of one :class:`~repro.core.analyzer.ArrayPlan`.
+
+    Cascade fields hold the ordered stage labels of the runtime cascade,
+    or ``None`` when no runtime test of that kind is needed.
+    """
+
+    array: str
+    #: 'shared' | 'private' | 'reduction'
+    transform: str
+    flow: Optional[list] = None
+    output: Optional[list] = None
+    slv: Optional[list] = None
+    rred: Optional[list] = None
+    needs_exact: bool = False
+    needs_bounds_comp: bool = False
+    extended_reduction: bool = False
+    reduction_additive: bool = True
+    static_parallel: bool = False
+
+    @classmethod
+    def from_plan(cls, plan) -> "ArrayPlanSummary":
+        def stages(cascade) -> Optional[list]:
+            if cascade is None:
+                return None
+            return [stage.label for stage in cascade.stages]
+
+        return cls(
+            array=plan.array,
+            transform=plan.transform,
+            flow=stages(plan.flow),
+            output=stages(plan.output),
+            slv=stages(plan.slv),
+            rred=stages(plan.rred),
+            needs_exact=plan.needs_exact,
+            needs_bounds_comp=plan.needs_bounds_comp,
+            extended_reduction=plan.extended_reduction,
+            reduction_additive=plan.reduction_additive,
+            static_parallel=plan.static_parallel(),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "array": self.array,
+            "transform": self.transform,
+            "flow": self.flow,
+            "output": self.output,
+            "slv": self.slv,
+            "rred": self.rred,
+            "needs_exact": self.needs_exact,
+            "needs_bounds_comp": self.needs_bounds_comp,
+            "extended_reduction": self.extended_reduction,
+            "reduction_additive": self.reduction_additive,
+            "static_parallel": self.static_parallel,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ArrayPlanSummary":
+        return cls(
+            array=payload["array"],
+            transform=payload["transform"],
+            flow=payload.get("flow"),
+            output=payload.get("output"),
+            slv=payload.get("slv"),
+            rred=payload.get("rred"),
+            needs_exact=payload.get("needs_exact", False),
+            needs_bounds_comp=payload.get("needs_bounds_comp", False),
+            extended_reduction=payload.get("extended_reduction", False),
+            reduction_additive=payload.get("reduction_additive", True),
+            static_parallel=payload.get("static_parallel", False),
+        )
+
+
+@dataclass
+class AnalyzeResponse:
+    """The plan for one loop, in wire form."""
+
+    digest: str
+    loop: str
+    classification: str
+    techniques: list = field(default_factory=list)
+    static_parallel: bool = False
+    runtime_tested: bool = False
+    needs_exact_fallback: bool = False
+    has_scalar_dependence: bool = False
+    approximate: bool = False
+    is_while: bool = False
+    civs: list = field(default_factory=list)
+    arrays: list = field(default_factory=list)
+    version: int = PROTOCOL_VERSION
+    #: served from a cache (process-local; never serialized)
+    cached: bool = False
+
+    @classmethod
+    def from_plan(cls, plan, digest: str) -> "AnalyzeResponse":
+        return cls(
+            digest=digest,
+            loop=plan.label,
+            classification=plan.classification(),
+            techniques=plan.techniques(),
+            static_parallel=plan.static_parallel(),
+            runtime_tested=plan.runtime_tested(),
+            needs_exact_fallback=plan.needs_exact_fallback(),
+            has_scalar_dependence=plan.has_scalar_dependence(),
+            approximate=plan.approximate,
+            is_while=plan.is_while,
+            civs=[info.name for info in plan.civs],
+            arrays=[
+                ArrayPlanSummary.from_plan(p)
+                for _, p in sorted(plan.arrays.items())
+            ],
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "analyze",
+            "version": self.version,
+            "digest": self.digest,
+            "loop": self.loop,
+            "classification": self.classification,
+            "techniques": list(self.techniques),
+            "static_parallel": self.static_parallel,
+            "runtime_tested": self.runtime_tested,
+            "needs_exact_fallback": self.needs_exact_fallback,
+            "has_scalar_dependence": self.has_scalar_dependence,
+            "approximate": self.approximate,
+            "is_while": self.is_while,
+            "civs": list(self.civs),
+            "arrays": [a.to_json() for a in self.arrays],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict, cached: bool = False) -> "AnalyzeResponse":
+        _check_version(payload, "AnalyzeResponse")
+        return cls(
+            digest=payload["digest"],
+            loop=payload["loop"],
+            classification=payload["classification"],
+            techniques=list(payload.get("techniques", [])),
+            static_parallel=payload.get("static_parallel", False),
+            runtime_tested=payload.get("runtime_tested", False),
+            needs_exact_fallback=payload.get("needs_exact_fallback", False),
+            has_scalar_dependence=payload.get("has_scalar_dependence", False),
+            approximate=payload.get("approximate", False),
+            is_while=payload.get("is_while", False),
+            civs=list(payload.get("civs", [])),
+            arrays=[
+                ArrayPlanSummary.from_json(a)
+                for a in payload.get("arrays", [])
+            ],
+            cached=cached,
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+@dataclass
+class ExecuteResponse:
+    """The outcome of one planned execution, in wire form.
+
+    Per-iteration cost vectors are intentionally summarized (``trips``)
+    rather than shipped; the simulated-timing API stays on
+    :class:`~repro.runtime.ExecutionReport`.
+    """
+
+    digest: str
+    loop: str
+    classification: str
+    parallel: bool
+    correct: bool
+    #: array -> {'strategy', 'via', 'passed_stage'}
+    decisions: dict = field(default_factory=dict)
+    trips: int = 0
+    seq_work: float = 0.0
+    test_overhead: float = 0.0
+    test_leaf_overhead: float = 0.0
+    civ_overhead: float = 0.0
+    bounds_overhead: float = 0.0
+    inspector_overhead: float = 0.0
+    speculation_overhead: float = 0.0
+    used_speculation: bool = False
+    misspeculated: bool = False
+    version: int = PROTOCOL_VERSION
+    #: served from a cache (process-local; never serialized)
+    cached: bool = False
+
+    @classmethod
+    def from_report(
+        cls, report, classification: str, digest: str
+    ) -> "ExecuteResponse":
+        return cls(
+            digest=digest,
+            loop=report.label,
+            classification=classification,
+            parallel=report.parallel,
+            correct=report.correct,
+            decisions={
+                name: {
+                    "strategy": d.strategy,
+                    "via": d.via,
+                    "passed_stage": d.passed_stage,
+                }
+                for name, d in sorted(report.decisions.items())
+            },
+            trips=len(report.iteration_costs),
+            seq_work=report.seq_work,
+            test_overhead=report.test_overhead,
+            test_leaf_overhead=report.test_leaf_overhead,
+            civ_overhead=report.civ_overhead,
+            bounds_overhead=report.bounds_overhead,
+            inspector_overhead=report.inspector_overhead,
+            speculation_overhead=report.speculation_overhead,
+            used_speculation=report.used_speculation,
+            misspeculated=report.misspeculated,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "execute",
+            "version": self.version,
+            "digest": self.digest,
+            "loop": self.loop,
+            "classification": self.classification,
+            "parallel": self.parallel,
+            "correct": self.correct,
+            "decisions": {
+                name: dict(d) for name, d in sorted(self.decisions.items())
+            },
+            "trips": self.trips,
+            "seq_work": self.seq_work,
+            "test_overhead": self.test_overhead,
+            "test_leaf_overhead": self.test_leaf_overhead,
+            "civ_overhead": self.civ_overhead,
+            "bounds_overhead": self.bounds_overhead,
+            "inspector_overhead": self.inspector_overhead,
+            "speculation_overhead": self.speculation_overhead,
+            "used_speculation": self.used_speculation,
+            "misspeculated": self.misspeculated,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict, cached: bool = False) -> "ExecuteResponse":
+        _check_version(payload, "ExecuteResponse")
+        return cls(
+            digest=payload["digest"],
+            loop=payload["loop"],
+            classification=payload["classification"],
+            parallel=payload["parallel"],
+            correct=payload["correct"],
+            decisions={
+                name: dict(d)
+                for name, d in payload.get("decisions", {}).items()
+            },
+            trips=payload.get("trips", 0),
+            seq_work=payload.get("seq_work", 0.0),
+            test_overhead=payload.get("test_overhead", 0.0),
+            test_leaf_overhead=payload.get("test_leaf_overhead", 0.0),
+            civ_overhead=payload.get("civ_overhead", 0.0),
+            bounds_overhead=payload.get("bounds_overhead", 0.0),
+            inspector_overhead=payload.get("inspector_overhead", 0.0),
+            speculation_overhead=payload.get("speculation_overhead", 0.0),
+            used_speculation=payload.get("used_speculation", False),
+            misspeculated=payload.get("misspeculated", False),
+            cached=cached,
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+#: Either response type (what :meth:`repro.api.Engine.serve` returns).
+Response = Union[AnalyzeResponse, ExecuteResponse]
+
+
+def response_from_json(payload: dict) -> Response:
+    """Dispatch a response document on its ``kind`` tag."""
+    kind = payload.get("kind")
+    if kind == "analyze":
+        return AnalyzeResponse.from_json(payload)
+    if kind == "execute":
+        return ExecuteResponse.from_json(payload)
+    raise ValueError(f"unknown response kind {kind!r}")

@@ -495,5 +495,15 @@ class HybridAnalyzer:
 
 
 def analyze_loop(program: Program, label: str, **kwargs) -> LoopPlan:
-    """Convenience wrapper: analyze one labelled loop of *program*."""
-    return HybridAnalyzer(program, **kwargs).analyze(label)
+    """Analyze one labelled loop of *program*.
+
+    .. deprecated::
+        Thin shim kept for existing call sites; it delegates to the
+        process-wide :func:`repro.api.default_engine`, so repeated calls
+        share the engine's compiled-program and plan memos.  New code
+        should hold an :class:`repro.api.Engine` and use
+        ``engine.compile(source).plan(label)`` directly.
+    """
+    from ..api import default_engine
+
+    return default_engine().compile(program).plan(label, **kwargs)

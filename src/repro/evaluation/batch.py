@@ -6,10 +6,10 @@ the slowest part of the development loop, so this driver adds the two
 missing scaling layers on top of the hash-consed analysis core:
 
 * **Concurrency** -- benchmarks are independent, so they are dispatched
-  to a :class:`concurrent.futures.ThreadPoolExecutor`.  The analysis
-  memo tables (:mod:`repro.symbolic.intern`) are plain dicts guarded by
-  the GIL: concurrent workers share warm caches and at worst recompute a
-  value, never corrupt one.
+  to the engine's shared worker pool (:meth:`repro.api.Engine.map_items`).
+  The analysis memo tables (:mod:`repro.symbolic.intern`) are plain
+  dicts guarded by the GIL: concurrent workers share warm caches and at
+  worst recompute a value, never corrupt one.
 * **A persistent on-disk result cache** -- each benchmark's measured
   outcome is summarized into a JSON document stored under a key that
   hashes the benchmark's *program text* together with the system, scale
@@ -28,14 +28,17 @@ Usage::
 from __future__ import annotations
 
 import hashlib
-import json
-import os
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
-from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from ..api import default_engine
+from ..api.cache import (  # re-exported for backward compatibility
+    CACHE_VERSION,
+    DEFAULT_CACHE_DIR,
+    JsonDiskCache,
+    parallel_map,
+)
 from ..workloads import ALL_BENCHMARKS, BenchmarkSpec
 from .model import measure_benchmark
 from .tables import _SUITE_PROCS
@@ -52,15 +55,6 @@ __all__ = [
     "run_batch",
     "format_batch",
 ]
-
-#: Bump when the result schema or the analysis semantics change: every
-#: existing on-disk entry is invalidated by construction (new keys).
-#: v2: reduction soundness fixes (additive-update gate, read-gated
-#: EXT-RRED enabling) changed classifications.
-CACHE_VERSION = 2
-
-#: Default on-disk cache location (overridable via $REPRO_CACHE_DIR).
-DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 
@@ -119,68 +113,6 @@ class BatchReport:
     @property
     def cache_misses(self) -> int:
         return sum(1 for r in self.results if not r.cached)
-
-
-class JsonDiskCache:
-    """A persistent key -> JSON-document store under one directory.
-
-    The generic layer beneath :class:`BatchCache` (and the fuzz
-    harness's per-seed cache): atomic writes, key-is-filename, a shared
-    default location (``.repro-cache`` / ``$REPRO_CACHE_DIR``).
-    Subclasses own key construction -- a key must digest every input
-    that could change the stored document, so stale entries become
-    unreachable rather than merely suspect.
-    """
-
-    def __init__(self, directory: Optional[str] = None):
-        root = directory or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
-        self.directory = Path(root)
-
-    @staticmethod
-    def digest(text: str) -> str:
-        """Short stable digest of *text* for use inside keys."""
-        return hashlib.sha256(text.encode()).hexdigest()[:16]
-
-    def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
-
-    def load_json(self, key: str) -> Optional[dict]:
-        try:
-            return json.loads(self._path(key).read_text())
-        except (OSError, ValueError):
-            return None
-
-    def store_json(self, key: str, payload: dict) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-        tmp.replace(path)  # atomic: concurrent workers never see partial files
-
-    def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
-        removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                path.unlink()
-                removed += 1
-        return removed
-
-
-def parallel_map(fn, items, jobs: Optional[int] = None) -> list:
-    """Apply *fn* to *items* on a worker pool, preserving order.
-
-    The shared concurrency layer of the batch and fuzz drivers: the
-    analysis memo tables are plain dicts guarded by the GIL, so workers
-    share warm caches and at worst recompute a value, never corrupt one.
-    """
-    if jobs is not None and jobs < 1:
-        raise ValueError(f"jobs must be >= 1 (got {jobs})")
-    items = list(items)
-    workers = jobs or os.cpu_count() or 4
-    with ThreadPoolExecutor(max_workers=min(workers, max(len(items), 1))) as pool:
-        futures = [pool.submit(fn, item) for item in items]
-        return [f.result() for f in futures]
 
 
 class BatchCache(JsonDiskCache):
@@ -309,7 +241,7 @@ def run_batch(
         cache = None
     started = time.perf_counter()
     report = BatchReport()
-    report.results = parallel_map(
+    report.results = default_engine().map_items(
         lambda spec: analyze_benchmark(spec, system, scale, cache),
         selected,
         jobs,

@@ -18,6 +18,9 @@ Usage::
     repro-eval fuzz --seeds 50 --jobs 2  # CI smoke configuration
     repro-eval fuzz --seeds 100 --shrink # minimize + store any failures
 
+    repro-eval analyze prog.loop --loop L1         # human-readable plan
+    repro-eval analyze prog.loop --loop L1 --json  # AnalyzeResponse JSON
+
 (``python -m repro.evaluation ...`` is equivalent to ``repro-eval ...``.)
 """
 
@@ -25,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .batch import BatchCache, format_batch, run_batch
 from .figures import FIGURES, format_figure, generate_figure
@@ -92,6 +96,70 @@ def _batch_main(argv: list[str]) -> int:
         parser.error(str(exc.args[0] if exc.args else exc))
     print(format_batch(report))
     return 0 if all(l.correct for r in report.results for l in r.loops) else 1
+
+
+def _analyze_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval analyze",
+        description="Analyze one labelled loop of an IR program through "
+        "the repro.api engine and print the plan (or, with --json, the "
+        "machine-readable AnalyzeResponse document).",
+    )
+    parser.add_argument(
+        "file", help="IR source file ('-' reads standard input)"
+    )
+    parser.add_argument(
+        "--loop", required=True, metavar="LABEL",
+        help="label of the loop to analyze",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the AnalyzeResponse as a stable JSON document",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cache location (default: .repro-cache or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent analyze-response cache",
+    )
+    args = parser.parse_args(argv)
+
+    from ..api import AnalyzeRequest, Engine, EngineConfig
+
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            source = Path(args.file).read_text()
+        except OSError as exc:
+            parser.error(f"cannot read {args.file}: {exc}")
+    engine = Engine(
+        EngineConfig(cache_dir=args.cache_dir, use_disk_cache=not args.no_cache)
+    )
+    try:
+        response = engine.analyze(AnalyzeRequest(source=source, loop=args.loop))
+    except (KeyError, ValueError, SyntaxError) as exc:
+        parser.error(str(exc.args[0] if exc.args else exc))
+    if args.json:
+        print(response.canonical_text())
+        return 0
+    print(f"loop:           {response.loop}")
+    print(f"classification: {response.classification}")
+    print(f"techniques:     {', '.join(response.techniques) or '-'}")
+    print(f"static par:     {response.static_parallel}")
+    print(f"runtime tested: {response.runtime_tested}")
+    print(f"exact fallback: {response.needs_exact_fallback}")
+    if response.civs:
+        print(f"CIVs:           {', '.join(response.civs)}")
+    for aplan in response.arrays:
+        print(f"  {aplan.array:8s} -> {aplan.transform}")
+        for kind in ("flow", "output", "slv", "rred"):
+            stages = getattr(aplan, kind)
+            if stages is not None:
+                print(f"           {kind} cascade: {', '.join(stages)}")
+    return 0
 
 
 def _fuzz_main(argv: list[str]) -> int:
@@ -168,17 +236,21 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        return _analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eval",
         description="Regenerate the paper's tables and figures "
         "(or 'batch' to analyze the whole suite concurrently, "
-        "'fuzz' to differential-fuzz the pipeline).",
+        "'fuzz' to differential-fuzz the pipeline, "
+        "'analyze' for a machine-readable single-loop analysis).",
     )
     parser.add_argument(
         "artifacts",
         nargs="+",
         choices=sorted(_TABLES) + sorted(FIGURES) + ["all"],
-        help="which artifacts to regenerate (or the 'batch'/'fuzz' subcommands)",
+        help="which artifacts to regenerate (or the "
+        "'batch'/'fuzz'/'analyze' subcommands)",
     )
     parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
     args = parser.parse_args(argv)

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..api import default_engine
 from ..baselines import StaticAffineCompiler
-from ..core import HybridAnalyzer, LoopPlan
-from ..runtime import CostModel, ExecutionReport, HybridExecutor, Inspector
+from ..core import LoopPlan
+from ..runtime import CostModel, ExecutionReport, Inspector
 from ..workloads import TLS_LOOPS, BenchmarkSpec, LoopSpec
 
 __all__ = ["LoopMeasurement", "BenchmarkMeasurement", "measure_benchmark", "SPAWN_MS"]
@@ -144,11 +145,14 @@ def measure_benchmark(
         raise ValueError(f"unknown system {system!r}")
     params, arrays = spec.dataset(scale)
     out = BenchmarkMeasurement(spec=spec, system=system)
-    analyzer = HybridAnalyzer(spec.program)
-    baseline = StaticAffineCompiler(spec.program) if system == "baseline" else None
+    # All benchmark measurement flows through the shared engine: every
+    # caller analyzing the same source shares one CompiledProgram (and
+    # therefore its summaries and per-loop plan memo).
+    compiled = default_engine().compile(spec.source, program=spec.program)
+    baseline = StaticAffineCompiler(compiled.program) if system == "baseline" else None
     shared_inspector = inspector or Inspector()
     for loop in spec.loops:
-        plan = analyzer.analyze(loop.label)
+        plan = compiled.plan(loop.label)
         if system == "baseline":
             verdict = baseline.analyze(loop.label)
             if not verdict.parallel:
@@ -163,10 +167,14 @@ def measure_benchmark(
                 )
                 continue
         strategy = "tls" if loop.label in TLS_LOOPS else "inspector"
-        executor = HybridExecutor(
-            spec.program, plan, inspector=shared_inspector, exact_strategy=strategy
+        report = compiled.execute(
+            loop.label,
+            params,
+            arrays,
+            plan=plan,
+            inspector=shared_inspector,
+            exact_strategy=strategy,
         )
-        report = executor.run(params, arrays)
         if report.inspector_overhead > 0:
             # HOIST-USR: the evaluation is hoisted across the loop's many
             # executions in a real run; amortize it.

@@ -24,6 +24,7 @@ from .oracle import (
     FuzzCache,
     FuzzReport,
     format_fuzz_report,
+    fuzz_engine,
     run_case,
     run_fuzz,
     run_seed,
@@ -39,8 +40,8 @@ from .shrink import (
 
 __all__ = [
     "FuzzCase", "GeneratorConfig", "generate_case", "render_program",
-    "OUTCOMES", "CaseResult", "FuzzCache", "FuzzReport", "run_case",
-    "run_fuzz", "run_seed", "format_fuzz_report",
+    "OUTCOMES", "CaseResult", "FuzzCache", "FuzzReport", "fuzz_engine",
+    "run_case", "run_fuzz", "run_seed", "format_fuzz_report",
     "CorpusCase", "ReplayResult", "shrink_case", "write_corpus_case",
     "load_corpus_case", "replay_corpus_case",
 ]

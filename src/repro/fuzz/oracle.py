@@ -3,9 +3,9 @@
 For every generated case the oracle runs three independent views of the
 same loop and cross-checks them:
 
-1. **analysis** -- the full static pipeline
-   (:func:`repro.core.analyze_loop`) produces a :class:`LoopPlan` and
-   its classification;
+1. **analysis** -- the full static pipeline (the harness's
+   :func:`fuzz_engine` compiling and planning the case) produces a
+   :class:`LoopPlan` and its classification;
 2. **trace** -- the reference interpreter re-executes the program with a
    trace target (:mod:`repro.ir.interp` role 2), yielding the *true*
    cross-iteration dependences of this run;
@@ -40,10 +40,10 @@ import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-from ..core.analyzer import LoopPlan, analyze_loop
-from ..evaluation.batch import JsonDiskCache, parallel_map
+from ..api.cache import JsonDiskCache
+from ..api.engine import Engine, EngineConfig
+from ..core.analyzer import LoopPlan
 from ..ir.interp import LoopTrace, Machine
-from ..runtime.executor import HybridExecutor
 from .generator import FuzzCase, GeneratorConfig, generate_case
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "CaseResult",
     "FuzzReport",
     "FuzzCache",
+    "fuzz_engine",
     "classify_outcome",
     "run_case",
     "run_seed",
@@ -87,6 +88,25 @@ ANALYSIS_SIZE_CAP = 3_000
 #: when analyzing generated programs; same rationale and soundness
 #: argument as :data:`ANALYSIS_SIZE_CAP`.
 ANALYSIS_WORK_CAP = 4_000
+
+#: The harness's long-lived engine (lazily built).  It carries the
+#: tightened caps above and skips the disk cache: generated programs
+#: are unique per seed, so only the in-memory compile/plan memos pay
+#: off (repeated oracle calls on one case, e.g. during shrinking).
+_FUZZ_ENGINE: Optional[Engine] = None
+
+
+def fuzz_engine() -> Engine:
+    global _FUZZ_ENGINE
+    if _FUZZ_ENGINE is None:
+        _FUZZ_ENGINE = Engine(
+            EngineConfig(
+                size_cap=ANALYSIS_SIZE_CAP,
+                work_cap=ANALYSIS_WORK_CAP,
+                use_disk_cache=False,
+            )
+        )
+    return _FUZZ_ENGINE
 
 
 @dataclass
@@ -212,13 +232,9 @@ def run_case(case: FuzzCase) -> CaseResult:
     """Run the three-way oracle on one case."""
     base = CaseResult(seed=case.seed, outcome="crash",
                       exact_strategy=case.exact_strategy)
+    compiled = fuzz_engine().compile(case.source, program=case.program)
     try:
-        plan = analyze_loop(
-            case.program,
-            case.label,
-            size_cap=ANALYSIS_SIZE_CAP,
-            work_cap=ANALYSIS_WORK_CAP,
-        )
+        plan = compiled.plan(case.label)
         base.classification = plan.classification()
     except Exception as exc:  # noqa: BLE001 -- any crash is the finding
         base.detail = f"analyzer: {type(exc).__name__}: {exc}\n" + (
@@ -242,10 +258,13 @@ def run_case(case: FuzzCase) -> CaseResult:
         trace.has_cross_iteration_dependence() if trace is not None else False
     )
     try:
-        executor = HybridExecutor(
-            case.program, plan, exact_strategy=case.exact_strategy
+        report = compiled.execute(
+            case.label,
+            case.params,
+            case.arrays,
+            plan=plan,
+            exact_strategy=case.exact_strategy,
         )
-        report = executor.run(case.params, copy.deepcopy(case.arrays))
     except Exception as exc:  # noqa: BLE001
         base.detail = f"executor: {type(exc).__name__}: {exc}\n" + (
             traceback.format_exc(limit=6)
@@ -335,8 +354,9 @@ def run_fuzz(
 ) -> FuzzReport:
     """Judge seeds ``[seed_start, seed_start + seeds)`` concurrently.
 
-    Reuses the batch driver's worker pool and (when *cache* is given)
-    its persistent on-disk store; a cached seed is pure disk I/O.
+    Fans out on the fuzz engine's worker pool and (when *cache* is
+    given) consults the persistent on-disk store; a cached seed is pure
+    disk I/O.
     """
     config = config or GeneratorConfig()
 
@@ -353,7 +373,9 @@ def run_fuzz(
         return result
 
     started = time.perf_counter()
-    results = parallel_map(one, range(seed_start, seed_start + seeds), jobs)
+    results = fuzz_engine().map_items(
+        one, range(seed_start, seed_start + seeds), jobs
+    )
     return FuzzReport(results=results, elapsed_s=time.perf_counter() - started)
 
 

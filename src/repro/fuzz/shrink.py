@@ -28,9 +28,8 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from ..ir.ast import AssignScalar, Do, If, IRStmt, Num, Program, While
-from ..ir.parser import parse_program
 from .generator import FuzzCase, render_program
-from .oracle import CaseResult, run_case
+from .oracle import CaseResult, fuzz_engine, run_case
 
 __all__ = [
     "ShrinkResult",
@@ -125,7 +124,7 @@ class _Shrinker:
     def _with_program(self, program: Program) -> FuzzCase:
         source = render_program(program)
         return replace(
-            self.case, program=parse_program(source), source=source
+            self.case, program=fuzz_engine().parse(source), source=source
         )
 
     # -- statement-level passes ---------------------------------------------
@@ -433,7 +432,7 @@ class CorpusCase:
     def to_case(self) -> FuzzCase:
         return FuzzCase(
             seed=self.seed,
-            program=parse_program(self.source),
+            program=fuzz_engine().parse(self.source),
             source=self.source,
             params=dict(self.params),
             arrays={k: list(v) for k, v in self.arrays.items()},

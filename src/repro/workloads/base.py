@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..ir.ast import Program
-from ..ir.parser import parse_program
 
 __all__ = ["LoopSpec", "BenchmarkSpec", "Dataset"]
 
@@ -65,8 +64,13 @@ class BenchmarkSpec:
 
     @property
     def program(self) -> Program:
+        """The parsed program, compiled through the default engine so
+        every consumer of this spec shares one handle (and its memoized
+        summaries and plans)."""
         if self._program is None:
-            self._program = parse_program(self.source)
+            from ..api import default_engine
+
+            self._program = default_engine().compile(self.source).program
         return self._program
 
     def loop(self, label: str) -> LoopSpec:

@@ -1,0 +1,188 @@
+"""Engine cache semantics and concurrency.
+
+The compile memo must hit on identical source and miss on any edit; the
+disk cache must serve across engine instances, and a CACHE_VERSION bump
+must orphan every persisted response; concurrent ``engine.map`` fan-out
+must produce exactly the single-threaded results.
+"""
+
+import json
+
+import pytest
+
+import repro.api.cache as api_cache
+from repro.api import (
+    AnalyzeRequest,
+    Engine,
+    EngineConfig,
+    ExecuteRequest,
+    default_engine,
+)
+from repro.core import analyze_loop
+from repro.evaluation import cli
+from repro.fuzz import generate_case, run_fuzz
+
+SOURCE = """
+program engine_test
+param N
+array A(100), B(100)
+
+main
+  do i = 1, N @ copy
+    A[i] = B[i] + 1
+  end
+end
+"""
+
+EDITED = SOURCE.replace("B[i] + 1", "B[i] + 2")
+
+
+def test_recompile_same_source_hits_memo():
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    compiled = engine.compile(SOURCE)
+    assert engine.compile(SOURCE) is compiled
+    # plans memoize on the shared handle too
+    assert compiled.plan("copy") is engine.compile(SOURCE).plan("copy")
+
+
+def test_source_edit_invalidates_compile_memo():
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    a = engine.compile(SOURCE)
+    b = engine.compile(EDITED)
+    assert a is not b
+    assert a.digest != b.digest
+
+
+def test_program_object_compile_is_identity_keyed():
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    program = engine.parse(SOURCE)
+    by_obj = engine.compile(program)
+    assert by_obj.program is program
+    assert engine.compile(program) is by_obj
+    assert by_obj.source is None  # and therefore never disk-cached
+    # a process-specific id must never leak into wire documents
+    assert by_obj.digest == ""
+    assert by_obj.analyze("copy").digest == ""
+
+
+def test_compile_memo_evicts_oldest_at_capacity():
+    engine = Engine(EngineConfig(use_disk_cache=False, compile_cache_size=4))
+    handles = [
+        engine.compile(SOURCE.replace("+ 1", f"+ {n}")) for n in range(1, 8)
+    ]
+    assert len(engine._compile_memo.data) <= 4
+    # the newest source still hits; the oldest was evicted (fresh handle)
+    newest = SOURCE.replace("+ 1", "+ 7")
+    assert engine.compile(newest) is handles[-1]
+    assert engine.compile(SOURCE.replace("+ 1", "+ 1")) is not handles[0]
+
+
+def test_disk_cache_serves_across_engines(tmp_path):
+    config = EngineConfig(cache_dir=str(tmp_path))
+    first = Engine(config).analyze(AnalyzeRequest(source=SOURCE, loop="copy"))
+    assert not first.cached
+    second = Engine(config).analyze(AnalyzeRequest(source=SOURCE, loop="copy"))
+    assert second.cached
+    assert second.canonical_text() == first.canonical_text()
+
+
+def test_source_edit_invalidates_disk_cache(tmp_path):
+    config = EngineConfig(cache_dir=str(tmp_path))
+    Engine(config).analyze(AnalyzeRequest(source=SOURCE, loop="copy"))
+    edited = Engine(config).analyze(AnalyzeRequest(source=EDITED, loop="copy"))
+    assert not edited.cached
+
+
+def test_cache_version_bump_invalidates_disk_cache(tmp_path, monkeypatch):
+    config = EngineConfig(cache_dir=str(tmp_path))
+    Engine(config).analyze(AnalyzeRequest(source=SOURCE, loop="copy"))
+    monkeypatch.setattr(api_cache, "CACHE_VERSION", api_cache.CACHE_VERSION + 1)
+    bumped = Engine(config).analyze(AnalyzeRequest(source=SOURCE, loop="copy"))
+    assert not bumped.cached
+
+
+def test_analyzer_options_partition_the_disk_cache(tmp_path):
+    config = EngineConfig(cache_dir=str(tmp_path))
+    Engine(config).analyze(AnalyzeRequest(source=SOURCE, loop="copy"))
+    other_knobs = Engine(config).analyze(
+        AnalyzeRequest(
+            source=SOURCE, loop="copy", options={"use_monotonicity": False}
+        )
+    )
+    assert not other_knobs.cached
+
+
+def test_unknown_analyzer_option_is_rejected():
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    with pytest.raises(TypeError, match="unknown analyzer option"):
+        engine.compile(SOURCE).plan("copy", not_a_knob=1)
+
+
+def test_map_is_deterministic_under_concurrency():
+    """A fixed-seed mini-fuzz batch through two threads must yield the
+    byte-identical responses of a serial run, in order."""
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    requests = []
+    for seed in range(6):
+        case = generate_case(seed)
+        requests.append(AnalyzeRequest(source=case.source, loop=case.label))
+        requests.append(
+            ExecuteRequest(
+                source=case.source,
+                loop=case.label,
+                params=case.params,
+                arrays=case.arrays,
+                exact_strategy=case.exact_strategy,
+            )
+        )
+    serial = [engine.serve(r) for r in requests]
+    threaded = engine.map(requests, jobs=2)
+    assert [r.canonical_text() for r in threaded] == [
+        r.canonical_text() for r in serial
+    ]
+
+
+def test_fuzz_verdicts_race_free_across_thread_counts():
+    one = run_fuzz(seeds=6, jobs=1, cache=None)
+    two = run_fuzz(seeds=6, jobs=2, cache=None)
+    key = lambda r: (r.seed, r.outcome, r.classification, r.parallel)
+    assert [key(r) for r in one.results] == [key(r) for r in two.results]
+    assert one.ok and two.ok
+
+
+def test_analyze_loop_shim_delegates_to_default_engine():
+    program = default_engine().parse(SOURCE)
+    plan = analyze_loop(program, "copy")
+    # the shim shares the default engine's plan memo
+    assert analyze_loop(program, "copy") is plan
+    assert plan is default_engine().compile(program).plan("copy")
+
+
+def test_cli_analyze_emits_stable_json(tmp_path, capsys):
+    path = tmp_path / "prog.loop"
+    path.write_text(SOURCE)
+    rc = cli.main(
+        ["analyze", str(path), "--loop", "copy", "--json", "--no-cache"]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "analyze"
+    assert payload["loop"] == "copy"
+    assert payload["classification"] == "STATIC-PAR"
+
+
+def test_cli_analyze_human_output(tmp_path, capsys):
+    path = tmp_path / "prog.loop"
+    path.write_text(SOURCE)
+    rc = cli.main(["analyze", str(path), "--loop", "copy", "--no-cache"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "classification: STATIC-PAR" in out
+
+
+def test_cli_analyze_unknown_loop_errors(tmp_path, capsys):
+    path = tmp_path / "prog.loop"
+    path.write_text(SOURCE)
+    with pytest.raises(SystemExit) as exc:
+        cli.main(["analyze", str(path), "--loop", "nope", "--no-cache"])
+    assert exc.value.code == 2

@@ -1,0 +1,120 @@
+"""Schema stability of the repro.api wire protocol.
+
+The contract: serialize -> deserialize -> re-serialize is byte-identical
+for every request/response type, the ``kind`` tag dispatches correctly,
+and unknown protocol versions are rejected rather than guessed at.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    PROTOCOL_VERSION,
+    AnalyzeRequest,
+    AnalyzeResponse,
+    Engine,
+    EngineConfig,
+    ExecuteRequest,
+    ExecuteResponse,
+    request_from_json,
+    response_from_json,
+)
+
+SOURCE = """
+program proto
+param N, K
+array A(300), B(300), IDX(300)
+
+main
+  do i = 1, N @ target
+    t = B[i] + K
+    A[IDX[i]] = A[IDX[i]] + t
+  end
+end
+"""
+
+PARAMS = {"N": 12, "K": 3}
+ARRAYS = {"IDX": [(i % 5) + 1 for i in range(300)], "B": [1] * 300}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine(EngineConfig(use_disk_cache=False))
+
+
+def _roundtrip(document_text, reader):
+    payload = json.loads(document_text)
+    again = reader(payload)
+    return again.canonical_text()
+
+
+def test_analyze_response_roundtrip_is_byte_identical(engine):
+    response = engine.analyze(AnalyzeRequest(source=SOURCE, loop="target"))
+    text = response.canonical_text()
+    assert _roundtrip(text, lambda p: AnalyzeResponse.from_json(p)) == text
+    # the generic reader agrees with the typed one
+    assert _roundtrip(text, response_from_json) == text
+
+
+def test_execute_response_roundtrip_is_byte_identical(engine):
+    response = engine.execute(
+        ExecuteRequest(source=SOURCE, loop="target", params=PARAMS, arrays=ARRAYS)
+    )
+    text = response.canonical_text()
+    assert _roundtrip(text, lambda p: ExecuteResponse.from_json(p)) == text
+    assert _roundtrip(text, response_from_json) == text
+
+
+def test_request_roundtrip_and_dispatch():
+    areq = AnalyzeRequest(source=SOURCE, loop="target", options={"size_cap": 500})
+    xreq = ExecuteRequest(
+        source=SOURCE, loop="target", params=PARAMS, arrays=ARRAYS,
+        exact_strategy="tls",
+    )
+    for req in (areq, xreq):
+        text = req.canonical_text()
+        again = request_from_json(json.loads(text))
+        assert type(again) is type(req)
+        assert again == req
+        assert again.canonical_text() == text
+
+
+def test_cached_flag_never_serialized(engine):
+    response = engine.analyze(AnalyzeRequest(source=SOURCE, loop="target"))
+    payload = response.to_json()
+    assert "cached" not in json.dumps(payload)
+    assert AnalyzeResponse.from_json(payload, cached=True).cached is True
+    assert AnalyzeResponse.from_json(payload).cached is False
+
+
+def test_unknown_version_is_rejected(engine):
+    response = engine.analyze(AnalyzeRequest(source=SOURCE, loop="target"))
+    payload = response.to_json()
+    payload["version"] = PROTOCOL_VERSION + 1
+    with pytest.raises(ValueError, match="protocol version"):
+        AnalyzeResponse.from_json(payload)
+    with pytest.raises(ValueError, match="unknown request kind"):
+        request_from_json({"kind": "frobnicate"})
+
+
+def test_analyze_response_content(engine):
+    response = engine.analyze(AnalyzeRequest(source=SOURCE, loop="target"))
+    assert response.loop == "target"
+    assert response.version == PROTOCOL_VERSION
+    names = [a.array for a in response.arrays]
+    assert names == sorted(names)
+    reduction = next(a for a in response.arrays if a.array == "A")
+    assert reduction.transform == "reduction"
+
+
+def test_execute_response_matches_report(engine):
+    compiled = engine.compile(SOURCE)
+    report = compiled.execute("target", PARAMS, ARRAYS)
+    response = engine.execute(
+        ExecuteRequest(source=SOURCE, loop="target", params=PARAMS, arrays=ARRAYS)
+    )
+    assert response.parallel == report.parallel
+    assert response.correct == report.correct
+    assert response.trips == len(report.iteration_costs)
+    assert set(response.decisions) == set(report.decisions)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Public-API surface check (CI, next to the doc-link check).
+
+Asserts that ``repro.api.__all__`` matches the committed snapshot in
+``docs/api_surface.txt`` (one name per line, sorted), and that every
+advertised name actually resolves on the package.  Growing or shrinking
+the stable surface is a reviewed, deliberate act: change the snapshot
+in the same commit as the code (see docs/API.md, "Deprecation policy").
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+SNAPSHOT = ROOT / "docs" / "api_surface.txt"
+
+
+def main() -> int:
+    import repro.api as api
+
+    expected = [line.strip() for line in SNAPSHOT.read_text().splitlines()
+                if line.strip() and not line.startswith("#")]
+    actual = sorted(api.__all__)
+    errors = []
+    if expected != sorted(expected):
+        errors.append(f"{SNAPSHOT.name} is not sorted; keep it sorted")
+    missing = sorted(set(expected) - set(actual))
+    extra = sorted(set(actual) - set(expected))
+    if missing:
+        errors.append(
+            "snapshot names absent from repro.api.__all__: " + ", ".join(missing)
+        )
+    if extra:
+        errors.append(
+            "repro.api.__all__ names absent from the snapshot: " + ", ".join(extra)
+            + f"  (update {SNAPSHOT.relative_to(ROOT)} deliberately)"
+        )
+    for name in actual:
+        if not hasattr(api, name):
+            errors.append(f"repro.api.__all__ advertises {name!r} but it "
+                          "does not resolve")
+    if errors:
+        print("\n".join(errors))
+        print(f"\napi-surface: FAILED ({len(errors)} problem(s))")
+        return 1
+    print(f"api-surface: {len(actual)} public name(s) match "
+          f"{SNAPSHOT.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
