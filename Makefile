@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench docs-check api-surface examples batch fuzz clean
+.PHONY: test test-fast bench bench-trajectory bench-schema docs-check api-surface examples batch fuzz clean
 
 ## Tier-1 verification: the full unit/property/integration/benchmark suite.
 test:
@@ -14,6 +14,16 @@ test-fast:
 ## Performance micro-benchmarks only (interning speedup, overheads, ...).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+## Regenerate the committed BENCH_core.json trajectory point (real
+## wall-clock per execution backend; exits non-zero on divergence).
+bench-trajectory:
+	$(PYTHON) -m repro.evaluation bench --suite core --jobs 4
+
+## Verify every BENCH_*.json trajectory file parses, matches the pinned
+## schema and is byte-stable canonical JSON.
+bench-schema:
+	$(PYTHON) tools/check_bench_schema.py
 
 ## Verify README/ARCHITECTURE links and module-map paths resolve.
 docs-check:

@@ -58,6 +58,19 @@ def main() -> None:
     print(f"  colliding index array -> {r2.decisions['A'].strategy}; "
           f"correct={r2.correct}")
 
+    # The same validated loop on a *real* parallel backend: chunked
+    # execution on a thread pool, delta-merged, checked against the
+    # sequential interpreter (see docs/ARCHITECTURE.md, "Execution
+    # backends & benchmarking"; 'process' and 'numpy' plug in the same
+    # way, and `repro-eval bench` measures them all).
+    r2p = compiled.execute(
+        "histogram", {"N": 32, "FSIZE": 4096}, colliding,
+        backend="thread", jobs=4, chunk={"policy": "dynamic"},
+    )
+    print(f"  thread backend     -> ran on {r2p.backend_used!r} "
+          f"({r2p.jobs} jobs, {r2p.chunks} chunks, "
+          f"{r2p.wall_s * 1e3:.1f} ms); correct={r2p.correct}")
+
     # --- 3: assumed-size reduction needs BOUNDS-COMP -------------------
     plan_f = compiled.plan("forces")
     aplan = plan_f.arrays["F"]

@@ -38,7 +38,10 @@ __all__ = [
 #: the fuzz harness.
 #: v2: reduction soundness fixes (additive-update gate, read-gated
 #: EXT-RRED enabling) changed classifications.
-CACHE_VERSION = 2
+#: v3: exposed-read tracking in the dataflow summaries; the EXT-RRED
+#: enabling equation now catches plain reads demoted into RW (read-
+#: before-write regions), changing reduction classifications.
+CACHE_VERSION = 3
 
 #: Default on-disk cache location (overridable via $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = ".repro-cache"

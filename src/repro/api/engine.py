@@ -85,10 +85,18 @@ class EngineConfig:
     cache_dir: Optional[str] = None
     #: persist analyze responses to disk (memory memos are always on)
     use_disk_cache: bool = True
-    #: default worker-pool width for :meth:`Engine.map` (None = CPUs)
+    #: default worker-pool width for :meth:`Engine.map` and for the
+    #: parallel execution backends (None = CPUs)
     jobs: Optional[int] = None
     #: bound on distinct compiled programs held in memory
     compile_cache_size: int = 4096
+    # -- execution policy ------------------------------------------------
+    #: default execution backend for validated parallel loops
+    #: ('sequential' | 'thread' | 'process' | 'numpy')
+    backend: str = "sequential"
+    #: default chunk-scheduler spec for the parallel backends, as a
+    #: ``{"policy": ..., "size": ...}`` document (None = static)
+    chunk: Optional[dict] = None
 
     def analyzer_knobs(self) -> dict:
         return {name: getattr(self, name) for name in ANALYZER_KNOBS}
@@ -224,16 +232,24 @@ class CompiledProgram:
         inspector: Optional[Inspector] = None,
         cost: Optional[CostModel] = None,
         plan: Optional[LoopPlan] = None,
+        backend: Optional[str] = None,
+        jobs: Optional[int] = None,
+        chunk: Optional[dict] = None,
         **options,
     ) -> HybridExecutor:
         """A :class:`HybridExecutor` for *loop* (plan from the memo
-        unless an explicit *plan* is given)."""
+        unless an explicit *plan* is given).  Backend selection falls
+        back to the engine's configured execution policy."""
+        config = self.engine.config
         return HybridExecutor(
             self.program,
             plan if plan is not None else self.plan(loop, **options),
             cost=cost,
             inspector=inspector,
             exact_strategy=exact_strategy,
+            backend=backend if backend is not None else config.backend,
+            jobs=jobs if jobs is not None else config.jobs,
+            chunk=chunk if chunk is not None else config.chunk,
         )
 
     def execute(
@@ -349,6 +365,9 @@ class Engine:
             request.arrays,
             plan=plan,
             exact_strategy=request.exact_strategy,
+            backend=request.backend,
+            jobs=request.jobs,
+            chunk=request.chunk,
         )
         return ExecuteResponse.from_report(
             report, plan.classification(), compiled.digest

@@ -40,7 +40,14 @@ __all__ = [
 #: Bump on any incompatible change to the request/response schemas.
 #: Readers reject unknown versions; the engine's disk-cache keys include
 #: it, so a bump orphans stale cached responses by construction.
-PROTOCOL_VERSION = 1
+#: v2: real execution backends -- ExecuteRequest grew ``backend`` /
+#: ``jobs`` / ``chunk`` selectors, ExecuteResponse reports the backend
+#: that ran and its worker/chunk counts.  Responses stay reproducible
+#: for a given request *on a given host* (``backend_used``/``jobs``
+#: legitimately differ across environments -- fallbacks, CPU counts);
+#: real wall-clock time is never reproducible and therefore stays off
+#: the wire, on ExecutionReport.
+PROTOCOL_VERSION = 2
 
 
 def canonical_json(payload: dict) -> str:
@@ -102,7 +109,10 @@ class ExecuteRequest:
     """Plan *loop* and execute it against concrete inputs.
 
     *params* maps parameter names to integers; *arrays* maps array names
-    to initial contents (missing arrays start zeroed).
+    to initial contents (missing arrays start zeroed).  ``backend`` /
+    ``jobs`` / ``chunk`` select the real execution backend (``None``
+    defers to the serving engine's configured defaults); ``chunk`` is a
+    ``{"policy": "static"|"dynamic", "size": int|null}`` document.
     """
 
     source: str
@@ -112,6 +122,13 @@ class ExecuteRequest:
     #: exact-test fallback: 'inspector' (hoistable USR evaluation) or
     #: 'tls' (LRPD speculation)
     exact_strategy: str = "inspector"
+    #: execution backend ('sequential' | 'thread' | 'process' | 'numpy';
+    #: None = engine default)
+    backend: Optional[str] = None
+    #: worker count for parallel backends (None = engine default)
+    jobs: Optional[int] = None
+    #: chunk-scheduler spec document (None = engine default)
+    chunk: Optional[dict] = None
     options: dict = field(default_factory=dict)
     version: int = PROTOCOL_VERSION
 
@@ -124,18 +141,25 @@ class ExecuteRequest:
             "params": dict(self.params),
             "arrays": {k: list(v) for k, v in self.arrays.items()},
             "exact_strategy": self.exact_strategy,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "chunk": dict(self.chunk) if self.chunk is not None else None,
             "options": dict(self.options),
         }
 
     @classmethod
     def from_json(cls, payload: dict) -> "ExecuteRequest":
         _check_version(payload, "ExecuteRequest")
+        chunk = payload.get("chunk")
         return cls(
             source=payload["source"],
             loop=payload["loop"],
             params=dict(payload.get("params", {})),
             arrays={k: list(v) for k, v in payload.get("arrays", {}).items()},
             exact_strategy=payload.get("exact_strategy", "inspector"),
+            backend=payload.get("backend"),
+            jobs=payload.get("jobs"),
+            chunk=dict(chunk) if chunk is not None else None,
             options=dict(payload.get("options", {})),
         )
 
@@ -344,6 +368,14 @@ class ExecuteResponse:
     speculation_overhead: float = 0.0
     used_speculation: bool = False
     misspeculated: bool = False
+    #: backend the caller requested
+    backend: str = "sequential"
+    #: backend that actually ran the loop ('' for sequential outcomes)
+    backend_used: str = ""
+    #: workers that participated in the real parallel execution
+    jobs: int = 1
+    #: chunks the iteration space was carved into
+    chunks: int = 0
     version: int = PROTOCOL_VERSION
     #: served from a cache (process-local; never serialized)
     cached: bool = False
@@ -376,6 +408,10 @@ class ExecuteResponse:
             speculation_overhead=report.speculation_overhead,
             used_speculation=report.used_speculation,
             misspeculated=report.misspeculated,
+            backend=report.backend,
+            backend_used=report.backend_used,
+            jobs=report.jobs,
+            chunks=report.chunks,
         )
 
     def to_json(self) -> dict:
@@ -400,6 +436,10 @@ class ExecuteResponse:
             "speculation_overhead": self.speculation_overhead,
             "used_speculation": self.used_speculation,
             "misspeculated": self.misspeculated,
+            "backend": self.backend,
+            "backend_used": self.backend_used,
+            "jobs": self.jobs,
+            "chunks": self.chunks,
         }
 
     @classmethod
@@ -425,6 +465,10 @@ class ExecuteResponse:
             speculation_overhead=payload.get("speculation_overhead", 0.0),
             used_speculation=payload.get("used_speculation", False),
             misspeculated=payload.get("misspeculated", False),
+            backend=payload.get("backend", "sequential"),
+            backend_used=payload.get("backend_used", ""),
+            jobs=payload.get("jobs", 1),
+            chunks=payload.get("chunks", 0),
             cached=cached,
         )
 

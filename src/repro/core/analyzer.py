@@ -385,7 +385,10 @@ class HybridAnalyzer:
         # location other iterations update would observe the pre-loop
         # value under the reduction transform but the running sum
         # sequentially, so reads gate the transform exactly like writes.
-        has_other_reads = not ls.per_iteration.ro.is_empty_leaf()
+        has_other_reads = not (
+            ls.per_iteration.ro.is_empty_leaf()
+            and ls.per_iteration.exposed.is_empty_leaf()
+        )
         needs_exact = False
         flow_cascade = None
         exact = None

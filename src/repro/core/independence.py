@@ -87,7 +87,16 @@ def ext_rred_usr(ls: LoopSummaries) -> USR:
     """The EXT-RRED enabling equation (Section 4): flow independence of
     the write-first accesses against everything, plus their output
     independence -- but NOT the RW self-overlap, which the reduction
-    transform tolerates by construction."""
+    transform tolerates by construction.
+
+    The tolerance is precise only for update accesses; a location whose
+    first access in an iteration is a *plain read* (``exposed``) lands
+    in RW too once a later statement of the same region writes it, yet
+    it carries a real flow dependence against any earlier iteration's
+    write (the read observes the pre-loop value under the transform but
+    the running state sequentially).  The last term catches exactly
+    those: exposed reads meeting a preceding iteration's write or
+    update."""
     all_wf = _whole_loop(ls, ls.per_iteration.wf)
     all_ro = _whole_loop(ls, ls.per_iteration.ro)
     all_rw = _whole_loop(ls, ls.per_iteration.rw)
@@ -96,6 +105,11 @@ def ext_rred_usr(ls: LoopSummaries) -> USR:
         usr_intersect(all_wf, all_rw),
         usr_intersect(all_ro, all_rw),
         _self_overlap(ls, ls.per_iteration.wf, ls.prefix_writes),
+        _self_overlap(
+            ls,
+            ls.per_iteration.exposed,
+            usr_union(ls.prefix_writes, ls.prefix_rw),
+        ),
     ]
     live = [t for t in terms if not t.is_empty_leaf()]
     return usr_union(*live) if live else EMPTY

@@ -1,0 +1,384 @@
+"""Real-execution benchmark harness (``repro-eval bench``).
+
+The evaluation tables simulate the paper's machines through a cost
+model; this harness measures the *actual* wall-clock cost of running
+validated parallel loops on every execution backend
+(:mod:`repro.runtime.backends`), and writes the measurements to a
+schema-stable ``BENCH_<suite>.json`` trajectory document so CI (and
+future PRs) can track execution performance over time.
+
+Schema contract, pinned by ``tools/check_bench_schema.py`` and
+``tests/unit/test_bench_schema.py``:
+
+* :data:`BENCH_VERSION` is part of every document; readers reject
+  unknown versions;
+* documents are serialized with
+  :func:`repro.api.protocol.canonical_json` -- sorted keys, indent 1 --
+  so ``parse -> re-serialize`` is byte-identical and diffs between
+  trajectory points are meaningful;
+* only measured quantities vary between runs: the key set and the
+  workload/backend structure are functions of the suite alone.
+
+Every workload asserts backend/interpreter equivalence as it runs
+(``correct`` is the executor's ground-truth comparison); a bench run
+with any equivalence failure exits non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..api import Engine, EngineConfig
+from ..api.protocol import canonical_json
+from ..runtime.backends import BACKENDS, ChunkSpec, available_backends
+
+__all__ = [
+    "BENCH_VERSION",
+    "BenchWorkload",
+    "BENCH_SUITES",
+    "run_bench",
+    "format_bench",
+    "write_bench",
+    "bench_path",
+]
+
+#: Bump on any change to the BENCH_*.json document shape.
+BENCH_VERSION = 1
+
+
+@dataclass
+class BenchWorkload:
+    """One measured loop: a program plus concrete inputs."""
+
+    name: str
+    source: str
+    loop: str
+    params: dict
+    arrays: Callable[[], dict] = field(repr=False, default=dict)
+    description: str = ""
+
+
+def _permutation(n: int) -> list:
+    """A deterministic permutation of 1..n (no RNG: bench inputs must
+    be identical across runs and platforms)."""
+    if n <= 2:
+        return list(range(1, n + 1))
+    out = [0] * n
+    step = 7919  # prime; avoid degenerate strides for the usual n
+    while n % step == 0 or step % n == 0:
+        step += 2
+    pos = 0
+    for value in range(1, n + 1):
+        pos = (pos + step) % n
+        while out[pos] != 0:
+            pos = (pos + 1) % n
+        out[pos] = value
+    return out
+
+
+_SAXPY = """
+program saxpy
+param N
+array A(N), B(N)
+
+main
+  do i = 1, N @ bench
+    B[i] = (A[i] * 3) + i
+  end
+end
+"""
+
+_GATHER = """
+program gather
+param N
+array A(N), B(N), C(N), IDX(N)
+
+main
+  do i = 1, N @ bench
+    C[i] = A[IDX[i]] + B[i]
+  end
+end
+"""
+
+_STENCIL = """
+program stencil
+param N, M
+array A(M), B(N)
+
+main
+  do i = 1, N @ bench
+    t = A[i] + A[i + 1]
+    B[i] = t + min(A[i], A[i + 1])
+  end
+end
+"""
+
+_HISTOGRAM = """
+program histogram
+param N, K
+array H(K), V(N), IDX(N)
+
+main
+  do i = 1, N @ bench
+    H[IDX[i]] = H[IDX[i]] + V[i]
+  end
+end
+"""
+
+_COARSE = """
+program coarse
+param N, M
+array S(N), W(M)
+
+main
+  do i = 1, N @ bench
+    do j = 1, M
+      S[i] = S[i] + (W[j] * i)
+    end
+  end
+end
+"""
+
+
+def _saxpy(n: int) -> BenchWorkload:
+    return BenchWorkload(
+        name="saxpy",
+        source=_SAXPY,
+        loop="bench",
+        params={"N": n},
+        arrays=lambda: {"A": [(i * 13) % 97 for i in range(n)]},
+        description="fully-parallel affine map (vectorizable)",
+    )
+
+
+def _gather(n: int) -> BenchWorkload:
+    return BenchWorkload(
+        name="gather",
+        source=_GATHER,
+        loop="bench",
+        params={"N": n},
+        arrays=lambda: {
+            "A": [(i * 31) % 211 for i in range(n)],
+            "B": [i % 17 for i in range(n)],
+            "IDX": _permutation(n),
+        },
+        description="indirect gather through an index permutation",
+    )
+
+
+def _stencil(n: int) -> BenchWorkload:
+    return BenchWorkload(
+        name="stencil",
+        source=_STENCIL,
+        loop="bench",
+        params={"N": n, "M": n + 1},
+        arrays=lambda: {"A": [(i * 7) % 129 for i in range(n + 1)]},
+        description="read-only 2-point stencil with a scalar temporary",
+    )
+
+
+def _histogram(n: int, k: int) -> BenchWorkload:
+    return BenchWorkload(
+        name="histogram",
+        source=_HISTOGRAM,
+        loop="bench",
+        params={"N": n, "K": k},
+        arrays=lambda: {
+            "V": [(i * 5) % 43 for i in range(n)],
+            "IDX": [(i * 7919) % k + 1 for i in range(n)],
+        },
+        description="indirect additive reduction (delta-merged)",
+    )
+
+
+def _coarse(n: int, m: int) -> BenchWorkload:
+    return BenchWorkload(
+        name="coarse",
+        source=_COARSE,
+        loop="bench",
+        params={"N": n, "M": m},
+        arrays=lambda: {"W": [(i * 3) % 29 for i in range(m)]},
+        description="coarse-grain iterations (nested inner loop)",
+    )
+
+
+#: Named workload suites.  'smoke' is the tiny CI configuration; 'core'
+#: is the trajectory suite committed as BENCH_core.json.
+BENCH_SUITES: dict = {
+    "core": lambda: [
+        _saxpy(4000),
+        _gather(2500),
+        _stencil(2500),
+        _histogram(2500, 64),
+        _coarse(48, 160),
+    ],
+    "smoke": lambda: [
+        _saxpy(1500),
+        _histogram(800, 16),
+    ],
+}
+
+
+def run_bench(
+    suite: str = "core",
+    backends: Optional[list] = None,
+    jobs: int = 4,
+    chunk: Optional[dict] = None,
+    repeat: int = 3,
+    engine: Optional[Engine] = None,
+) -> dict:
+    """Measure every workload of *suite* on every backend.
+
+    Returns the BENCH document (see the module docstring for the schema
+    contract).  Per (workload, backend) the *best* of ``repeat`` runs is
+    recorded -- the usual defence against scheduler noise.
+    """
+    make = BENCH_SUITES.get(suite)
+    if make is None:
+        raise KeyError(
+            f"unknown bench suite {suite!r}; valid: {sorted(BENCH_SUITES)}"
+        )
+    if backends is None:
+        backends = available_backends()
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        raise KeyError(
+            f"unknown backend(s) {unknown}; valid: {list(BACKENDS)}"
+        )
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1 (got {repeat})")
+    chunk_spec = ChunkSpec.from_json(chunk)
+    engine = engine or Engine(EngineConfig(use_disk_cache=False))
+    workload_docs = []
+    wins = []
+    equivalence_ok = True
+    for workload in make():
+        compiled = engine.compile(workload.source)
+        results: dict = {}
+        sequential_wall = None
+        last_report = None
+        for backend in backends:
+            best = None
+            all_correct = True
+            for _ in range(repeat):
+                report = compiled.execute(
+                    workload.loop,
+                    workload.params,
+                    workload.arrays(),
+                    backend=backend,
+                    jobs=jobs,
+                    chunk=chunk_spec.to_json(),
+                )
+                # every repeat run must match the interpreter -- an
+                # intermittent divergence in a non-best run is still a
+                # divergence
+                all_correct = all_correct and report.correct
+                if best is None or report.wall_s < best.wall_s:
+                    best = report
+            equivalence_ok = equivalence_ok and all_correct
+            last_report = best
+            results[backend] = {
+                "backend_used": best.backend_used,
+                "chunks": best.chunks,
+                "correct": all_correct,
+                "jobs": best.jobs,
+                "parallel": best.parallel,
+                "wall_s": round(best.wall_s, 6),
+            }
+            if backend == "sequential":
+                sequential_wall = best.wall_s
+        for backend, entry in results.items():
+            if sequential_wall and entry["wall_s"] > 0:
+                speedup = round(sequential_wall / entry["wall_s"], 3)
+            else:
+                # no sequential baseline in this run: never fabricate a
+                # number into the trajectory document
+                speedup = None
+            entry["speedup"] = speedup
+            if (
+                backend != "sequential"
+                and speedup is not None
+                and entry["backend_used"] == backend
+                and entry["parallel"]
+                and speedup > 1.0
+            ):
+                wins.append(
+                    {"backend": backend, "speedup": speedup,
+                     "workload": workload.name}
+                )
+        # seq_work/trips come from the ground-truth capture every report
+        # already carries -- no extra execution needed
+        workload_docs.append(
+            {
+                "description": workload.description,
+                "loop": workload.loop,
+                "name": workload.name,
+                "results": results,
+                "seq_work": last_report.seq_work,
+                "trips": len(last_report.iteration_costs),
+            }
+        )
+    wins.sort(key=lambda w: (w["workload"], w["backend"]))
+    return {
+        "backends": list(backends),
+        "chunk": chunk_spec.to_json(),
+        "equivalence_ok": equivalence_ok,
+        "jobs": jobs,
+        "parallel_wins": wins,
+        "repeat": repeat,
+        "suite": suite,
+        "version": BENCH_VERSION,
+        "workloads": workload_docs,
+    }
+
+
+def bench_path(suite: str, directory: str = ".") -> Path:
+    return Path(directory) / f"BENCH_{suite}.json"
+
+
+def write_bench(doc: dict, directory: str = ".") -> Path:
+    """Serialize *doc* to its trajectory file in canonical form."""
+    path = bench_path(doc["suite"], directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(doc) + "\n")
+    return path
+
+
+def format_bench(doc: dict) -> str:
+    """Human-readable summary of one bench document."""
+    lines = []
+    header = (
+        f"{'workload':<12} {'backend':<11} {'used':<11} "
+        f"{'wall_s':>10} {'speedup':>8} {'chunks':>6} {'ok':>3}"
+    )
+    lines.append(
+        f"suite {doc['suite']}: jobs={doc['jobs']} "
+        f"chunk={doc['chunk']['policy']} repeat={doc['repeat']}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload in doc["workloads"]:
+        for backend in doc["backends"]:
+            entry = workload["results"][backend]
+            speedup = entry["speedup"]
+            speedup_text = "-" if speedup is None else f"{speedup:.3f}"
+            lines.append(
+                f"{workload['name']:<12} {backend:<11} "
+                f"{entry['backend_used']:<11} {entry['wall_s']:>10.6f} "
+                f"{speedup_text:>8} {entry['chunks']:>6} "
+                f"{'yes' if entry['correct'] else 'NO':>3}"
+            )
+    if doc["parallel_wins"]:
+        best = max(doc["parallel_wins"], key=lambda w: w["speedup"])
+        lines.append(
+            f"{len(doc['parallel_wins'])} parallel win(s); best: "
+            f"{best['backend']} {best['speedup']:.3f}x on {best['workload']}"
+        )
+    else:
+        lines.append("no parallel backend beat sequential on this host")
+    lines.append(
+        "equivalence: " + ("ok" if doc["equivalence_ok"] else "FAILED")
+    )
+    return "\n".join(lines)

@@ -17,6 +17,10 @@ Usage::
     repro-eval fuzz --seeds 500          # differential soundness fuzzing
     repro-eval fuzz --seeds 50 --jobs 2  # CI smoke configuration
     repro-eval fuzz --seeds 100 --shrink # minimize + store any failures
+    repro-eval fuzz --seeds 100 --backend thread  # fuzz a real backend
+
+    repro-eval bench --suite core                  # BENCH_core.json
+    repro-eval bench --suite smoke --backends sequential,thread --jobs 2
 
     repro-eval analyze prog.loop --loop L1         # human-readable plan
     repro-eval analyze prog.loop --loop L1 --json  # AnalyzeResponse JSON
@@ -199,9 +203,20 @@ def _fuzz_main(argv: list[str]) -> int:
         help="corpus directory for --shrink "
         "(default: tests/regression/corpus)",
     )
+    parser.add_argument(
+        "--backend", default="sequential",
+        help="execution backend for the oracle's execution view "
+        "(default: sequential)",
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
+    from ..runtime.backends import BACKENDS
+
+    if args.backend not in BACKENDS:
+        parser.error(
+            f"unknown backend {args.backend!r}; valid: {list(BACKENDS)}"
+        )
 
     from ..fuzz import (
         FuzzCache,
@@ -219,6 +234,7 @@ def _fuzz_main(argv: list[str]) -> int:
         seed_start=args.seed_start,
         jobs=args.jobs,
         cache=cache,
+        backend=args.backend,
     )
     print(format_fuzz_report(report))
     if args.shrink and report.failures:
@@ -230,6 +246,77 @@ def _fuzz_main(argv: list[str]) -> int:
     return 0 if report.ok else 1
 
 
+def _bench_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval bench",
+        description="Measure real wall-clock execution of the benchmark "
+        "workloads on every execution backend and write a schema-stable "
+        "BENCH_<suite>.json trajectory file; non-zero exit on any "
+        "backend/interpreter divergence.",
+    )
+    from .bench import BENCH_SUITES, format_bench, run_bench, write_bench
+    from ..runtime.backends import BACKENDS, available_backends
+
+    parser.add_argument(
+        "--suite", choices=sorted(BENCH_SUITES), default="core",
+        help="workload suite to measure (default: core)",
+    )
+    parser.add_argument(
+        "--backends", default=None, metavar="CSV",
+        help="comma-separated backend list "
+        f"(default: all available of {list(BACKENDS)})",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker count for the parallel backends (default: 4)",
+    )
+    parser.add_argument(
+        "--chunk", choices=("static", "dynamic"), default="static",
+        help="chunk-scheduler policy (default: static)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="explicit chunk size (default: derived from --jobs)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="runs per (workload, backend); best is kept (default: 3)",
+    )
+    parser.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for BENCH_<suite>.json (default: current dir)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        parser.error("--chunk-size must be >= 1")
+    backends = (
+        [b.strip() for b in args.backends.split(",") if b.strip()]
+        if args.backends
+        else available_backends()
+    )
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        parser.error(f"unknown backend(s) {unknown}; valid: {list(BACKENDS)}")
+    # Only argument validation routes to parser.error; a failure inside
+    # the run itself must surface as the real traceback, not a usage
+    # message.
+    doc = run_bench(
+        suite=args.suite,
+        backends=backends,
+        jobs=args.jobs,
+        chunk={"policy": args.chunk, "size": args.chunk_size},
+        repeat=args.repeat,
+    )
+    path = write_bench(doc, args.out)
+    print(format_bench(doc))
+    print(f"wrote {path}")
+    return 0 if doc["equivalence_ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "batch":
@@ -238,19 +325,22 @@ def main(argv: list[str] | None = None) -> int:
         return _fuzz_main(argv[1:])
     if argv and argv[0] == "analyze":
         return _analyze_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eval",
         description="Regenerate the paper's tables and figures "
         "(or 'batch' to analyze the whole suite concurrently, "
         "'fuzz' to differential-fuzz the pipeline, "
-        "'analyze' for a machine-readable single-loop analysis).",
+        "'analyze' for a machine-readable single-loop analysis, "
+        "'bench' to measure the execution backends for real).",
     )
     parser.add_argument(
         "artifacts",
         nargs="+",
         choices=sorted(_TABLES) + sorted(FIGURES) + ["all"],
         help="which artifacts to regenerate (or the "
-        "'batch'/'fuzz'/'analyze' subcommands)",
+        "'batch'/'fuzz'/'analyze'/'bench' subcommands)",
     )
     parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
     args = parser.parse_args(argv)

@@ -122,6 +122,8 @@ class CaseResult:
     dependent: Optional[bool] = None
     trips: int = 0
     exact_strategy: str = "inspector"
+    #: execution backend the case ran on
+    backend: str = "sequential"
     detail: str = ""
     cached: bool = False
 
@@ -228,10 +230,20 @@ def classify_outcome(
     return ("sound-sequential", "")
 
 
-def run_case(case: FuzzCase) -> CaseResult:
-    """Run the three-way oracle on one case."""
+def run_case(
+    case: FuzzCase,
+    backend: str = "sequential",
+    jobs: Optional[int] = None,
+    chunk: Optional[dict] = None,
+) -> CaseResult:
+    """Run the three-way oracle on one case.
+
+    *backend*/*jobs*/*chunk* select the execution backend for view 3,
+    so the same differential harness that validates the analysis also
+    validates every real execution backend against the interpreter.
+    """
     base = CaseResult(seed=case.seed, outcome="crash",
-                      exact_strategy=case.exact_strategy)
+                      exact_strategy=case.exact_strategy, backend=backend)
     compiled = fuzz_engine().compile(case.source, program=case.program)
     try:
         plan = compiled.plan(case.label)
@@ -264,6 +276,9 @@ def run_case(case: FuzzCase) -> CaseResult:
             case.arrays,
             plan=plan,
             exact_strategy=case.exact_strategy,
+            backend=backend,
+            jobs=jobs,
+            chunk=chunk,
         )
     except Exception as exc:  # noqa: BLE001
         base.detail = f"executor: {type(exc).__name__}: {exc}\n" + (
@@ -275,9 +290,17 @@ def run_case(case: FuzzCase) -> CaseResult:
     return base
 
 
-def run_seed(seed: int, config: Optional[GeneratorConfig] = None) -> CaseResult:
+def run_seed(
+    seed: int,
+    config: Optional[GeneratorConfig] = None,
+    backend: str = "sequential",
+    jobs: Optional[int] = None,
+    chunk: Optional[dict] = None,
+) -> CaseResult:
     """Generate and judge one seed (deterministic end to end)."""
-    return run_case(generate_case(seed, config))
+    return run_case(
+        generate_case(seed, config), backend=backend, jobs=jobs, chunk=chunk
+    )
 
 
 # -- batch driver ------------------------------------------------------------
@@ -291,14 +314,36 @@ class FuzzCache(JsonDiskCache):
     orphans old entries rather than serving them.
     """
 
-    def seed_key(self, seed: int, config: GeneratorConfig) -> str:
-        digest = self.digest(f"fuzz\0v{FUZZ_VERSION}\0{config.digest_text()}")
+    def seed_key(
+        self,
+        seed: int,
+        config: GeneratorConfig,
+        backend: str = "sequential",
+        backend_jobs: Optional[int] = None,
+        chunk: Optional[dict] = None,
+    ) -> str:
+        # The whole execution configuration is part of the key: verdicts
+        # SHOULD be identical across jobs/chunk specs (that is a pinned
+        # property), but a chunk-boundary bug is exactly what backend
+        # fuzzing exists to catch -- serving a cached verdict from a
+        # different configuration would mask it.
+        digest = self.digest(
+            f"fuzz\0v{FUZZ_VERSION}\0{config.digest_text()}\0"
+            f"b{backend}\0j{backend_jobs}\0c{sorted((chunk or {}).items())}"
+        )
         return f"fuzz-s{seed}-{digest}"
 
     def load_seed(
-        self, seed: int, config: GeneratorConfig
+        self,
+        seed: int,
+        config: GeneratorConfig,
+        backend: str = "sequential",
+        backend_jobs: Optional[int] = None,
+        chunk: Optional[dict] = None,
     ) -> Optional[CaseResult]:
-        payload = self.load_json(self.seed_key(seed, config))
+        payload = self.load_json(
+            self.seed_key(seed, config, backend, backend_jobs, chunk)
+        )
         if payload is None:
             return None
         try:
@@ -307,9 +352,18 @@ class FuzzCache(JsonDiskCache):
             return None  # foreign schema: treat as a miss
 
     def store_seed(
-        self, seed: int, config: GeneratorConfig, result: CaseResult
+        self,
+        seed: int,
+        config: GeneratorConfig,
+        result: CaseResult,
+        backend: str = "sequential",
+        backend_jobs: Optional[int] = None,
+        chunk: Optional[dict] = None,
     ) -> None:
-        self.store_json(self.seed_key(seed, config), result.to_json())
+        self.store_json(
+            self.seed_key(seed, config, backend, backend_jobs, chunk),
+            result.to_json(),
+        )
 
 
 @dataclass
@@ -351,25 +405,31 @@ def run_fuzz(
     jobs: Optional[int] = None,
     config: Optional[GeneratorConfig] = None,
     cache: Optional[FuzzCache] = None,
+    backend: str = "sequential",
+    backend_jobs: Optional[int] = None,
+    chunk: Optional[dict] = None,
 ) -> FuzzReport:
     """Judge seeds ``[seed_start, seed_start + seeds)`` concurrently.
 
     Fans out on the fuzz engine's worker pool and (when *cache* is
     given) consults the persistent on-disk store; a cached seed is pure
-    disk I/O.
+    disk I/O.  *backend*/*backend_jobs*/*chunk* run every case's
+    execution view on a real backend (verdicts are cached per backend).
     """
     config = config or GeneratorConfig()
 
     def one(seed: int) -> CaseResult:
         if cache is not None:
-            hit = cache.load_seed(seed, config)
+            hit = cache.load_seed(seed, config, backend, backend_jobs, chunk)
             if hit is not None:
                 return hit
-        result = run_seed(seed, config)
+        result = run_seed(seed, config, backend=backend,
+                          jobs=backend_jobs, chunk=chunk)
         if cache is not None and not result.failed:
             # Failures are never cached: they are meant to be re-run
             # (and shrunk) until fixed.
-            cache.store_seed(seed, config, result)
+            cache.store_seed(seed, config, result, backend,
+                             backend_jobs, chunk)
         return result
 
     started = time.perf_counter()

@@ -166,6 +166,7 @@ def civ_aggregate_region(region, civs, index: str, stmts, scalars):
                 wf=_rewrite(summary.wf, gate, inc, entry, nxt),
                 ro=summary.ro,
                 rw=_rewrite(summary.rw, gate, inc, entry, nxt),
+                exposed=_rewrite(summary.exposed, gate, inc, entry, nxt),
             )
     return region
 

@@ -130,8 +130,10 @@ class LoopAnalysisInput:
 
 
 def _demote(summary: Summary) -> Summary:
-    """Most conservative reclassification: everything becomes RW."""
-    return Summary(wf=EMPTY, ro=EMPTY, rw=summary.all_accessed())
+    """Most conservative reclassification: everything becomes RW (and,
+    for the reduction gate, everything counts as an exposed read)."""
+    accessed = summary.all_accessed()
+    return Summary(wf=EMPTY, ro=EMPTY, rw=accessed, exposed=accessed)
 
 
 class Summarizer:
@@ -543,12 +545,14 @@ def _translate_summary(
         wf=_rename_arrays(out.wf, renames),
         ro=_rename_arrays(out.ro, renames),
         rw=_rename_arrays(out.rw, renames),
+        exposed=_rename_arrays(out.exposed, renames),
     )
     if offset is not None:
         out = Summary(
             wf=_shift_usr(out.wf, offset),
             ro=_shift_usr(out.ro, offset),
             rw=_shift_usr(out.rw, offset),
+            exposed=_shift_usr(out.exposed, offset),
         )
     return out
 

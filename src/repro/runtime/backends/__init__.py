@@ -1,0 +1,98 @@
+"""Pluggable execution backends for validated parallel loops.
+
+The hybrid runtime decides *whether* a loop may run in parallel (and
+under which per-array transforms); a backend decides *how* the
+validated iterations actually execute:
+
+=============  ==============================================================
+``sequential``  in-order reference execution, one pre-state snapshot per
+                iteration (the correctness baseline every other backend is
+                differentially tested against)
+``thread``      chunked execution on a thread pool with O(writes) undo-log
+                state restoration between iterations
+``process``     chunked execution on a persistent process pool; the
+                pre-loop memory travels once per run through a
+                shared-memory segment, so multi-core machines get real
+                (GIL-free) parallelism
+``numpy``       whole-loop vectorization for fully-parallel (all-``shared``)
+                DO loops: one NumPy gather/compute/scatter per statement
+=============  ==============================================================
+
+Select a backend through :class:`repro.api.EngineConfig` /
+``ExecuteRequest`` (``backend`` / ``jobs`` / ``chunk`` fields) or
+directly on :class:`~repro.runtime.executor.HybridExecutor`.  The
+differential suite (``tests/integration/test_backend_equivalence.py``)
+holds every backend to interpreter-identical final memory.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    BackendRun,
+    BackendUnsupported,
+    ExecutionBackend,
+    IterationOutcome,
+    LoopTask,
+    execute_positions,
+    last_scalars,
+    merge_outcomes,
+)
+from .chunking import CHUNK_POLICIES, DYNAMIC_CHUNK_FACTOR, ChunkSpec, plan_chunks
+from .processes import ProcessBackend
+from .sequential import SequentialBackend
+from .threads import ThreadBackend
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "BackendRun",
+    "BackendUnsupported",
+    "ChunkSpec",
+    "CHUNK_POLICIES",
+    "DYNAMIC_CHUNK_FACTOR",
+    "ExecutionBackend",
+    "IterationOutcome",
+    "LoopTask",
+    "ProcessBackend",
+    "SequentialBackend",
+    "ThreadBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "execute_positions",
+    "get_backend",
+    "last_scalars",
+    "merge_outcomes",
+    "plan_chunks",
+]
+
+#: Registry of selectable backends, in reference-first order.
+BACKENDS = {
+    SequentialBackend.name: SequentialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+    VectorizedBackend.name: VectorizedBackend,
+}
+
+DEFAULT_BACKEND = SequentialBackend.name
+
+#: Backends are stateless; share one instance per class.
+_INSTANCES: dict = {}
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """The shared instance of the backend called *name*."""
+    cls = BACKENDS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown backend {name!r}; valid: {list(BACKENDS)}"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _INSTANCES[name] = cls()
+    return instance
+
+
+def available_backends() -> list:
+    """Names of the backends usable in this environment."""
+    return [name for name, cls in BACKENDS.items() if cls.available()]

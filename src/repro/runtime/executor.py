@@ -32,12 +32,15 @@ import copy
 from dataclasses import dataclass, field
 from typing import Optional
 
+import time
+
 from ..core.analyzer import ArrayPlan, LoopPlan
 from ..ir.ast import Do, Program, While
 from ..ir.interp import IterationRecord, Machine
 from ..ir.scalars import expr_scalar_reads
 from ..pdag import EvalStats
 from ..usr import estimate_bounds
+from .backends import DEFAULT_BACKEND, BACKENDS, ChunkSpec, LoopTask, get_backend
 from .inspector import Inspector
 from .scheduler import CostModel, schedule_parallel
 from .speculation import lrpd_test
@@ -77,6 +80,18 @@ class ExecutionReport:
     decisions: dict[str, ArrayDecision] = field(default_factory=dict)
     used_speculation: bool = False
     misspeculated: bool = False
+    #: execution backend the caller requested
+    backend: str = DEFAULT_BACKEND
+    #: backend that actually ran the loop ('' when the loop stayed
+    #: sequential; differs from ``backend`` after a fallback, e.g. a
+    #: non-vectorizable loop requested on 'numpy')
+    backend_used: str = ""
+    #: workers that participated in the real parallel execution
+    jobs: int = 1
+    #: chunks the iteration space was carved into
+    chunks: int = 0
+    #: real wall-clock seconds spent inside the backend
+    wall_s: float = 0.0
 
     @property
     def total_overhead(self) -> float:
@@ -158,6 +173,9 @@ class HybridExecutor:
         cost: Optional[CostModel] = None,
         inspector: Optional[Inspector] = None,
         exact_strategy: str = "inspector",
+        backend: str = DEFAULT_BACKEND,
+        jobs: Optional[int] = None,
+        chunk=None,
     ):
         self.program = program
         self.plan = plan
@@ -170,6 +188,16 @@ class HybridExecutor:
         if exact_strategy not in ("inspector", "tls"):
             raise ValueError(f"bad exact_strategy {exact_strategy!r}")
         self.exact_strategy = exact_strategy
+        #: real execution backend for validated parallel loops
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; valid: {list(BACKENDS)}"
+            )
+        self.backend = backend
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1 (got {jobs})")
+        self.jobs = jobs
+        self.chunk = ChunkSpec.from_json(chunk)
 
     # -- public API ----------------------------------------------------------
     def run(self, params: dict, arrays: dict) -> ExecutionReport:
@@ -198,6 +226,7 @@ class HybridExecutor:
             correct=True,
             seq_work=seq_work,
             iteration_costs=iter_costs,
+            backend=self.backend,
         )
 
         # Loops with scalar flow dependences or unanalyzable constructs
@@ -244,7 +273,7 @@ class HybridExecutor:
             return report
 
         # 4. Parallel overlay execution + ground-truth validation.
-        par_arrays = self._parallel_execute(params, arrays, capture, decisions)
+        par_arrays = self._parallel_execute(params, arrays, capture, decisions, report)
         report.parallel = True
         report.correct = par_arrays == seq_arrays
         return report
@@ -400,52 +429,53 @@ class HybridExecutor:
         return ArrayDecision(array, "dependent", "failed")
 
     # -- parallel overlay execution ------------------------------------------------
+    def _resolve_backend(self, task: LoopTask):
+        """The backend that will actually run *task*: the requested one,
+        or the sequential reference backend when the request cannot be
+        honoured (unavailable in this environment, or structurally
+        unsupported -- e.g. a non-vectorizable loop on 'numpy')."""
+        requested = get_backend(self.backend)
+        if type(requested).available() and requested.supports(task):
+            return requested
+        return get_backend("sequential")
+
     def _parallel_execute(
         self,
         params: dict,
         arrays: dict,
         capture: _LoopCapture,
         decisions: dict[str, ArrayDecision],
+        report: ExecutionReport,
     ) -> dict[str, list[int]]:
-        """Re-run the whole program, executing the target loop with
-        iteration-isolated memory and per-array merge rules."""
+        """Re-run the whole program, delegating the target loop to the
+        selected execution backend (iteration-isolated memory, per-array
+        merge rules) and recording the real wall-clock cost."""
 
         def parallel_hook(machine: Machine, stmt, frame):
-            pre = copy.deepcopy(machine.arrays)
-            pre_scalars = dict(frame.scalars)
-            merged = copy.deepcopy(pre)
-            iter_records: list[tuple[IterationRecord, dict[str, list[int]]]] = []
-            civ_values = capture.civ_values
-            last_frame_scalars = dict(frame.scalars)
-            for pos, i in enumerate(capture.iterations):
-                machine.arrays = copy.deepcopy(pre)
-                iter_scalars = dict(pre_scalars)
-                if isinstance(stmt, Do):
-                    iter_scalars[stmt.index] = i
-                for info in self.plan.civs:
-                    iter_scalars[info.name] = civ_values[info.name][pos]
-                iter_frame = type(frame)(iter_scalars, frame.arrays)
-                rec = IterationRecord(iteration=i)
-                prev = machine._active_record
-                machine._active_record = rec
-                machine._exec_body(stmt.body, iter_frame)
-                machine._active_record = prev
-                iter_records.append((rec, machine.arrays))
-                last_frame_scalars = iter_scalars
-            # Merge per decisions, in iteration order (= dynamic last value).
-            for rec, final in iter_records:
-                for arr_name, locs in rec.writes.items():
-                    decision = decisions.get(arr_name)
-                    strategy = decision.strategy if decision else "private"
-                    updates = rec.updates.get(arr_name, set())
-                    for loc in sorted(locs):
-                        if strategy == "reduction" and loc in updates:
-                            delta = final[arr_name][loc - 1] - pre[arr_name][loc - 1]
-                            merged[arr_name][loc - 1] += delta
-                        else:
-                            merged[arr_name][loc - 1] = final[arr_name][loc - 1]
-            machine.arrays = merged
-            frame.scalars.update(last_frame_scalars)
+            task = LoopTask(
+                program=self.program,
+                label=self.plan.label,
+                params=dict(machine.params),
+                pre_arrays=copy.deepcopy(machine.arrays),
+                pre_scalars=dict(frame.scalars),
+                frame_arrays=dict(frame.arrays),
+                iterations=list(capture.iterations),
+                civ_names=tuple(info.name for info in self.plan.civs),
+                civ_values=capture.civ_values,
+                index_name=stmt.index if isinstance(stmt, Do) else None,
+                decisions={
+                    name: d.strategy for name, d in decisions.items()
+                },
+            )
+            backend = self._resolve_backend(task)
+            started = time.perf_counter()
+            run = backend.execute(task, jobs=self.jobs, chunk=self.chunk)
+            report.wall_s += time.perf_counter() - started
+            report.backend_used = backend.name
+            report.jobs = max(report.jobs, run.jobs)
+            report.chunks += run.chunks
+            machine.arrays = run.arrays
+            frame.scalars.update(run.final_scalars)
             if isinstance(stmt, Do) and capture.iterations:
                 frame.scalars[stmt.index] = capture.iterations[-1]
 

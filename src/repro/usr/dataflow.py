@@ -28,16 +28,27 @@ __all__ = ["Summary", "compose", "merge_branches", "aggregate_loop"]
 
 @dataclass(frozen=True)
 class Summary:
-    """Per-region (WF, RO, RW) summary of one array's accesses."""
+    """Per-region (WF, RO, RW) summary of one array's accesses.
+
+    ``exposed`` refines the classification for the reduction transform:
+    locations whose *first* access in the region is a plain read.  RW
+    conflates delta-merge-licensed update accesses with read-before-
+    write locations; the latter carry a real flow dependence against any
+    other iteration's write, so the EXT-RRED enabling equation needs
+    them separately (``exposed`` is a subset of ``ro U rw``; an update's
+    self-read is deliberately *not* exposed -- the delta merge licenses
+    exactly that read).
+    """
 
     wf: USR = EMPTY
     ro: USR = EMPTY
     rw: USR = EMPTY
+    exposed: USR = EMPTY
 
     @staticmethod
     def read(usr: USR) -> "Summary":
         """Statement-level summary of a read access."""
-        return Summary(wf=EMPTY, ro=usr, rw=EMPTY)
+        return Summary(wf=EMPTY, ro=usr, rw=EMPTY, exposed=usr)
 
     @staticmethod
     def write(usr: USR) -> "Summary":
@@ -69,6 +80,7 @@ class Summary:
             wf=usr_gate(cond, self.wf),
             ro=usr_gate(cond, self.ro),
             rw=usr_gate(cond, self.rw),
+            exposed=usr_gate(cond, self.exposed),
         )
 
     def substitute(self, mapping: Mapping[str, Expr]) -> "Summary":
@@ -76,6 +88,7 @@ class Summary:
             wf=self.wf.substitute(mapping),
             ro=self.ro.substitute(mapping),
             rw=self.rw.substitute(mapping),
+            exposed=self.exposed.substitute(mapping),
         )
 
 
@@ -98,7 +111,17 @@ def compose(first: Summary, second: Summary) -> Summary:
         usr_subtract(rw2, wf1),
         usr_intersect(ro1, wf2),
     )
-    return Summary(wf=wf, ro=ro, rw=rw)
+    # Delta-merge-unlicensed reads: region 1's stay exposed; region 2's
+    # are covered only by region 1's *write-first* locations (a read
+    # after a full write observes the same locally-computed value under
+    # isolated and sequential execution).  Region 1's RW does NOT cover
+    # them: a read after an update observes pre-loop + own delta under
+    # the reduction transform but the running sum sequentially, so it
+    # still carries a flow dependence against other iterations' updates.
+    exposed = usr_union(
+        first.exposed, usr_subtract(second.exposed, first.wf)
+    )
+    return Summary(wf=wf, ro=ro, rw=rw, exposed=exposed)
 
 
 def merge_branches(cond: BoolExpr, then: Summary, other: Summary) -> Summary:
@@ -116,6 +139,7 @@ def merge_branches(cond: BoolExpr, then: Summary, other: Summary) -> Summary:
         wf=_merge_gated(cond, then.wf, neg, other.wf),
         ro=_merge_gated(cond, then.ro, neg, other.ro),
         rw=_merge_gated(cond, then.rw, neg, other.rw),
+        exposed=_merge_gated(cond, then.exposed, neg, other.exposed),
     )
 
 
@@ -183,12 +207,19 @@ def aggregate_loop(
     prefix_rw = usr_recurrence(
         prev, lower_e, sym(index) - 1, body_prev.rw, partial=True
     )
+    # A read stays exposed at loop level unless an *earlier* iteration
+    # write-first covered its location (same-iteration coverage was
+    # already subtracted when the body summary was composed; earlier
+    # updates do NOT cover -- see compose()).
+    exposed = usr_recurrence(
+        index, lower_e, upper_e, usr_subtract(body.exposed, prefix_writes)
+    )
     return LoopSummaries(
         index=index,
         lower=lower_e,
         upper=upper_e,
         per_iteration=body,
-        aggregate=Summary(wf=wf, ro=ro, rw=rw),
+        aggregate=Summary(wf=wf, ro=ro, rw=rw, exposed=exposed),
         prefix_writes=prefix_writes,
         prefix_rw=prefix_rw,
     )

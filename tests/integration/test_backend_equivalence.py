@@ -1,0 +1,208 @@
+"""Differential backend-equivalence suite.
+
+The contract every execution backend must meet: *for any program the
+hybrid runtime validates, the backend's merged final memory is
+identical to the reference interpreter's sequential execution.*  This
+suite wires each backend into the existing three-way fuzz oracle
+(analyzer plan vs. trace dependences vs. executed memory), so any
+divergence surfaces as an ``unsound`` or ``crash`` verdict:
+
+* every minimized repro in the regression corpus replays on every
+  backend;
+* a window of fresh fuzz seeds (disjoint from the CI fuzz-smoke range)
+  runs on every backend -- the fast path covers a sample per backend,
+  the slow soak covers the full >= 300-seed matrix the acceptance bar
+  demands;
+* per seed, all backends must also *agree with each other* (same
+  outcome, same parallel flag): backends only change how validated
+  iterations execute, never what the runtime decides.
+
+Curated (non-generated) shapes -- reductions, CIVs, privatization,
+while loops -- are exercised directly on top, since the fuzz grammar
+draws them only probabilistically.
+"""
+
+import pytest
+
+from repro.fuzz import generate_case, load_corpus_case, run_case
+from repro.fuzz.oracle import FAILING_OUTCOMES
+from repro.api import Engine, EngineConfig
+from repro.runtime.backends import BACKENDS
+
+from pathlib import Path
+
+BACKEND_NAMES = tuple(BACKENDS)
+CORPUS = sorted(
+    (Path(__file__).parent.parent / "regression" / "corpus").glob("*.json")
+)
+
+#: Fresh seed window: disjoint from CI's fuzz-smoke seeds 0-49 and from
+#: anything the shrinker has ever minimized into the corpus.
+SEED_BASE = 20_000
+
+#: Fast-path sample per backend (the slow soak runs the full matrix).
+FAST_SEEDS = 24
+
+#: Acceptance bar: >= 300 fresh seeds on every backend.
+FULL_SEEDS = 300
+
+
+def _assert_equivalent(case, backend, jobs=3, chunk=None):
+    result = run_case(case, backend=backend, jobs=jobs, chunk=chunk)
+    assert result.outcome not in FAILING_OUTCOMES, (
+        f"seed {case.seed} on backend {backend!r}: {result.outcome} "
+        f"[{result.classification}] {result.detail}"
+    )
+    return result
+
+
+# -- corpus programs on every backend ---------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_equivalence_on_every_backend(path, backend):
+    case = load_corpus_case(path).to_case()
+    _assert_equivalent(case, backend)
+
+
+# -- curated shapes on every backend ----------------------------------------
+
+_CURATED = {
+    "reduction_indirect": (
+        """
+program red
+param N, K
+array H(K), V(N), IDX(N)
+
+main
+  do i = 1, N @ target
+    H[IDX[i]] = H[IDX[i]] + V[i]
+  end
+end
+""",
+        {"N": 40, "K": 5},
+        {"IDX": [(i * 3) % 5 + 1 for i in range(40)],
+         "V": [i % 7 for i in range(40)]},
+    ),
+    "privatized_temp": (
+        """
+program priv
+param N
+array T(4), OUT(N)
+
+main
+  do i = 1, N @ target
+    T[1] = i * 2
+    T[2] = T[1] + 1
+    OUT[i] = T[2]
+  end
+end
+""",
+        {"N": 25},
+        {},
+    ),
+    "civ_do_loop": (
+        """
+program civ
+param N
+array OUT(N)
+
+main
+  w = 0
+  do i = 1, N @ target
+    w = w + 1
+    OUT[w] = i
+  end
+end
+""",
+        {"N": 20},
+        {},
+    ),
+    "while_counter": (
+        """
+program wloop
+param N
+array OUT(N)
+
+main
+  k = 1
+  while k <= N @ target
+    OUT[k] = k * 3
+    k = k + 1
+  end
+end
+""",
+        {"N": 18},
+        {},
+    ),
+    "shared_affine": (
+        """
+program aff
+param N
+array A(N), B(N)
+
+main
+  do i = 1, N @ target
+    B[i] = (A[i] * 2) + min(i, 7)
+  end
+end
+""",
+        {"N": 30},
+        {"A": [i % 11 for i in range(30)]},
+    ),
+}
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("shape", sorted(_CURATED), ids=str)
+def test_curated_shapes_on_every_backend(shape, backend):
+    source, params, arrays = _CURATED[shape]
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    report = engine.compile(source).execute(
+        "target", params, arrays, backend=backend, jobs=3,
+        chunk={"policy": "dynamic", "size": 4},
+    )
+    assert report.correct, (
+        f"{shape} on {backend!r}: merged memory diverges from the "
+        "interpreter"
+    )
+    assert report.parallel, f"{shape} should parallelize"
+    assert report.backend_used in BACKEND_NAMES
+
+
+# -- fresh fuzz seeds ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_fuzz_sample_equivalence(backend):
+    """Fast path: a fresh-seed sample per backend, cross-checked for
+    backend agreement against the sequential reference."""
+    for seed in range(SEED_BASE, SEED_BASE + FAST_SEEDS):
+        case = generate_case(seed)
+        reference = _assert_equivalent(case, "sequential")
+        result = _assert_equivalent(case, backend)
+        assert (result.outcome, result.parallel) == (
+            reference.outcome, reference.parallel
+        ), (
+            f"seed {seed}: backend {backend!r} changed the verdict "
+            f"({reference.outcome}/{reference.parallel} -> "
+            f"{result.outcome}/{result.parallel})"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_full_matrix_equivalence(backend):
+    """The acceptance bar: >= 300 fresh seeds per backend, zero unsound,
+    zero crash."""
+    failures = []
+    for seed in range(SEED_BASE, SEED_BASE + FULL_SEEDS):
+        case = generate_case(seed)
+        result = run_case(case, backend=backend, jobs=4)
+        if result.outcome in FAILING_OUTCOMES:
+            failures.append((seed, result.outcome, result.detail))
+    assert not failures, (
+        f"backend {backend!r}: {len(failures)} failing seed(s), first: "
+        f"{failures[0]}"
+    )

@@ -1,0 +1,115 @@
+"""Schema stability of the BENCH_*.json trajectory documents.
+
+The bench harness's output is a wire format consumed by CI and diffed
+between trajectory points, so its shape is pinned exactly like the
+``repro.api`` protocol: versioned, byte-stable canonical serialization,
+and an exact key set at every level (validated by
+``tools/check_bench_schema.py``, which this suite drives both against a
+live in-process bench run and against the committed trajectory file).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.protocol import canonical_json
+from repro.evaluation.bench import (
+    BENCH_SUITES,
+    BENCH_VERSION,
+    format_bench,
+    run_bench,
+    write_bench,
+)
+
+ROOT = Path(__file__).parent.parent.parent
+
+
+def _checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_schema", ROOT / "tools" / "check_bench_schema.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+CHECKER = _checker()
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return run_bench(
+        suite="smoke", backends=["sequential", "thread"], jobs=2, repeat=1
+    )
+
+
+def test_smoke_doc_is_schema_valid(smoke_doc):
+    assert CHECKER.validate_bench_doc(smoke_doc) == []
+    assert smoke_doc["version"] == BENCH_VERSION
+    assert smoke_doc["equivalence_ok"] is True
+    names = [w["name"] for w in smoke_doc["workloads"]]
+    assert len(names) == len(BENCH_SUITES["smoke"]())
+
+
+def test_doc_serialization_is_byte_stable(smoke_doc, tmp_path):
+    path = write_bench(smoke_doc, str(tmp_path))
+    assert path.name == "BENCH_smoke.json"
+    text = path.read_text()
+    assert canonical_json(json.loads(text)) + "\n" == text
+    assert CHECKER.check_file(path) == []
+
+
+def test_key_order_is_pinned(smoke_doc, tmp_path):
+    path = write_bench(smoke_doc, str(tmp_path))
+    payload = json.loads(path.read_text())
+    # canonical form sorts keys at every level; any new/renamed field
+    # shows up as a deliberate diff here and in the checker's key sets
+    assert list(payload) == sorted(payload)
+    for workload in payload["workloads"]:
+        assert list(workload) == sorted(workload)
+        for entry in workload["results"].values():
+            assert list(entry) == sorted(entry)
+
+
+def test_checker_rejects_schema_drift(smoke_doc):
+    broken = json.loads(canonical_json(smoke_doc))
+    broken["surprise"] = 1
+    assert any("surprise" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(smoke_doc))
+    del broken["workloads"][0]["results"]["thread"]["wall_s"]
+    assert CHECKER.validate_bench_doc(broken)
+    broken = json.loads(canonical_json(smoke_doc))
+    broken["version"] = BENCH_VERSION + 1
+    assert any("version" in e for e in CHECKER.validate_bench_doc(broken))
+
+
+def test_checker_rejects_non_canonical_files(smoke_doc, tmp_path):
+    path = tmp_path / "BENCH_smoke.json"
+    path.write_text(json.dumps(smoke_doc, indent=4, sort_keys=False))
+    assert any("canonical" in e for e in CHECKER.check_file(path))
+
+
+def test_committed_trajectory_file_is_valid():
+    committed = ROOT / "BENCH_core.json"
+    assert committed.is_file(), (
+        "the BENCH_core.json trajectory point must be committed "
+        "(regenerate with 'repro-eval bench --suite core')"
+    )
+    assert CHECKER.check_file(committed) == []
+    payload = json.loads(committed.read_text())
+    assert payload["suite"] == "core"
+    # the committed point must witness a real parallel win with >= 4
+    # jobs (the thread/process undo-log or numpy vectorization)
+    assert payload["jobs"] >= 4
+    assert any(
+        win["backend"] in ("thread", "process") and win["speedup"] > 1.0
+        for win in payload["parallel_wins"]
+    ), "no thread/process win over sequential recorded in BENCH_core.json"
+
+
+def test_format_bench_summarizes(smoke_doc):
+    text = format_bench(smoke_doc)
+    assert "suite smoke" in text
+    assert "equivalence: ok" in text

@@ -1,0 +1,114 @@
+"""Accounting invariants of :class:`repro.runtime.ExecutionReport`.
+
+The simulated-timing layer feeds every evaluation table, so its
+arithmetic carries the reproduction's headline numbers.  Pinned here:
+
+* ``speedup(procs=1)`` is the identity for overhead-free loops, and
+  sequential outcomes never report a speedup other than 1;
+* ``overhead_time`` is monotonically non-increasing in ``procs`` (the
+  paper parallelizes the O(N) test work, so more processors can only
+  shrink its share);
+* ``rtov`` is exactly ``overhead_time / parallel_time`` -- the RTov
+  column's definition;
+* the real-execution fields (``backend``, ``backend_used``, ``jobs``,
+  ``chunks``, ``wall_s``) default to a sequential, not-yet-run state.
+"""
+
+import pytest
+
+from repro.runtime import CostModel, ExecutionReport
+
+
+def _report(parallel=True, n=64, **overheads):
+    return ExecutionReport(
+        label="L",
+        parallel=parallel,
+        correct=True,
+        seq_work=float(n * 10),
+        iteration_costs=[10.0] * n,
+        **overheads,
+    )
+
+
+COST = CostModel(spawn_overhead=0.0)
+PROCS = (1, 2, 4, 8)
+
+
+def test_speedup_is_identity_on_one_processor():
+    report = _report()
+    assert report.speedup(1, COST) == pytest.approx(1.0)
+    assert report.parallel_time(1, COST) == pytest.approx(report.seq_work)
+
+
+def test_sequential_outcome_never_speeds_up():
+    report = _report(parallel=False)
+    for procs in PROCS:
+        assert report.speedup(procs, COST) == pytest.approx(1.0)
+
+
+def test_speedup_grows_with_processors():
+    report = _report()
+    speedups = [report.speedup(p, COST) for p in PROCS]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > speedups[0]
+
+
+def test_overhead_monotonically_non_increasing_in_procs():
+    report = _report(
+        test_overhead=220.0,
+        test_leaf_overhead=20.0,
+        civ_overhead=100.0,
+        bounds_overhead=64.0,
+    )
+    overheads = [report.overhead_time(p, COST) for p in PROCS]
+    for smaller, larger in zip(overheads[1:], overheads):
+        assert smaller <= larger + 1e-9
+    # the serial O(1) leaf share never parallelizes away
+    assert overheads[-1] >= report.serial_overhead
+
+
+def test_rtov_consistent_with_parallel_time():
+    report = _report(
+        test_overhead=150.0,
+        test_leaf_overhead=30.0,
+        inspector_overhead=40.0,
+    )
+    for procs in PROCS:
+        par = report.parallel_time(procs, CostModel())
+        rtov = report.rtov(procs, CostModel())
+        assert rtov == pytest.approx(
+            report.overhead_time(procs, CostModel()) / par
+        )
+        assert 0.0 <= rtov < 1.0
+
+
+def test_total_overhead_sums_every_component():
+    report = _report(
+        test_overhead=5.0,
+        civ_overhead=7.0,
+        bounds_overhead=11.0,
+        inspector_overhead=13.0,
+        speculation_overhead=17.0,
+    )
+    assert report.total_overhead == pytest.approx(5 + 7 + 11 + 13 + 17)
+    assert report.parallelizable_overhead == pytest.approx(
+        report.total_overhead - report.serial_overhead
+    )
+
+
+def test_misspeculation_charges_a_serial_rerun():
+    clean = _report()
+    burned = _report(misspeculated=True)
+    for procs in (2, 8):
+        assert burned.parallel_time(procs, COST) == pytest.approx(
+            clean.parallel_time(procs, COST) + burned.seq_work
+        )
+
+
+def test_real_execution_fields_default_to_not_yet_run():
+    report = _report()
+    assert report.backend == "sequential"
+    assert report.backend_used == ""
+    assert report.jobs == 1
+    assert report.chunks == 0
+    assert report.wall_s == 0.0

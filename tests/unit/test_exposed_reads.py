@@ -1,0 +1,146 @@
+"""Exposed-read tracking in the dataflow summaries.
+
+Found by the backend-equivalence fuzz sweep (seeds 20041/20136/20157):
+a location whose first access in an iteration is a *plain read* but
+which a later statement of the same region writes lands in the RW
+class, and the EXT-RRED enabling equation used to tolerate the whole RW
+self-overlap -- so the reduction transform was licensed across a real
+flow dependence (the read observes the pre-loop value under the
+transform, the running state sequentially).  ``Summary.exposed`` now
+carries first-access-is-a-plain-read locations through compose / branch
+merge / loop aggregation, and the enabling equation intersects them
+with preceding iterations' writes.
+"""
+
+import pytest
+
+from repro.api import Engine, EngineConfig
+from repro.core.independence import ext_rred_usr
+from repro.usr import Summary, compose
+from repro.usr.build import usr_leaf
+from repro.lmad import LMAD
+
+#: The minimized unsound shape: every iteration updates B[4..6] in an
+#: inner loop, and reads B[i+4] *between* those updates -- the read of
+#: B[5] at (i=1, j=1) happens before the update of B[5] at (i=1, j=2),
+#: so it is exposed, and iterations 2.. update B[5] as well.
+NESTED_READ_BEFORE_WRITE = """
+program expread
+param N
+array A(20), B(20)
+
+main
+  do i = 1, N @ target
+    do j = 1, 3
+      B[j + 3] = B[j + 3] - j
+      A[i] = A[i] + B[i + 4]
+    end
+  end
+end
+"""
+
+#: Second unsound shape (code review): a plain read *after* the update
+#: of the same location in the same iteration.  The delta merge licenses
+#: only the update's own self-read; this read observes pre-loop + own
+#: delta under the transform but the running sum sequentially.
+UPDATE_THEN_READ = """
+program updread
+param N
+array A(4), B(20), V(20)
+
+main
+  do i = 1, N @ target
+    A[1] = A[1] + V[i]
+    x = A[1]
+    B[i] = x
+  end
+end
+"""
+
+PURE_HISTOGRAM = """
+program hist
+param N, K
+array H(K), V(N), IDX(N)
+
+main
+  do i = 1, N @ target
+    H[IDX[i]] = H[IDX[i]] + V[i]
+  end
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine(EngineConfig(use_disk_cache=False))
+
+
+def test_exposed_read_survives_inner_loop_aggregation(engine):
+    plan = engine.compile(NESTED_READ_BEFORE_WRITE).plan("target")
+    ls = plan.analysis.summaries["B"]
+    assert not ls.per_iteration.exposed.is_empty_leaf(), (
+        "the B[i+4] read must stay exposed through the inner-loop "
+        "aggregate (it precedes the same-iteration update of its "
+        "location)"
+    )
+    assert not ext_rred_usr(ls).is_empty_leaf(), (
+        "the reduction enabling equation must see the exposed read"
+    )
+
+
+def test_reduction_not_licensed_across_exposed_read(engine):
+    compiled = engine.compile(NESTED_READ_BEFORE_WRITE)
+    report = compiled.execute(
+        "target", {"N": 6}, {"B": [5] * 20, "A": [0] * 20}
+    )
+    # The runtime may validate this loop only if execution stays
+    # interpreter-identical; with the real flow dependence on B the
+    # exact test must refuse.
+    assert report.correct
+    assert report.decisions["B"].strategy == "dependent"
+    assert not report.parallel
+
+
+def test_read_after_own_update_stays_exposed(engine):
+    compiled = engine.compile(UPDATE_THEN_READ)
+    ls = compiled.plan("target").analysis.summaries["A"]
+    assert not ls.per_iteration.exposed.is_empty_leaf()
+    assert not ext_rred_usr(ls).is_empty_leaf()
+    report = compiled.execute(
+        "target", {"N": 8}, {"V": [i + 1 for i in range(20)]}
+    )
+    assert report.correct
+    assert not report.parallel
+    assert report.decisions["A"].strategy == "dependent"
+
+
+def test_pure_update_reductions_keep_empty_exposed(engine):
+    """No precision regression: update-only histograms still carry an
+    empty exposed set (the delta merge licenses the update self-read)
+    and still run in parallel."""
+    compiled = engine.compile(PURE_HISTOGRAM)
+    plan = compiled.plan("target")
+    assert plan.analysis.summaries["H"].per_iteration.exposed.is_empty_leaf()
+    report = compiled.execute(
+        "target",
+        {"N": 24, "K": 5},
+        {"IDX": [(i * 3) % 5 + 1 for i in range(24)],
+         "V": [1] * 24},
+    )
+    assert report.parallel and report.correct
+    assert report.decisions["H"].strategy in ("reduction", "shared")
+
+
+def test_compose_tracks_first_access_reads():
+    loc_a = usr_leaf(LMAD([1], [3], 1))
+    loc_b = usr_leaf(LMAD([1], [3], 10))
+    read_then_write = compose(Summary.read(loc_a), Summary.write(loc_a))
+    assert read_then_write.exposed == loc_a  # read first: stays exposed
+    write_then_read = compose(Summary.write(loc_a), Summary.read(loc_a))
+    assert write_then_read.exposed.is_empty_leaf()  # covered by the write
+    update_only = Summary.read_write(loc_b)
+    assert update_only.exposed.is_empty_leaf()  # self-read is licensed
+    # a separate read AFTER an update of the same location is NOT the
+    # licensed self-read: it must stay exposed
+    assert compose(update_only, Summary.read(loc_b)).exposed == loc_b
+    assert compose(update_only, Summary.read(loc_a)).exposed == loc_a

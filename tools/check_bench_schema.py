@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""BENCH_*.json trajectory-document schema check (CI).
+
+Pins the benchmark harness's document shape the same way
+``check_api_surface.py`` pins ``repro.api``: the key set at every level
+is exact (no silent growth or shrinkage), the version is one this
+checker understands, and the file on disk is byte-identical to its own
+canonical re-serialization (sorted keys, indent 1, trailing newline) --
+so trajectory diffs between PRs only ever show measured values.
+
+Usage::
+
+    python tools/check_bench_schema.py                # every ./BENCH_*.json
+    python tools/check_bench_schema.py path/to/BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: The version(s) of the document shape this checker understands.
+KNOWN_VERSIONS = (1,)
+
+_TOP_KEYS = {
+    "backends", "chunk", "equivalence_ok", "jobs", "parallel_wins",
+    "repeat", "suite", "version", "workloads",
+}
+_CHUNK_KEYS = {"policy", "size"}
+_WIN_KEYS = {"backend", "speedup", "workload"}
+_WORKLOAD_KEYS = {
+    "description", "loop", "name", "results", "seq_work", "trips",
+}
+_RESULT_KEYS = {
+    "backend_used", "chunks", "correct", "jobs", "parallel", "speedup",
+    "wall_s",
+}
+
+
+def _key_errors(what: str, payload: dict, expected: set) -> list:
+    errors = []
+    actual = set(payload)
+    missing = sorted(expected - actual)
+    extra = sorted(actual - expected)
+    if missing:
+        errors.append(f"{what}: missing key(s) {missing}")
+    if extra:
+        errors.append(f"{what}: unexpected key(s) {extra}")
+    return errors
+
+
+def validate_bench_doc(payload: dict) -> list:
+    """Schema problems of one parsed BENCH document (empty = valid)."""
+    errors = _key_errors("document", payload, _TOP_KEYS)
+    if errors:
+        return errors
+    if payload["version"] not in KNOWN_VERSIONS:
+        return [
+            f"document: unsupported bench version {payload['version']!r} "
+            f"(this checker speaks {list(KNOWN_VERSIONS)})"
+        ]
+    if not isinstance(payload["suite"], str) or not payload["suite"]:
+        errors.append("document: 'suite' must be a non-empty string")
+    if not isinstance(payload["jobs"], int) or payload["jobs"] < 1:
+        errors.append("document: 'jobs' must be a positive integer")
+    if not isinstance(payload["repeat"], int) or payload["repeat"] < 1:
+        errors.append("document: 'repeat' must be a positive integer")
+    if not isinstance(payload["equivalence_ok"], bool):
+        errors.append("document: 'equivalence_ok' must be a boolean")
+    backends = payload["backends"]
+    if not isinstance(backends, list) or not backends or not all(
+        isinstance(b, str) for b in backends
+    ):
+        errors.append("document: 'backends' must be a non-empty string list")
+        backends = []
+    errors.extend(_key_errors("chunk", payload["chunk"], _CHUNK_KEYS))
+    for win in payload["parallel_wins"]:
+        errors.extend(_key_errors("parallel_wins entry", win, _WIN_KEYS))
+    if not isinstance(payload["workloads"], list) or not payload["workloads"]:
+        errors.append("document: 'workloads' must be a non-empty list")
+        return errors
+    for workload in payload["workloads"]:
+        errors.extend(_key_errors("workload", workload, _WORKLOAD_KEYS))
+        if set(workload) != _WORKLOAD_KEYS:
+            continue
+        name = workload["name"]
+        results = workload["results"]
+        if sorted(results) != sorted(backends):
+            errors.append(
+                f"workload {name!r}: results cover {sorted(results)}, "
+                f"expected exactly {sorted(backends)}"
+            )
+        for backend, entry in results.items():
+            what = f"workload {name!r} backend {backend!r}"
+            errors.extend(_key_errors(what, entry, _RESULT_KEYS))
+            if set(entry) != _RESULT_KEYS:
+                continue
+            if not isinstance(entry["wall_s"], (int, float)) or entry["wall_s"] < 0:
+                errors.append(f"{what}: 'wall_s' must be >= 0")
+            if not isinstance(entry["correct"], bool):
+                errors.append(f"{what}: 'correct' must be a boolean")
+            if entry["backend_used"] not in ("", *backends, "sequential"):
+                errors.append(
+                    f"{what}: 'backend_used' {entry['backend_used']!r} "
+                    "is not a known backend"
+                )
+    return errors
+
+
+def check_file(path: Path) -> list:
+    """Schema + byte-stability problems of one trajectory file."""
+    from repro.api.protocol import canonical_json
+
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        return [f"{path}: not JSON ({exc})"]
+    errors = [f"{path}: {e}" for e in validate_bench_doc(payload)]
+    if canonical_json(payload) + "\n" != text:
+        errors.append(
+            f"{path}: not in canonical form (regenerate with "
+            "'repro-eval bench' -- sorted keys, indent 1, trailing newline)"
+        )
+    return errors
+
+
+def main(argv) -> int:
+    paths = [Path(a) for a in argv] or sorted(ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json files found under {ROOT}")
+        return 1
+    errors = []
+    for path in paths:
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors))
+        print(f"\nbench-schema: FAILED ({len(errors)} problem(s))")
+        return 1
+    print(f"bench-schema: {len(paths)} trajectory file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
