@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-trajectory bench-schema docs-check api-surface examples batch fuzz clean
+.PHONY: test test-fast bench bench-trajectory bench-schema serve serving-trajectory docs-check api-surface examples batch fuzz clean
 
 ## Tier-1 verification: the full unit/property/integration/benchmark suite.
 test:
@@ -24,6 +24,16 @@ bench-trajectory:
 ## schema and is byte-stable canonical JSON.
 bench-schema:
 	$(PYTHON) tools/check_bench_schema.py
+
+## Serve the analyze/execute protocol on TCP port 7070 (Ctrl-C for a
+## graceful shutdown that drains in-flight requests).
+serve:
+	$(PYTHON) -m repro.evaluation serve --port 7070 --workers 4
+
+## Regenerate the committed BENCH_serving.json trajectory point (the
+## sharded-vs-shared pool A/B at three concurrency levels).
+serving-trajectory:
+	$(PYTHON) -m repro.evaluation loadgen --bench --levels 4,16,32 --requests 400
 
 ## Verify README/ARCHITECTURE links and module-map paths resolve.
 docs-check:

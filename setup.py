@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-hybrid-analysis",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of a hybrid static/dynamic automatic-parallelization "
         "framework: USR summaries, FACTOR predicate extraction, cascaded "

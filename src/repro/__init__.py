@@ -24,7 +24,10 @@ Layers, bottom-up:
 * :mod:`repro.fuzz` -- the differential fuzzing harness (generator,
   three-way soundness oracle, delta-debugging shrinker);
 * :mod:`repro.api` -- the stable Engine facade: one cached, concurrent
-  entry point for analyze/plan/execute (see ``docs/API.md``).
+  entry point for analyze/plan/execute (see ``docs/API.md``);
+* :mod:`repro.server` -- the network serving subsystem: asyncio
+  JSON-lines server, digest-sharded engine pool, admission control and
+  the load-generation harness (see ``docs/SERVER.md``).
 
 Quickstart::
 
@@ -36,7 +39,7 @@ Quickstart::
     report = compiled.execute("my_loop", params, arrays)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import (
     api,
@@ -48,6 +51,7 @@ from . import (
     lmad,
     pdag,
     runtime,
+    server,
     symbolic,
     usr,
     workloads,
@@ -55,5 +59,6 @@ from . import (
 
 __all__ = [
     "symbolic", "lmad", "usr", "pdag", "core", "ir", "runtime",
-    "baselines", "workloads", "evaluation", "fuzz", "api", "__version__",
+    "baselines", "workloads", "evaluation", "fuzz", "api", "server",
+    "__version__",
 ]

@@ -37,15 +37,21 @@ from .engine import (
     default_engine,
 )
 from .protocol import (
+    ERROR_CODES,
+    MAX_REQUEST_BYTES,
     PROTOCOL_VERSION,
     AnalyzeRequest,
     AnalyzeResponse,
     ArrayPlanSummary,
+    ErrorResponse,
     ExecuteRequest,
     ExecuteResponse,
+    StatsRequest,
+    StatsResponse,
     canonical_json,
     request_from_json,
     response_from_json,
+    wire_json,
 )
 
 __all__ = [
@@ -55,14 +61,20 @@ __all__ = [
     "AnalysisCache",
     "default_engine",
     "PROTOCOL_VERSION",
+    "MAX_REQUEST_BYTES",
+    "ERROR_CODES",
     "AnalyzeRequest",
     "AnalyzeResponse",
     "ExecuteRequest",
     "ExecuteResponse",
+    "ErrorResponse",
+    "StatsRequest",
+    "StatsResponse",
     "ArrayPlanSummary",
     "request_from_json",
     "response_from_json",
     "canonical_json",
+    "wire_json",
     "CACHE_VERSION",
     "DEFAULT_CACHE_DIR",
     "JsonDiskCache",

@@ -28,6 +28,7 @@ never corrupt one; disk-cache writes are atomic.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -37,7 +38,7 @@ from ..ir.parser import parse_program
 from ..runtime.executor import ExecutionReport, HybridExecutor
 from ..runtime.inspector import Inspector
 from ..runtime.scheduler import CostModel
-from ..symbolic.intern import Memo
+from ..symbolic.intern import Memo, unregister_cache
 from . import cache as _cache
 from .cache import JsonDiskCache, parallel_map
 from .protocol import (
@@ -269,26 +270,57 @@ _ENGINE_COUNTER = itertools.count()
 
 
 class _EvictingMemo(Memo):
-    """A :class:`Memo` that evicts the oldest entry at capacity instead
-    of refusing new ones.  The compile working set is unbounded under
-    fuzzing (every generated/shrunk candidate is a distinct source), so
-    the base class's store-nothing-past-capacity policy would both pin
-    the first ``max_size`` programs forever and stop memoizing exactly
-    when the long-lived engine needs it most."""
+    """A :class:`Memo` that evicts the least-recently-used entry at
+    capacity instead of refusing new ones.  The compile working set is
+    unbounded under fuzzing (every generated/shrunk candidate is a
+    distinct source), so the base class's store-nothing-past-capacity
+    policy would both pin the first ``max_size`` programs forever and
+    stop memoizing exactly when the long-lived engine needs it most.
 
-    __slots__ = ()
+    Recency matters once an engine serves mixed traffic: a hot
+    long-lived program must not be evicted just because it was compiled
+    before a burst of cold one-shot candidates, so :meth:`get` touches
+    its entry (move-to-end).  And because the serving pool
+    (:mod:`repro.server.pool`) makes concurrent ``put``/``get`` routine,
+    the touch/evict/insert sequences -- which are not individually
+    atomic dict operations -- run under a lock."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, max_size: int = 200_000):
+        # Memo.__init__ registers the cache globally, so the lock must
+        # exist before any other thread can look the table up.
+        self._lock = threading.Lock()
+        super().__init__(name, max_size=max_size)
+
+    def get(self, key):
+        with self._lock:
+            value = self.data.pop(key, None)
+            if value is None:
+                self.misses += 1
+            else:
+                # re-insert at the back: dicts iterate in insertion
+                # order, so the front is always the LRU victim
+                self.data[key] = value
+                self.hits += 1
+            return value
 
     def put(self, key, value):
-        if len(self.data) >= self.max_size:
-            # dicts iterate in insertion order: drop the oldest entry.
-            # Under the GIL a concurrent racer at worst re-evicts or
-            # recomputes; the table is never corrupted.
-            try:
-                self.data.pop(next(iter(self.data)), None)
-            except (StopIteration, RuntimeError):
-                pass
-        self.data[key] = value
+        with self._lock:
+            if key not in self.data and len(self.data) >= self.max_size:
+                try:
+                    self.data.pop(next(iter(self.data)), None)
+                except StopIteration:
+                    pass
+            self.data[key] = value
         return value
+
+    def clear(self):
+        # the registry-wide clear_caches() path must honor the same
+        # lock as put/get, or a concurrent put sees the dict mutate
+        # mid-iteration
+        with self._lock:
+            super().clear()
 
 #: The process-wide default engine (lazily created; shared by the
 #: deprecation shims and every consumer that does not need custom
@@ -317,6 +349,7 @@ class Engine:
         source: Union[str, Program],
         *,
         program: Optional[Program] = None,
+        digest: Optional[str] = None,
     ) -> CompiledProgram:
         """Compile *source* into a shared :class:`CompiledProgram`.
 
@@ -326,12 +359,16 @@ class Engine:
         skip the disk cache because no stable digest exists).  A caller
         holding both may pass *program* alongside the text to skip the
         parse -- the invariant ``parse_program(source) == program`` is
-        the caller's responsibility.
+        the caller's responsibility.  Likewise a caller that already
+        hashed the text (the serving dispatcher routes by digest) may
+        pass *digest* to skip rehashing -- the invariant
+        ``digest == JsonDiskCache.digest(source)`` is theirs too.
         """
         if isinstance(source, Program):
             program, source = source, None
         if source is not None:
-            digest = JsonDiskCache.digest(source)
+            if digest is None:
+                digest = JsonDiskCache.digest(source)
             key = ("src", digest)
         elif program is not None:
             digest = ""  # no stable digest exists for an object compile
@@ -350,14 +387,24 @@ class Engine:
         """Parse *source* through the compile memo."""
         return self.compile(source).program
 
+    def holds(self, source_digest: str) -> bool:
+        """Whether this engine currently holds a compiled program for
+        *source_digest* -- a cache-locality probe (used by the serving
+        pool's warm-hit metric); never compiles anything."""
+        return ("src", source_digest) in self._compile_memo.data
+
     # -- protocol service -----------------------------------------------
-    def analyze(self, request: AnalyzeRequest) -> AnalyzeResponse:
-        return self.compile(request.source).analyze(
+    def analyze(
+        self, request: AnalyzeRequest, digest: Optional[str] = None
+    ) -> AnalyzeResponse:
+        return self.compile(request.source, digest=digest).analyze(
             request.loop, **request.options
         )
 
-    def execute(self, request: ExecuteRequest) -> ExecuteResponse:
-        compiled = self.compile(request.source)
+    def execute(
+        self, request: ExecuteRequest, digest: Optional[str] = None
+    ) -> ExecuteResponse:
+        compiled = self.compile(request.source, digest=digest)
         plan = compiled.plan(request.loop, **request.options)
         report = compiled.execute(
             request.loop,
@@ -373,12 +420,14 @@ class Engine:
             report, plan.classification(), compiled.digest
         )
 
-    def serve(self, request):
-        """Dispatch one request of either kind."""
+    def serve(self, request, digest: Optional[str] = None):
+        """Dispatch one request of either kind.  *digest*, when given,
+        must be the source digest of *request* (trusted fast path for
+        the serving pool, which already routed by it)."""
         if isinstance(request, AnalyzeRequest):
-            return self.analyze(request)
+            return self.analyze(request, digest=digest)
         if isinstance(request, ExecuteRequest):
-            return self.execute(request)
+            return self.execute(request, digest=digest)
         raise TypeError(f"not a protocol request: {request!r}")
 
     # -- concurrency ----------------------------------------------------
@@ -412,6 +461,16 @@ class Engine:
             path.unlink()
             removed += 1
         return removed
+
+    def close(self) -> None:
+        """Retire this engine: drop its compiled programs and release
+        its global cache-registry entry so the engine (and everything
+        its memo pins) can be garbage-collected.  A closed engine still
+        works -- it just no longer appears in ``cache_stats()`` / gets
+        reset by ``clear_caches()``.  Long-lived embedders that create
+        engines routinely (the serving pool does) must call this."""
+        self._compile_memo.clear()
+        unregister_cache(self._compile_memo)
 
 
 def default_engine() -> Engine:

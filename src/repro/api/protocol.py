@@ -27,12 +27,18 @@ from typing import Optional, Union
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MAX_REQUEST_BYTES",
+    "ERROR_CODES",
     "canonical_json",
+    "wire_json",
     "ArrayPlanSummary",
     "AnalyzeRequest",
     "AnalyzeResponse",
     "ExecuteRequest",
     "ExecuteResponse",
+    "ErrorResponse",
+    "StatsRequest",
+    "StatsResponse",
     "request_from_json",
     "response_from_json",
 ]
@@ -47,13 +53,46 @@ __all__ = [
 #: legitimately differ across environments -- fallbacks, CPU counts);
 #: real wall-clock time is never reproducible and therefore stays off
 #: the wire, on ExecutionReport.
-PROTOCOL_VERSION = 2
+#: v3: network serving -- a ``stats`` verb (:class:`StatsRequest` /
+#: :class:`StatsResponse`) and a typed :class:`ErrorResponse` the server
+#: returns instead of dropping connections; a v2 reader would reject
+#: both kinds, so the version moves.
+PROTOCOL_VERSION = 3
+
+#: Default upper bound on one serialized request document (the serving
+#: layer's admission control rejects larger payloads with a
+#: ``too_large`` error instead of buffering without bound).  Also the
+#: bound on per-request admission cost: decode + digest of a line this
+#: size is ~a millisecond of event-loop time, so one large request
+#: cannot stall unrelated connections for long.
+MAX_REQUEST_BYTES = 1024 * 1024
+
+#: The closed set of :class:`ErrorResponse` codes.  ``overloaded`` is
+#: the only retryable-by-construction code (admission control shed the
+#: request before any work happened).
+ERROR_CODES = frozenset({
+    "malformed",        # not JSON, or not a JSON object
+    "unsupported_version",
+    "unknown_verb",     # unrecognized "kind" tag
+    "bad_request",      # well-formed but unservable (bad loop, bad field)
+    "too_large",        # request exceeds the size budget
+    "overloaded",       # shed by admission control; retry later
+    "internal",         # unexpected server-side failure
+})
 
 
 def canonical_json(payload: dict) -> str:
     """The one true serialization (sorted keys, indent=1) -- the form the
     byte-identity contract and the disk cache are defined over."""
     return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def wire_json(payload: dict) -> str:
+    """Single-line serialization for the JSON-lines transport (sorted
+    keys, compact separators, no embedded newlines).  Semantically the
+    same document as :func:`canonical_json`; the byte-identity contract
+    stays defined over the canonical form."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def _check_version(payload: dict, what: str) -> None:
@@ -63,6 +102,28 @@ def _check_version(payload: dict, what: str) -> None:
             f"{what}: unsupported protocol version {version!r} "
             f"(this reader speaks {PROTOCOL_VERSION})"
         )
+
+
+def _check_str(payload: dict, field_name: str, what: str) -> str:
+    value = payload[field_name]
+    if not isinstance(value, str):
+        raise ValueError(
+            f"{what}: {field_name!r} must be a string "
+            f"(got {type(value).__name__})"
+        )
+    return value
+
+
+def _check_obj(payload: dict, field_name: str, what: str) -> dict:
+    value = payload.get(field_name)
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise ValueError(
+            f"{what}: {field_name!r} must be a JSON object "
+            f"(got {type(value).__name__})"
+        )
+    return value
 
 
 # -- requests ----------------------------------------------------------------
@@ -95,9 +156,9 @@ class AnalyzeRequest:
     def from_json(cls, payload: dict) -> "AnalyzeRequest":
         _check_version(payload, "AnalyzeRequest")
         return cls(
-            source=payload["source"],
-            loop=payload["loop"],
-            options=dict(payload.get("options", {})),
+            source=_check_str(payload, "source", "AnalyzeRequest"),
+            loop=_check_str(payload, "loop", "AnalyzeRequest"),
+            options=dict(_check_obj(payload, "options", "AnalyzeRequest")),
         )
 
     def canonical_text(self) -> str:
@@ -150,25 +211,62 @@ class ExecuteRequest:
     @classmethod
     def from_json(cls, payload: dict) -> "ExecuteRequest":
         _check_version(payload, "ExecuteRequest")
+        what = "ExecuteRequest"
+        arrays = {}
+        for name, values in _check_obj(payload, "arrays", what).items():
+            if not isinstance(values, list):
+                raise ValueError(
+                    f"{what}: array {name!r} must be a list "
+                    f"(got {type(values).__name__})"
+                )
+            arrays[name] = list(values)
         chunk = payload.get("chunk")
+        if chunk is not None and not isinstance(chunk, dict):
+            raise ValueError(
+                f"{what}: 'chunk' must be a JSON object or null "
+                f"(got {type(chunk).__name__})"
+            )
         return cls(
-            source=payload["source"],
-            loop=payload["loop"],
-            params=dict(payload.get("params", {})),
-            arrays={k: list(v) for k, v in payload.get("arrays", {}).items()},
+            source=_check_str(payload, "source", what),
+            loop=_check_str(payload, "loop", what),
+            params=dict(_check_obj(payload, "params", what)),
+            arrays=arrays,
             exact_strategy=payload.get("exact_strategy", "inspector"),
             backend=payload.get("backend"),
             jobs=payload.get("jobs"),
             chunk=dict(chunk) if chunk is not None else None,
-            options=dict(payload.get("options", {})),
+            options=dict(_check_obj(payload, "options", what)),
         )
 
     def canonical_text(self) -> str:
         return canonical_json(self.to_json())
 
 
-#: Either request type (what :meth:`repro.api.Engine.serve` accepts).
-Request = Union[AnalyzeRequest, ExecuteRequest]
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask a serving endpoint for its observability snapshot.
+
+    Engines themselves hold no counters; the server
+    (:mod:`repro.server`) answers from its metrics registry.
+    """
+
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {"kind": "stats", "version": self.version}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "StatsRequest":
+        _check_version(payload, "StatsRequest")
+        return cls()
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+#: Either request type (what :meth:`repro.api.Engine.serve` accepts,
+#: plus the serving layer's ``stats`` verb).
+Request = Union[AnalyzeRequest, ExecuteRequest, StatsRequest]
 
 
 def request_from_json(payload: dict) -> Request:
@@ -178,6 +276,8 @@ def request_from_json(payload: dict) -> Request:
         return AnalyzeRequest.from_json(payload)
     if kind == "execute":
         return ExecuteRequest.from_json(payload)
+    if kind == "stats":
+        return StatsRequest.from_json(payload)
     raise ValueError(f"unknown request kind {kind!r}")
 
 
@@ -476,8 +576,92 @@ class ExecuteResponse:
         return canonical_json(self.to_json())
 
 
-#: Either response type (what :meth:`repro.api.Engine.serve` returns).
-Response = Union[AnalyzeResponse, ExecuteResponse]
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A structured failure document: the serving layer's answer to any
+    request it cannot serve (never a traceback, never a silently closed
+    connection).
+
+    ``code`` is drawn from :data:`ERROR_CODES` for servers of this
+    protocol version; clients must *tolerate* codes outside that set (a
+    newer server may add one), treating them like ``internal`` unless
+    ``retryable`` says otherwise.  ``retryable`` tells the client
+    whether the identical request may succeed later (true exactly for
+    load-shedding).  ``message`` is human-oriented detail and makes no
+    stability promise beyond being a string.
+    """
+
+    code: str
+    message: str = ""
+    retryable: bool = False
+    version: int = PROTOCOL_VERSION
+
+    def __post_init__(self):
+        # only shape is enforced here -- the closed set would make a
+        # newer server's error document undecodable by older clients
+        if not isinstance(self.code, str) or not self.code:
+            raise ValueError(
+                f"error code must be a non-empty string (got {self.code!r})"
+            )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "error",
+            "version": self.version,
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ErrorResponse":
+        # deliberately NO version check: a version-skewed client must be
+        # able to decode the very error document telling it about the
+        # skew.  The foreign version is preserved so re-serialization
+        # stays byte-identical.
+        return cls(
+            code=payload["code"],
+            message=payload.get("message", ""),
+            retryable=payload.get("retryable", False),
+            version=payload.get("version", PROTOCOL_VERSION),
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """A serving endpoint's observability snapshot.
+
+    ``stats`` is the metrics document of
+    :meth:`repro.server.ServerMetrics.snapshot`; its key set is pinned
+    there (and by the server tests), not here -- the protocol only
+    promises a JSON object.
+    """
+
+    stats: dict
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "stats",
+            "version": self.version,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "StatsResponse":
+        _check_version(payload, "StatsResponse")
+        return cls(stats=dict(payload.get("stats", {})))
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+#: Either response type (what :meth:`repro.api.Engine.serve` returns,
+#: plus the serving layer's ``stats`` and ``error`` documents).
+Response = Union[AnalyzeResponse, ExecuteResponse, StatsResponse, ErrorResponse]
 
 
 def response_from_json(payload: dict) -> Response:
@@ -487,4 +671,8 @@ def response_from_json(payload: dict) -> Response:
         return AnalyzeResponse.from_json(payload)
     if kind == "execute":
         return ExecuteResponse.from_json(payload)
+    if kind == "stats":
+        return StatsResponse.from_json(payload)
+    if kind == "error":
+        return ErrorResponse.from_json(payload)
     raise ValueError(f"unknown response kind {kind!r}")

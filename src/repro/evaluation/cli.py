@@ -24,6 +24,11 @@ Usage::
 
     repro-eval analyze prog.loop --loop L1         # human-readable plan
     repro-eval analyze prog.loop --loop L1 --json  # AnalyzeResponse JSON
+    cat prog.loop | repro-eval analyze - --loop L1 # source on stdin
+
+    repro-eval serve --port 7070 --workers 4       # network serving
+    repro-eval loadgen --port 7070 --clients 8 --requests 200
+    repro-eval loadgen --bench                     # BENCH_serving.json
 
 (``python -m repro.evaluation ...`` is equivalent to ``repro-eval ...``.)
 """
@@ -317,6 +322,246 @@ def _bench_main(argv: list[str]) -> int:
     return 0 if doc["equivalence_ok"] else 1
 
 
+def _serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval serve",
+        description="Serve the analyze/execute protocol over TCP "
+        "(JSON lines: one request per line, one response per line, "
+        "responses in request order per connection).  SIGINT/SIGTERM "
+        "triggers a graceful shutdown that drains in-flight requests.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7070,
+        help="TCP port (default: 7070; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="engine pool width (default: 4)",
+    )
+    parser.add_argument(
+        "--sharding", choices=("digest", "shared"), default="digest",
+        help="pool discipline: per-worker engines routed by source "
+        "digest, or one shared engine round-robin (default: digest)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=128,
+        help="bounded per-worker queue depth (default: 128)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="global in-flight request budget; beyond it requests are "
+        "shed with a retryable 'overloaded' error (default: 256)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cache location (default: .repro-cache or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the persistent analyze-response cache",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.queue_depth < 1:
+        parser.error("--queue-depth must be >= 1")
+    if args.max_inflight < 1:
+        parser.error("--max-inflight must be >= 1")
+
+    import asyncio
+    import signal
+
+    from ..api import EngineConfig
+    from ..server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        sharding=args.sharding,
+        queue_depth=args.queue_depth,
+        max_inflight=args.max_inflight,
+        engine_config=EngineConfig(
+            cache_dir=args.cache_dir, use_disk_cache=not args.no_cache
+        ),
+    )
+
+    async def _run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def _request_stop() -> None:
+            asyncio.ensure_future(server.stop())
+
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, _request_stop)
+        except NotImplementedError:
+            pass  # non-Unix event loop: rely on KeyboardInterrupt
+        print(
+            f"repro-serve: listening on {server.host}:{server.port} "
+            f"(workers={args.workers}, sharding={args.sharding})",
+            flush=True,
+        )
+        await server.serve_forever()
+        snapshot = server.metrics.snapshot()
+        print(
+            f"repro-serve: shut down cleanly after "
+            f"{snapshot['completed']} request(s) "
+            f"(shed={snapshot['shed']}, p95={snapshot['latency']['p95_s']}s)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _loadgen_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval loadgen",
+        description="Drive a running repro-eval server with a seeded "
+        "workload mix and report throughput/latency -- or, with "
+        "--bench, self-host servers and write the BENCH_serving.json "
+        "sharded-vs-shared trajectory document.",
+    )
+    parser.add_argument(
+        "--host", default=None,
+        help="server host (default: 127.0.0.1; not valid with --bench)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="server port (default: 7070; not valid with --bench)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None,
+        help="concurrent connections (default: 8; with --bench use "
+        "--levels instead)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200,
+        help="total requests across all clients (default: 200)",
+    )
+    parser.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed loop (one in-flight per client) or open loop "
+        "(fixed arrival rate) (default: closed)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="total offered requests/second (open-loop mode only)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload-mix seed (default: 0)",
+    )
+    parser.add_argument(
+        "--analyze-fraction", type=float, default=0.9,
+        help="fraction of analyze (vs execute) requests (default: 0.9)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as a canonical JSON document",
+    )
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="self-hosted serving benchmark: sweep concurrency levels "
+        "against sharded and shared pools, write BENCH_serving.json",
+    )
+    parser.add_argument(
+        "--levels", default="4,16,32", metavar="CSV",
+        help="--bench concurrency levels (default: 4,16,32)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="--bench pool width (default: 4)",
+    )
+    parser.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="--bench output directory for BENCH_serving.json (default: .)",
+    )
+    args = parser.parse_args(argv)
+    if args.clients is not None and args.clients < 1:
+        parser.error("--clients must be >= 1")
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.mode == "open" and (args.rate is None or args.rate <= 0):
+        parser.error("--mode open needs a positive --rate")
+    if not 0.0 <= args.analyze_fraction <= 1.0:
+        parser.error("--analyze-fraction must be within [0, 1]")
+
+    from ..api import canonical_json
+    from ..server import format_serving, run_load, run_serving_bench, write_serving_bench
+
+    if args.bench:
+        # the bench self-hosts its servers and always runs closed-loop;
+        # flags that only make sense against an external server are a
+        # user error, not something to silently ignore
+        if args.host is not None or args.port is not None:
+            parser.error("--bench self-hosts its servers; drop --host/--port")
+        if args.mode != "closed" or args.rate is not None:
+            parser.error("--bench always runs closed-loop; drop --mode/--rate")
+        if args.clients is not None:
+            parser.error("--bench sweeps --levels; drop --clients")
+        try:
+            levels = tuple(
+                int(piece) for piece in args.levels.split(",") if piece.strip()
+            )
+        except ValueError:
+            parser.error(f"--levels must be a CSV of integers (got {args.levels!r})")
+        if not levels or any(level < 1 for level in levels):
+            parser.error("--levels needs positive integers")
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        doc = run_serving_bench(
+            levels=levels,
+            requests_per_level=args.requests,
+            workers=args.workers,
+            seed=args.seed,
+            analyze_fraction=args.analyze_fraction,
+        )
+        path = write_serving_bench(doc, args.out)
+        if args.json:
+            print(canonical_json(doc))
+        else:
+            print(format_serving(doc))
+            print(f"wrote {path}")
+        return 0 if doc["sharded_wins"] else 1
+
+    summary = run_load(
+        args.host if args.host is not None else "127.0.0.1",
+        args.port if args.port is not None else 7070,
+        clients=args.clients if args.clients is not None else 8,
+        requests=args.requests,
+        mode=args.mode,
+        rate=args.rate,
+        seed=args.seed,
+        analyze_fraction=args.analyze_fraction,
+    )
+    if args.json:
+        print(canonical_json(summary))
+    else:
+        latency = summary["latency"]
+        print(
+            f"loadgen: {summary['completed']}/{summary['requests']} ok, "
+            f"{summary['errors']} error(s) ({summary['shed']} shed), "
+            f"{summary['throughput_rps']} req/s over {summary['wall_s']}s"
+        )
+        print(
+            f"latency: p50 {latency['p50_s']}s  p95 {latency['p95_s']}s  "
+            f"p99 {latency['p99_s']}s  max {latency['max_s']}s"
+        )
+        for failure in summary["failures"]:
+            print(f"transport failure: {failure}")
+    return 0 if summary["errors"] == 0 and not summary["failures"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "batch":
@@ -327,20 +572,26 @@ def main(argv: list[str] | None = None) -> int:
         return _analyze_main(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return _loadgen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eval",
         description="Regenerate the paper's tables and figures "
         "(or 'batch' to analyze the whole suite concurrently, "
         "'fuzz' to differential-fuzz the pipeline, "
         "'analyze' for a machine-readable single-loop analysis, "
-        "'bench' to measure the execution backends for real).",
+        "'bench' to measure the execution backends for real, "
+        "'serve' to put the protocol on a TCP port, "
+        "'loadgen' to drive a server under load).",
     )
     parser.add_argument(
         "artifacts",
         nargs="+",
         choices=sorted(_TABLES) + sorted(FIGURES) + ["all"],
         help="which artifacts to regenerate (or the "
-        "'batch'/'fuzz'/'analyze'/'bench' subcommands)",
+        "'batch'/'fuzz'/'analyze'/'bench'/'serve'/'loadgen' subcommands)",
     )
     parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
     args = parser.parse_args(argv)

@@ -1,0 +1,81 @@
+"""repro.server: the network serving subsystem.
+
+Puts the :mod:`repro.api` protocol on a socket and keeps it healthy
+under concurrent load.  The layering mirrors the paper's
+inspector/executor split -- a cheap admission/dispatch front and a
+heavy analysis back end:
+
+* :class:`ReproServer` (``server.py``) -- asyncio JSON-lines-over-TCP:
+  one request per line, one response per line, responses in request
+  order per connection, typed error documents for everything that goes
+  wrong, graceful shutdown;
+* :class:`EnginePool` (``pool.py``) -- N worker threads, each owning an
+  :class:`~repro.api.Engine`; requests routed by source digest on a
+  consistent-hash ring for cache locality;
+* :class:`Dispatcher` (``dispatch.py``) -- admission control: a global
+  max-in-flight budget, bounded per-worker queues with typed
+  ``overloaded`` shedding, and in-flight coalescing of identical
+  analyze work;
+* :class:`ServerMetrics` (``metrics.py``) -- counters + latency
+  histogram served through the protocol's ``stats`` verb;
+* :class:`ServerClient` (``client.py``) -- a small blocking client;
+* :mod:`repro.server.loadgen` -- open-/closed-loop load generation and
+  the ``BENCH_serving.json`` sharded-vs-shared benchmark.
+
+Quickstart::
+
+    repro-eval serve --port 7070 --workers 4          # terminal 1
+    repro-eval loadgen --port 7070 --clients 8 --requests 200
+
+or in-process::
+
+    from repro.server import ServerThread, ServerClient
+    from repro.api import AnalyzeRequest
+
+    hosted = ServerThread(workers=4).start()
+    host, port = hosted.address
+    with ServerClient(host, port) as client:
+        response = client.call(AnalyzeRequest(source=SOURCE, loop="my_loop"))
+        print(client.stats().stats["latency"])
+    hosted.stop()
+
+See ``docs/SERVER.md`` for the architecture and wire examples.
+"""
+
+from .client import ServerClient
+from .dispatch import Dispatcher
+from .loadgen import (
+    SERVING_VERSION,
+    MixItem,
+    build_mix,
+    format_serving,
+    make_request,
+    run_load,
+    run_serving_bench,
+    serving_path,
+    write_serving_bench,
+)
+from .metrics import LatencyHistogram, ServerMetrics
+from .pool import EnginePool, PoolClosed, consistent_ring
+from .server import ReproServer, ServerThread
+
+__all__ = [
+    "ReproServer",
+    "ServerThread",
+    "ServerClient",
+    "EnginePool",
+    "PoolClosed",
+    "consistent_ring",
+    "Dispatcher",
+    "ServerMetrics",
+    "LatencyHistogram",
+    "SERVING_VERSION",
+    "MixItem",
+    "build_mix",
+    "make_request",
+    "run_load",
+    "run_serving_bench",
+    "write_serving_bench",
+    "format_serving",
+    "serving_path",
+]

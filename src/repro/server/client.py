@@ -1,0 +1,84 @@
+"""A small blocking client for the JSON-lines protocol.
+
+Used by the load generator, the CLI's loadgen subcommand and the
+integration tests.  One instance owns one connection; because the
+server answers **in request order per connection**, pipelined use is
+just "N sends, then N receives".
+
+``send_line`` transmits raw bytes verbatim -- that is how the error-
+path tests deliver deliberately malformed payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+from ..api import (
+    StatsRequest,
+    StatsResponse,
+    response_from_json,
+    wire_json,
+)
+
+__all__ = ["ServerClient"]
+
+
+class ServerClient:
+    """One blocking connection to a :class:`~repro.server.ReproServer`."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = self.sock.makefile("rb")
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport ------------------------------------------------------
+    def send(self, request) -> None:
+        """Serialize and send one protocol request (no wait)."""
+        self.send_line(wire_json(request.to_json()))
+
+    def send_line(self, text: str) -> None:
+        """Send one raw line verbatim (appends the newline)."""
+        self.sock.sendall(text.encode() + b"\n")
+
+    def recv(self):
+        """Block for the next response document (typed)."""
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return response_from_json(json.loads(line))
+
+    def recv_raw(self) -> dict:
+        """Block for the next response as a plain JSON object."""
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # -- conveniences ---------------------------------------------------
+    def call(self, request):
+        """One request/response round trip."""
+        self.send(request)
+        return self.recv()
+
+    def stats(self) -> StatsResponse:
+        """The server's observability snapshot (the ``stats`` verb)."""
+        return self.call(StatsRequest())
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,220 @@
+"""Admission control and in-flight coalescing in front of the pool.
+
+The dispatcher is the server's cheap half: it never parses, plans or
+executes anything.  For each admitted request it
+
+* enforces a global **max-in-flight budget** and the per-worker
+  **bounded queues** (both violations shed the request with a typed,
+  retryable ``overloaded`` error -- the server degrades by answering
+  fast, not by buffering without bound);
+* **coalesces** identical in-flight analyze work: all concurrently
+  arriving analyze requests for the same (digest, loop, options) ride
+  one compile/plan on the owning shard and fan the single response out
+  -- micro-batching by content rather than by time window, so an
+  uncontended request never waits for a batch to fill;
+* maps every failure onto the typed error schema
+  (:class:`~repro.api.protocol.ErrorResponse`) -- a future returned by
+  :meth:`Dispatcher.submit` *always* resolves to a protocol response,
+  never raises.
+
+Futures are :class:`concurrent.futures.Future` so the asyncio server
+(``asyncio.wrap_future``) and plain threaded clients (the load
+generator's in-process mode, the tests) can both consume them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Optional
+
+from ..api import AnalyzeRequest, ErrorResponse, ExecuteRequest, JsonDiskCache
+from .metrics import ServerMetrics
+from .pool import EnginePool, PoolClosed
+
+__all__ = ["Dispatcher"]
+
+#: Exception types that mean "your request, not the server, is wrong".
+_BAD_REQUEST_ERRORS = (KeyError, ValueError, TypeError, SyntaxError)
+
+
+def _analysis_key(digest: str, request: AnalyzeRequest) -> tuple:
+    """Identity of one unit of analyze work: everything that can change
+    the response (mirrors the engine's own cache key)."""
+    options = tuple(
+        (name, repr(value)) for name, value in sorted(request.options.items())
+    )
+    return (digest, request.loop, options)
+
+
+class Dispatcher:
+    """Admission control + coalescing between the server and the pool."""
+
+    def __init__(
+        self,
+        pool: EnginePool,
+        metrics: Optional[ServerMetrics] = None,
+        max_inflight: int = 256,
+    ):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1 (got {max_inflight})")
+        self.pool = pool
+        self.metrics = metrics or pool.metrics
+        self.max_inflight = max_inflight
+        # reentrant: a pool future that completes before its done-
+        # callback is attached runs that callback synchronously on this
+        # thread, inside the admission critical section
+        self._lock = threading.RLock()
+        self._inflight = 0
+        #: analysis key -> the primary in-flight pool future
+        self._inflight_analyze: dict = {}
+
+    # -- public ---------------------------------------------------------
+    def submit(self, request) -> Future:
+        """Admit one analyze/execute request.  The returned future
+        always resolves to a protocol response document (a result
+        response or a typed :class:`ErrorResponse`)."""
+        started = time.monotonic()
+        self.metrics.request_admitted()
+        outer: Future = Future()
+        if not isinstance(request, (AnalyzeRequest, ExecuteRequest)):
+            self._finish(
+                outer, started,
+                ErrorResponse("bad_request",
+                              f"not a servable request: {type(request).__name__}"),
+                code="bad_request", timed=False,
+            )
+            return outer
+        # shed BEFORE hashing: under overload the reject path must be
+        # O(1), not O(len(source)) of event-loop time per rejection
+        # (_admit re-checks under the lock; this unlocked read can only
+        # be momentarily stale)
+        if self._inflight >= self.max_inflight:
+            self.metrics.shed()
+            self._finish(
+                outer, started,
+                ErrorResponse("overloaded",
+                              f"server at max in-flight ({self.max_inflight}); "
+                              "retry later", retryable=True),
+                timed=False,
+            )
+            return outer
+        digest = JsonDiskCache.digest(request.source)
+
+        if isinstance(request, AnalyzeRequest):
+            key = _analysis_key(digest, request)
+            with self._lock:
+                primary = self._inflight_analyze.get(key)
+                if primary is not None:
+                    # ride the in-flight computation: no budget charge,
+                    # no queue slot -- this request adds zero work
+                    self.metrics.coalesced()
+                    primary.add_done_callback(
+                        lambda inner: self._finish_from(outer, started, inner)
+                    )
+                    return outer
+                inner = self._admit(digest, request, started, outer)
+                if inner is not None:
+                    self._inflight_analyze[key] = inner
+                    inner.add_done_callback(
+                        lambda _done, key=key: self._forget(key)
+                    )
+            return outer
+
+        with self._lock:
+            self._admit(digest, request, started, outer)
+        return outer
+
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    # -- internals ------------------------------------------------------
+    def _admit(self, digest, request, started, outer) -> Optional[Future]:
+        """Budget-check and enqueue (caller holds the lock).  Returns
+        the pool-side future, or None when the request was shed."""
+        if self._inflight >= self.max_inflight:
+            self.metrics.shed()
+            self._finish(
+                outer, started,
+                ErrorResponse("overloaded",
+                              f"server at max in-flight ({self.max_inflight}); "
+                              "retry later", retryable=True),
+                timed=False,
+            )
+            return None
+        shard = self.pool.shard_for(digest)
+        inner: Future = Future()
+        try:
+            self.pool.submit(shard, digest, request, inner)
+        except queue.Full:
+            self.metrics.shed()
+            self._finish(
+                outer, started,
+                ErrorResponse("overloaded",
+                              f"worker {shard} queue full; retry later",
+                              retryable=True),
+                timed=False,
+            )
+            return None
+        except PoolClosed:
+            self.metrics.shed()
+            self._finish(
+                outer, started,
+                ErrorResponse("overloaded", "server shutting down",
+                              retryable=True),
+                timed=False,
+            )
+            return None
+        self._inflight += 1
+        inner.add_done_callback(
+            lambda done: self._finish_from(outer, started, done, charged=True)
+        )
+        return inner
+
+    def _forget(self, key) -> None:
+        with self._lock:
+            self._inflight_analyze.pop(key, None)
+
+    def _finish_from(self, outer, started, inner, charged=False) -> None:
+        """Resolve *outer* from the completed pool future *inner*."""
+        if charged:
+            with self._lock:
+                self._inflight -= 1
+        try:
+            response = inner.result()
+            code = None
+        except PoolClosed:
+            response = ErrorResponse(
+                "overloaded", "server shut down before serving",
+                retryable=True)
+            code = "overloaded"
+        except _BAD_REQUEST_ERRORS as exc:
+            response = ErrorResponse(
+                "bad_request", str(exc.args[0] if exc.args else exc))
+            code = "bad_request"
+        except Exception as exc:  # noqa: BLE001 -- typed wire error, never a traceback
+            response = ErrorResponse(
+                "internal", f"{type(exc).__name__}: {exc}")
+            code = "internal"
+        self._finish(outer, started, response, code=code)
+
+    def _finish(
+        self, outer, started, response,
+        code: Optional[str] = None, timed: bool = True,
+    ) -> None:
+        if code is not None:
+            self.metrics.error(code)
+        # shed/rejected fast paths (timed=False) complete in
+        # microseconds and would drag the latency percentiles down
+        # exactly when the server is overloaded -- the histogram only
+        # measures requests that reached the pool
+        self.metrics.request_completed(
+            time.monotonic() - started if timed else None
+        )
+        # the consumer may have cancelled the wrapped future (connection
+        # torn down mid-flight); the response is then simply dropped
+        if outer.set_running_or_notify_cancel():
+            outer.set_result(response)

@@ -1,0 +1,469 @@
+"""Load generation and the serving benchmark (``BENCH_serving.json``).
+
+Two client disciplines over a **seeded, deterministic workload mix**
+(bench workloads + fuzz-generated programs, analyze-heavy by default):
+
+* **closed loop** -- each of C clients keeps exactly one request in
+  flight (send, wait, repeat): measures the server's capacity at a
+  fixed concurrency level;
+* **open loop** -- each client sends at a fixed rate regardless of
+  responses (the arrival process of independent users): measures how
+  latency degrades when offered load, not concurrency, is the control
+  variable.
+
+:func:`run_serving_bench` is the self-hosted A/B: for each concurrency
+level it drives the same closed-loop mix against two pool disciplines
+-- ``sharded`` (N workers, each owning an engine, digest-routed) and
+``shared`` (N workers serving one engine round-robin) -- with an
+engine compile cache deliberately smaller than the program working
+set.  A single shared engine cannot hold the working set and thrashes;
+the sharded pool partitions it (aggregate cache = N x per-engine
+cache) so nearly every request is a warm hit.  The resulting
+``BENCH_serving.json`` (throughput + latency percentiles per level,
+schema pinned by ``tools/check_bench_schema.py``) is the serving-side
+performance trajectory.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..api import (
+    AnalyzeRequest,
+    EngineConfig,
+    ErrorResponse,
+    ExecuteRequest,
+    canonical_json,
+)
+from ..evaluation.bench import BENCH_SUITES
+from ..fuzz import generate_case
+from ..fuzz.generator import GeneratorConfig
+from .client import ServerClient
+from .server import ServerThread
+
+__all__ = [
+    "SERVING_VERSION",
+    "MixItem",
+    "build_mix",
+    "make_request",
+    "run_load",
+    "run_serving_bench",
+    "write_serving_bench",
+    "format_serving",
+    "serving_path",
+]
+
+#: Bump on any change to the BENCH_serving.json document shape.
+SERVING_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MixItem:
+    """One program of the workload mix, with ready-to-run inputs."""
+
+    source: str
+    loop: str
+    params: dict
+    arrays: dict
+    #: per-request analyzer knob overrides (the fuzz programs run with
+    #: the oracle's size/work caps so no single analysis can stall the
+    #: latency measurement)
+    options: dict = field(default_factory=dict)
+
+
+#: Generator knobs for the load mix: the full feature weights of the
+#: fuzz grammar, but small bodies -- the serving benchmark measures the
+#: cache discipline, not worst-case analysis time.
+_MIX_GENERATOR = GeneratorConfig(max_body_stmts=3)
+
+#: Analyzer caps for the generated programs (mirrors the fuzz oracle).
+_MIX_OPTIONS = {"size_cap": 3_000, "work_cap": 4_000}
+
+
+def build_mix(
+    seed: int = 0,
+    programs: int = 16,
+    include_workloads: bool = True,
+    generator: Optional[GeneratorConfig] = None,
+) -> list:
+    """A deterministic list of *programs* distinct programs: the bench
+    smoke workloads (unless *include_workloads* is off) plus
+    fuzz-generated loop programs whose in-bounds guarantee makes them
+    safe to execute."""
+    if programs < 1:
+        raise ValueError(f"programs must be >= 1 (got {programs})")
+    items = []
+    if include_workloads:
+        for workload in BENCH_SUITES["smoke"]():
+            items.append(MixItem(
+                source=workload.source, loop=workload.loop,
+                params=dict(workload.params), arrays=workload.arrays(),
+            ))
+    fuzz_seed = seed * 100_000
+    while len(items) < programs:
+        case = generate_case(fuzz_seed, generator or _MIX_GENERATOR)
+        fuzz_seed += 1
+        items.append(MixItem(
+            source=case.source, loop=case.label,
+            params=dict(case.params), arrays=dict(case.arrays),
+            options=dict(_MIX_OPTIONS),
+        ))
+    return items[:programs]
+
+
+def make_request(rng: random.Random, mix: list, analyze_fraction: float):
+    """Draw one request from the mix (analyze or execute)."""
+    item = mix[rng.randrange(len(mix))]
+    if rng.random() < analyze_fraction:
+        return AnalyzeRequest(
+            source=item.source, loop=item.loop, options=item.options
+        )
+    return ExecuteRequest(
+        source=item.source, loop=item.loop,
+        params=item.params, arrays=item.arrays, options=item.options,
+    )
+
+
+class _ClientStats:
+    """Per-client tallies, merged after the run."""
+
+    __slots__ = ("latencies", "completed", "errors", "shed", "failures")
+
+    def __init__(self):
+        self.latencies: list = []
+        self.completed = 0
+        self.errors = 0
+        self.shed = 0
+        self.failures: list = []  # transport-level problems (bug territory)
+
+    def record(self, response, latency_s: float) -> None:
+        if isinstance(response, ErrorResponse):
+            self.errors += 1
+            if response.code == "overloaded":
+                self.shed += 1
+        else:
+            # same convention as the server's own histogram: shed/error
+            # answers arrive in microseconds and would overstate
+            # capacity exactly when the server is overloaded, so only
+            # served requests count toward latency and throughput
+            self.completed += 1
+            self.latencies.append(latency_s)
+
+
+def _closed_loop(host, port, count, seed, mix, analyze_fraction, timeout):
+    stats = _ClientStats()
+    rng = random.Random(seed)
+    try:
+        with ServerClient(host, port, timeout=timeout) as client:
+            for _ in range(count):
+                request = make_request(rng, mix, analyze_fraction)
+                started = time.monotonic()
+                response = client.call(request)
+                stats.record(response, time.monotonic() - started)
+    except (ConnectionError, OSError, ValueError) as exc:
+        # ValueError: the peer is not speaking the protocol (wrong
+        # port, version-skewed response) -- a transport-level failure
+        # from the load generator's point of view
+        stats.failures.append(f"{type(exc).__name__}: {exc}")
+    return stats
+
+
+def _open_loop(host, port, count, seed, mix, analyze_fraction, timeout, interval_s):
+    """One connection, sends on a fixed schedule, receives concurrently.
+    Responses arrive in request order, so latency correlation is a
+    FIFO of send timestamps."""
+    stats = _ClientStats()
+    rng = random.Random(seed)
+    sent_at: deque = deque()
+    sent_total = [0]  # monotone count of completed sends
+    send_error = []
+    sender_done = threading.Event()
+
+    try:
+        client = ServerClient(host, port, timeout=timeout)
+    except (ConnectionError, OSError) as exc:
+        stats.failures.append(f"{type(exc).__name__}: {exc}")
+        return stats
+
+    def sender():
+        next_at = time.monotonic()
+        try:
+            for _ in range(count):
+                delay = next_at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                request = make_request(rng, mix, analyze_fraction)
+                sent_at.append(time.monotonic())
+                client.send(request)
+                sent_total[0] += 1
+                next_at += interval_s
+        except (ConnectionError, OSError) as exc:
+            send_error.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            sender_done.set()
+
+    thread = threading.Thread(target=sender, daemon=True)
+    thread.start()
+    try:
+        received = 0
+        while received < count:
+            if sender_done.is_set() and send_error and received >= sent_total[0]:
+                break  # sender failed; every completed send is answered
+            response = client.recv()
+            stats.record(response, time.monotonic() - sent_at.popleft())
+            received += 1
+    except (ConnectionError, OSError, ValueError) as exc:
+        stats.failures.append(f"{type(exc).__name__}: {exc}")
+    finally:
+        thread.join(timeout=timeout)
+        client.close()
+    stats.failures.extend(send_error)
+    return stats
+
+
+def _percentile(sorted_values: list, q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, round(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = 8,
+    requests: int = 200,
+    mode: str = "closed",
+    rate: Optional[float] = None,
+    seed: int = 0,
+    mix: Optional[list] = None,
+    analyze_fraction: float = 0.9,
+    timeout: float = 120.0,
+) -> dict:
+    """Drive *requests* total requests from *clients* concurrent
+    connections and summarize throughput and latency.
+
+    ``mode="open"`` needs *rate* (total offered requests/second across
+    all clients).  The summary document is JSON-safe and schema-stable.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1 (got {clients})")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1 (got {requests})")
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open' (got {mode!r})")
+    if mode == "open" and (rate is None or rate <= 0):
+        raise ValueError("open-loop mode needs a positive --rate")
+    mix = mix or build_mix(seed)
+    per_client = [requests // clients] * clients
+    for i in range(requests % clients):
+        per_client[i] += 1
+    per_client = [n for n in per_client if n]
+
+    results: list = [None] * len(per_client)
+
+    def run_one(index: int, count: int) -> None:
+        client_seed = seed * 1_000_003 + index
+        try:
+            if mode == "closed":
+                results[index] = _closed_loop(
+                    host, port, count, client_seed, mix, analyze_fraction, timeout
+                )
+            else:
+                interval_s = len(per_client) / rate
+                results[index] = _open_loop(
+                    host, port, count, client_seed, mix, analyze_fraction,
+                    timeout, interval_s,
+                )
+        except Exception as exc:  # noqa: BLE001 -- a dead thread must still report
+            stats = _ClientStats()
+            stats.failures.append(f"{type(exc).__name__}: {exc}")
+            results[index] = stats
+
+    started = time.monotonic()
+    threads = [
+        threading.Thread(target=run_one, args=(i, n), daemon=True)
+        for i, n in enumerate(per_client)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.monotonic() - started
+
+    latencies = sorted(x for s in results for x in s.latencies)
+    completed = sum(s.completed for s in results)
+    errors = sum(s.errors for s in results)
+    shed = sum(s.shed for s in results)
+    failures = [f for s in results for f in s.failures]
+    answered = len(latencies)  # == completed: served requests only
+    return {
+        "analyze_fraction": analyze_fraction,
+        "clients": len(per_client),
+        "completed": completed,
+        "errors": errors,
+        "failures": failures,
+        "latency": {
+            "max_s": round(latencies[-1], 6) if latencies else 0.0,
+            "mean_s": round(sum(latencies) / answered, 6) if answered else 0.0,
+            "p50_s": round(_percentile(latencies, 0.50), 6),
+            "p95_s": round(_percentile(latencies, 0.95), 6),
+            "p99_s": round(_percentile(latencies, 0.99), 6),
+        },
+        "mode": mode,
+        "requests": requests,
+        "shed": shed,
+        "throughput_rps": round(answered / wall_s, 3) if wall_s > 0 else 0.0,
+        "wall_s": round(wall_s, 6),
+    }
+
+
+# -- the serving benchmark ---------------------------------------------------
+
+
+def run_serving_bench(
+    levels: tuple = (4, 16, 32),
+    requests_per_level: int = 600,
+    workers: int = 4,
+    seed: int = 0,
+    programs: int = 48,
+    analyze_fraction: float = 0.9,
+    compile_cache_size: int = 16,
+) -> dict:
+    """The sharded-vs-shared A/B at each concurrency level.
+
+    Both pool disciplines run the identical closed-loop mix; the
+    compile cache (per engine) is smaller than the program working set,
+    so the outcome measures exactly what digest sharding buys: the
+    sharded pool partitions the working set across N private caches
+    while the shared engine thrashes its single one.
+
+    The mix is fuzz-only with the grammar's full body sizes: analysis
+    is the dominant per-request cost (what the cache discipline
+    governs), and every program's execute stays tiny (trip counts <=
+    9), so tail latency measures caching rather than head-of-line
+    blocking behind long executions.
+    """
+    if not levels:
+        raise ValueError("need at least one concurrency level")
+    mix = build_mix(
+        seed, programs=programs, include_workloads=False,
+        generator=GeneratorConfig(),
+    )
+    engine_config = EngineConfig(
+        use_disk_cache=False, compile_cache_size=compile_cache_size
+    )
+    level_docs = [{"clients": int(c), "pools": {}} for c in sorted(levels)]
+    for discipline in ("sharded", "shared"):
+        hosted = ServerThread(
+            workers=workers,
+            sharding="digest" if discipline == "sharded" else "shared",
+            engine_config=engine_config,
+            queue_depth=4096,
+            max_inflight=8192,
+        ).start()
+        host, port = hosted.address
+        try:
+            # warm pass: every program analyzed twice, with the same
+            # knobs the traffic will carry, so steady-state levels
+            # measure the cache discipline, not first compiles
+            for _ in range(2):
+                with ServerClient(host, port) as client:
+                    for item in mix:
+                        client.call(AnalyzeRequest(
+                            source=item.source, loop=item.loop,
+                            options=item.options,
+                        ))
+            for level_doc in level_docs:
+                before = hosted.server.metrics.snapshot()
+                summary = run_load(
+                    host, port,
+                    clients=level_doc["clients"],
+                    requests=requests_per_level,
+                    mode="closed",
+                    seed=seed,
+                    mix=mix,
+                    analyze_fraction=analyze_fraction,
+                )
+                after = hosted.server.metrics.snapshot()
+                summary["warm_hits"] = after["warm_hits"] - before["warm_hits"]
+                summary["coalesced"] = after["coalesced"] - before["coalesced"]
+                level_doc["pools"][discipline] = summary
+        finally:
+            hosted.stop()
+    speedups = []
+    for level_doc in level_docs:
+        sharded = level_doc["pools"]["sharded"]["throughput_rps"]
+        shared = level_doc["pools"]["shared"]["throughput_rps"]
+        level_doc["speedup"] = round(sharded / shared, 3) if shared else None
+        if level_doc["speedup"] is not None:
+            speedups.append(level_doc["speedup"])
+    mean_speedup = round(sum(speedups) / len(speedups), 3) if speedups else None
+    return {
+        "analyze_fraction": analyze_fraction,
+        "compile_cache_size": compile_cache_size,
+        "levels": level_docs,
+        "mean_speedup": mean_speedup,
+        "mode": "closed",
+        "programs": programs,
+        "requests_per_level": requests_per_level,
+        "seed": seed,
+        "sharded_wins": bool(mean_speedup is not None and mean_speedup > 1.0),
+        "suite": "serving",
+        "version": SERVING_VERSION,
+        "workers": workers,
+    }
+
+
+def serving_path(directory: str = ".") -> Path:
+    return Path(directory) / "BENCH_serving.json"
+
+
+def write_serving_bench(doc: dict, directory: str = ".") -> Path:
+    """Serialize *doc* to BENCH_serving.json in canonical form."""
+    path = serving_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(doc) + "\n")
+    return path
+
+
+def format_serving(doc: dict) -> str:
+    """Human-readable summary of one serving-bench document."""
+    lines = [
+        f"serving bench: workers={doc['workers']} programs={doc['programs']} "
+        f"analyze={doc['analyze_fraction']:.0%} "
+        f"cache={doc['compile_cache_size']}/engine "
+        f"requests/level={doc['requests_per_level']}"
+    ]
+    header = (
+        f"{'clients':>7} {'pool':<8} {'rps':>9} {'p50_ms':>8} "
+        f"{'p95_ms':>8} {'p99_ms':>8} {'warm':>6} {'err':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for level in doc["levels"]:
+        for discipline in ("sharded", "shared"):
+            entry = level["pools"][discipline]
+            lat = entry["latency"]
+            lines.append(
+                f"{level['clients']:>7} {discipline:<8} "
+                f"{entry['throughput_rps']:>9.1f} "
+                f"{lat['p50_s'] * 1e3:>8.2f} {lat['p95_s'] * 1e3:>8.2f} "
+                f"{lat['p99_s'] * 1e3:>8.2f} {entry['warm_hits']:>6} "
+                f"{entry['errors']:>4}"
+            )
+        if level["speedup"] is not None:
+            lines.append(f"{'':>7} sharded/shared speedup: {level['speedup']:.3f}x")
+    verdict = "beats" if doc["sharded_wins"] else "does NOT beat"
+    lines.append(
+        f"digest-sharded pooling {verdict} the shared engine "
+        f"(mean speedup {doc['mean_speedup']})"
+    )
+    return "\n".join(lines)

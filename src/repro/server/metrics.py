@@ -1,0 +1,166 @@
+"""Serving observability: counters and a latency histogram.
+
+One :class:`ServerMetrics` instance is shared by the admission layer,
+the dispatcher and the engine pool.  Everything is guarded by a single
+lock -- the touched state is a handful of integers, so contention is
+negligible next to the work being measured -- and :meth:`snapshot`
+returns a *schema-stable* JSON-safe document: every counter (including
+every error code of :data:`repro.api.protocol.ERROR_CODES`) is always
+present, so ``stats`` responses diff cleanly across time and versions.
+
+Latency percentiles come from a fixed logarithmic bucket ladder rather
+than a reservoir of raw samples: memory stays constant under millions
+of requests and the reported p50/p95/p99 are each the upper edge of the
+bucket holding that quantile -- a guaranteed upper bound that
+overstates by at most one bucket ratio (~1.55x), which is the right
+trade for capacity planning.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..api.protocol import ERROR_CODES
+
+__all__ = ["LatencyHistogram", "ServerMetrics"]
+
+#: Histogram bucket upper bounds in seconds: 43 log-spaced edges from
+#: 10us to ~1000s (ratio ~1.55), plus a catch-all overflow bucket.
+_BUCKET_EDGES = tuple(1e-5 * (1.55 ** i) for i in range(43))
+
+#: Request verbs the serving layer counts (the protocol's "kind" tags).
+VERBS = ("analyze", "execute", "stats")
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency accounting with quantile upper bounds."""
+
+    __slots__ = ("counts", "overflow", "total", "sum_s", "max_s")
+
+    def __init__(self):
+        self.counts = [0] * len(_BUCKET_EDGES)
+        self.overflow = 0
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        self.total += 1
+        self.sum_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+        # linear scan is fine: 43 edges, and observe() sits next to a
+        # network round-trip
+        for i, edge in enumerate(_BUCKET_EDGES):
+            if seconds <= edge:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing quantile *q* (0 when the
+        histogram is empty)."""
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for i, edge in enumerate(_BUCKET_EDGES):
+            seen += self.counts[i]
+            if seen >= rank:
+                return edge
+        return self.max_s
+
+    def snapshot(self) -> dict:
+        mean = (self.sum_s / self.total) if self.total else 0.0
+        return {
+            "count": self.total,
+            "mean_s": round(mean, 6),
+            "p50_s": round(self.quantile(0.50), 6),
+            "p95_s": round(self.quantile(0.95), 6),
+            "p99_s": round(self.quantile(0.99), 6),
+            "max_s": round(self.max_s, 6),
+        }
+
+
+class ServerMetrics:
+    """Thread-safe counters + latency for one serving endpoint."""
+
+    def __init__(self, clock=time.monotonic):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self._requests = {verb: 0 for verb in VERBS}
+        self._completed = 0
+        self._errors = {code: 0 for code in sorted(ERROR_CODES)}
+        self._shed = 0
+        self._coalesced = 0
+        self._warm_hits = 0
+        self._inflight = 0
+        self._connections = 0
+        self._latency = LatencyHistogram()
+
+    # -- recording ------------------------------------------------------
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections -= 1
+
+    def request_received(self, verb: str) -> None:
+        with self._lock:
+            if verb in self._requests:
+                self._requests[verb] += 1
+
+    def request_admitted(self) -> None:
+        with self._lock:
+            self._inflight += 1
+
+    def request_completed(self, wall_s: Optional[float] = None) -> None:
+        with self._lock:
+            self._completed += 1
+            self._inflight = max(0, self._inflight - 1)
+            if wall_s is not None:
+                self._latency.observe(wall_s)
+
+    def error(self, code: str) -> None:
+        with self._lock:
+            if code in self._errors:
+                self._errors[code] += 1
+
+    def shed(self) -> None:
+        with self._lock:
+            self._shed += 1
+            self._errors["overloaded"] += 1
+
+    def coalesced(self) -> None:
+        with self._lock:
+            self._coalesced += 1
+
+    def warm_hit(self) -> None:
+        with self._lock:
+            self._warm_hits += 1
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The stats document served for the protocol's ``stats`` verb.
+
+        Key set is fixed (see the module docstring); only values vary.
+        """
+        with self._lock:
+            return {
+                "coalesced": self._coalesced,
+                "completed": self._completed,
+                "connections": self._connections,
+                "errors": dict(self._errors),
+                "inflight": self._inflight,
+                "latency": self._latency.snapshot(),
+                "requests": dict(self._requests),
+                "shed": self._shed,
+                "uptime_s": round(self._clock() - self._started, 3),
+                "warm_hits": self._warm_hits,
+            }

@@ -29,7 +29,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Optional
 
-__all__ = ["Memo", "Interner", "register_cache", "clear_caches", "cache_stats"]
+__all__ = [
+    "Memo", "Interner", "register_cache", "unregister_cache",
+    "clear_caches", "cache_stats",
+]
 
 #: Registry of every cache created in the package, by name.
 _REGISTRY: Dict[str, "Memo"] = {}
@@ -119,12 +122,22 @@ def register_cache(cache: Memo) -> Memo:
     return cache
 
 
+def unregister_cache(cache: Memo) -> None:
+    """Remove *cache* from the registry so it can be garbage-collected
+    (used by short-lived cache owners, e.g. a retired serving engine).
+    Only drops the exact instance registered under its name."""
+    if _REGISTRY.get(cache.name) is cache:
+        _REGISTRY.pop(cache.name, None)
+
+
 def clear_caches(names: Optional[Iterable[str]] = None) -> None:
     """Empty every registered cache (or just *names*), restoring the
     cold-start state.  Interning tables are cleared too; identity-based
     fast paths degrade gracefully because all comparisons still fall back
     to structural equality."""
-    for name, cache in _REGISTRY.items():
+    # snapshot: unregister_cache() may run concurrently (engine retire
+    # on a pool-shutdown thread) and must not break the iteration
+    for name, cache in list(_REGISTRY.items()):
         if names is None or name in names:
             cache.clear()
 

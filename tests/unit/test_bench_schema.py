@@ -113,3 +113,76 @@ def test_format_bench_summarizes(smoke_doc):
     text = format_bench(smoke_doc)
     assert "suite smoke" in text
     assert "equivalence: ok" in text
+
+
+# -- the serving trajectory (BENCH_serving.json) -----------------------------
+
+
+@pytest.fixture(scope="module")
+def serving_doc():
+    from repro.server import run_serving_bench
+
+    return run_serving_bench(
+        levels=(2, 4), requests_per_level=40, workers=2,
+        programs=6, compile_cache_size=2,
+    )
+
+
+def test_serving_doc_is_schema_valid(serving_doc):
+    from repro.server import SERVING_VERSION
+
+    assert CHECKER.validate_bench_doc(serving_doc) == []
+    assert CHECKER.validate_serving_doc(serving_doc) == []
+    assert serving_doc["version"] == SERVING_VERSION
+    assert [level["clients"] for level in serving_doc["levels"]] == [2, 4]
+
+
+def test_serving_doc_is_byte_stable(serving_doc, tmp_path):
+    from repro.server import write_serving_bench
+
+    path = write_serving_bench(serving_doc, str(tmp_path))
+    assert path.name == "BENCH_serving.json"
+    text = path.read_text()
+    assert canonical_json(json.loads(text)) + "\n" == text
+    assert CHECKER.check_file(path) == []
+
+
+def test_serving_checker_rejects_drift(serving_doc):
+    broken = json.loads(canonical_json(serving_doc))
+    broken["surprise"] = 1
+    assert any("surprise" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(serving_doc))
+    del broken["levels"][0]["pools"]["sharded"]["throughput_rps"]
+    assert CHECKER.validate_bench_doc(broken)
+    broken = json.loads(canonical_json(serving_doc))
+    broken["version"] = 999
+    assert any("version" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(serving_doc))
+    del broken["levels"][0]["pools"]["shared"]
+    assert any("pools" in e for e in CHECKER.validate_bench_doc(broken))
+
+
+def test_format_serving_summarizes(serving_doc):
+    from repro.server import format_serving
+
+    text = format_serving(serving_doc)
+    assert "serving bench" in text
+    assert "sharded" in text and "shared" in text
+
+
+def test_committed_serving_trajectory_is_valid():
+    committed = ROOT / "BENCH_serving.json"
+    assert committed.is_file(), (
+        "the BENCH_serving.json trajectory point must be committed "
+        "(regenerate with 'repro-eval loadgen --bench')"
+    )
+    assert CHECKER.check_file(committed) == []
+    payload = json.loads(committed.read_text())
+    assert payload["suite"] == "serving"
+    assert len(payload["levels"]) >= 3, "need >= 3 concurrency levels"
+    # the acceptance claim: digest-sharded pooling beats the shared
+    # engine on the warm-cache analyze-heavy mix
+    assert payload["sharded_wins"] is True
+    for level in payload["levels"]:
+        for entry in level["pools"].values():
+            assert entry["errors"] == 0 and not entry["failures"]

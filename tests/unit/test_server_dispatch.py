@@ -1,0 +1,221 @@
+"""Dispatcher admission control: coalescing, shedding, error mapping.
+
+The deterministic trick: a pool that has not been started yet queues
+work without serving it, so in-flight state can be arranged exactly;
+start() then drains everything.
+"""
+
+import pytest
+
+from repro.api import (
+    AnalyzeRequest,
+    AnalyzeResponse,
+    EngineConfig,
+    ErrorResponse,
+    ExecuteRequest,
+)
+from repro.server import Dispatcher, EnginePool
+
+SOURCE = """
+program dispatch_test
+param N
+array A(100), B(100)
+
+main
+  do i = 1, N @ copy
+    A[i] = B[i] + 1
+  end
+end
+"""
+
+OTHER = SOURCE.replace("B[i] + 1", "B[i] + 2").replace(
+    "program dispatch_test", "program dispatch_other"
+)
+
+
+def _pool(**kwargs):
+    kwargs.setdefault("engine_config", EngineConfig(use_disk_cache=False))
+    return EnginePool(**kwargs)
+
+
+class TestCoalescing:
+    def test_identical_inflight_analyzes_coalesce(self):
+        pool = _pool(workers=1, queue_depth=16)
+        dispatcher = Dispatcher(pool)
+        request = AnalyzeRequest(source=SOURCE, loop="copy")
+        futures = [dispatcher.submit(request) for _ in range(5)]
+        # one unit of queued work, four riders
+        assert pool.queue_size(0) == 1
+        assert pool.metrics.snapshot()["coalesced"] == 4
+        pool.start()
+        texts = {f.result(timeout=60).canonical_text() for f in futures}
+        assert len(texts) == 1
+        assert all(
+            isinstance(f.result(), AnalyzeResponse) for f in futures
+        )
+        pool.stop()
+
+    def test_different_options_do_not_coalesce(self):
+        pool = _pool(workers=1, queue_depth=16)
+        dispatcher = Dispatcher(pool)
+        dispatcher.submit(AnalyzeRequest(source=SOURCE, loop="copy"))
+        dispatcher.submit(
+            AnalyzeRequest(source=SOURCE, loop="copy", options={"size_cap": 99})
+        )
+        assert pool.queue_size(0) == 2
+        assert pool.metrics.snapshot()["coalesced"] == 0
+        pool.start()
+        pool.stop()
+
+    def test_executes_never_coalesce(self):
+        pool = _pool(workers=1, queue_depth=16)
+        dispatcher = Dispatcher(pool)
+        request = ExecuteRequest(source=SOURCE, loop="copy", params={"N": 4})
+        dispatcher.submit(request)
+        dispatcher.submit(request)
+        assert pool.queue_size(0) == 2
+        pool.start()
+        pool.stop()
+
+    def test_coalescing_resets_after_completion(self):
+        pool = _pool(workers=1, queue_depth=16).start()
+        dispatcher = Dispatcher(pool)
+        request = AnalyzeRequest(source=SOURCE, loop="copy")
+        first = dispatcher.submit(request)
+        first.result(timeout=60)
+        # in-flight table must be empty again; a new request is primary
+        assert not dispatcher._inflight_analyze
+        second = dispatcher.submit(request)
+        assert second.result(timeout=60).canonical_text() == \
+            first.result().canonical_text()
+        pool.stop()
+
+
+class TestShedding:
+    def test_queue_full_sheds_with_typed_error(self):
+        pool = _pool(workers=1, queue_depth=2)
+        dispatcher = Dispatcher(pool, max_inflight=100)
+        a = ExecuteRequest(source=SOURCE, loop="copy", params={"N": 2})
+        b = ExecuteRequest(source=OTHER, loop="copy", params={"N": 2})
+        dispatcher.submit(a)
+        dispatcher.submit(b)
+        shed = dispatcher.submit(a).result(timeout=5)
+        assert isinstance(shed, ErrorResponse)
+        assert shed.code == "overloaded"
+        assert shed.retryable is True
+        snapshot = pool.metrics.snapshot()
+        assert snapshot["shed"] == 1
+        # the microsecond shed fast-path must not pollute the latency
+        # histogram (it only measures requests that reached the pool)
+        assert snapshot["latency"]["count"] == 0
+        pool.start()
+        pool.stop()
+
+    def test_max_inflight_budget_sheds(self):
+        pool = _pool(workers=2, queue_depth=100)
+        dispatcher = Dispatcher(pool, max_inflight=2)
+        a = ExecuteRequest(source=SOURCE, loop="copy", params={"N": 2})
+        b = ExecuteRequest(source=OTHER, loop="copy", params={"N": 2})
+        assert not dispatcher.submit(a).done()
+        assert not dispatcher.submit(b).done()
+        shed = dispatcher.submit(a).result(timeout=5)
+        assert shed.code == "overloaded"
+        pool.start()
+        pool.stop()
+
+    def test_budget_frees_after_completion(self):
+        pool = _pool(workers=1, queue_depth=10).start()
+        dispatcher = Dispatcher(pool, max_inflight=1)
+        request = ExecuteRequest(source=SOURCE, loop="copy", params={"N": 2})
+        first = dispatcher.submit(request)
+        first.result(timeout=60)
+        assert dispatcher.inflight() == 0
+        second = dispatcher.submit(request)
+        result = second.result(timeout=60)
+        assert not isinstance(result, ErrorResponse)
+        pool.stop()
+
+
+class TestErrorMapping:
+    def test_unknown_loop_is_bad_request(self):
+        pool = _pool(workers=1).start()
+        dispatcher = Dispatcher(pool)
+        response = dispatcher.submit(
+            AnalyzeRequest(source=SOURCE, loop="no_such_loop")
+        ).result(timeout=60)
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "bad_request"
+        assert response.retryable is False
+        pool.stop()
+
+    def test_parse_failure_is_bad_request(self):
+        pool = _pool(workers=1).start()
+        dispatcher = Dispatcher(pool)
+        response = dispatcher.submit(
+            AnalyzeRequest(source="this is not a program", loop="L")
+        ).result(timeout=60)
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "bad_request"
+        pool.stop()
+
+    def test_non_request_is_bad_request(self):
+        pool = _pool(workers=1)
+        dispatcher = Dispatcher(pool)
+        response = dispatcher.submit("not a request").result(timeout=5)
+        assert response.code == "bad_request"
+        pool.stop()
+
+    def test_pool_shutdown_maps_to_overloaded(self):
+        pool = _pool(workers=1)  # never started
+        dispatcher = Dispatcher(pool)
+        future = dispatcher.submit(
+            ExecuteRequest(source=SOURCE, loop="copy", params={"N": 2})
+        )
+        pool.stop(drain=False)
+        response = future.result(timeout=5)
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "overloaded"
+        assert response.retryable is True
+
+    def test_stop_under_load_does_not_deadlock(self):
+        """stop(drain=True) racing submit() with a full worker inbox
+        must terminate (regression: a lock cycle between the pool lock,
+        the bounded inbox and the dispatcher lock hung forever)."""
+        import threading
+
+        slow = (
+            "program slow\n"
+            "param N, M\n"
+            "array S(50), W(500)\n"
+            "\n"
+            "main\n"
+            "  do i = 1, N @ copy\n"
+            "    do j = 1, M\n"
+            "      S[i] = S[i] + (W[j] * i)\n"
+            "    end\n"
+            "  end\n"
+            "end\n"
+        )
+        pool = _pool(workers=1, queue_depth=1).start()
+        dispatcher = Dispatcher(pool, max_inflight=100)
+        running = ExecuteRequest(source=slow, loop="copy",
+                                 params={"N": 40, "M": 400})
+        queued = ExecuteRequest(source=OTHER, loop="copy", params={"N": 2})
+        first = dispatcher.submit(running)   # worker picks this up
+        second = dispatcher.submit(queued)   # fills the depth-1 inbox
+
+        def racing_submit():
+            dispatcher.submit(
+                ExecuteRequest(source=SOURCE, loop="copy", params={"N": 2})
+            ).result(timeout=60)
+
+        stopper = threading.Thread(target=pool.stop, daemon=True)
+        racer = threading.Thread(target=racing_submit, daemon=True)
+        stopper.start()
+        racer.start()
+        stopper.join(timeout=60)
+        racer.join(timeout=60)
+        assert not stopper.is_alive(), "pool.stop() deadlocked"
+        assert not racer.is_alive(), "dispatcher.submit() deadlocked"
+        assert first.result(timeout=5) is not None
+        assert second.result(timeout=5) is not None

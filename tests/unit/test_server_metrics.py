@@ -1,0 +1,114 @@
+"""ServerMetrics counters and the latency histogram.
+
+The stats snapshot is a wire document (served via the ``stats`` verb),
+so its key set must be exact and stable; the histogram's percentiles
+are upper bounds of log-spaced buckets.
+"""
+
+import threading
+
+from repro.api import ERROR_CODES
+from repro.server import LatencyHistogram, ServerMetrics
+
+SNAPSHOT_KEYS = {
+    "coalesced", "completed", "connections", "errors", "inflight",
+    "latency", "requests", "shed", "uptime_s", "warm_hits",
+}
+LATENCY_KEYS = {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"}
+
+
+class TestLatencyHistogram:
+    def test_empty_is_all_zero(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap == {
+            "count": 0, "mean_s": 0.0, "p50_s": 0.0,
+            "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0,
+        }
+
+    def test_quantiles_are_upper_bounds(self):
+        hist = LatencyHistogram()
+        for _ in range(100):
+            hist.observe(0.003)
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        # the bucket edge containing the sample bounds it from above,
+        # within one bucket ratio (~1.55)
+        assert 0.003 <= snap["p50_s"] <= 0.003 * 1.6
+        assert snap["p50_s"] <= snap["p95_s"] <= snap["p99_s"]
+        assert abs(snap["max_s"] - 0.003) < 1e-9
+        assert abs(snap["mean_s"] - 0.003) < 1e-9
+
+    def test_spread_sample_orders_percentiles(self):
+        hist = LatencyHistogram()
+        for i in range(1, 101):
+            hist.observe(i / 1000.0)  # 1ms .. 100ms
+        snap = hist.snapshot()
+        assert 0.050 <= snap["p50_s"] <= 0.100
+        assert snap["p95_s"] >= 0.095 * 0.9
+        assert snap["p50_s"] < snap["p95_s"] <= snap["p99_s"]
+
+    def test_negative_clamped(self):
+        hist = LatencyHistogram()
+        hist.observe(-1.0)
+        assert hist.snapshot()["max_s"] == 0.0
+
+
+class TestServerMetrics:
+    def test_snapshot_schema_is_exact(self):
+        snap = ServerMetrics().snapshot()
+        assert set(snap) == SNAPSHOT_KEYS
+        assert set(snap["latency"]) == LATENCY_KEYS
+        assert set(snap["requests"]) == {"analyze", "execute", "stats"}
+        assert set(snap["errors"]) == ERROR_CODES
+
+    def test_counter_lifecycle(self):
+        metrics = ServerMetrics()
+        metrics.connection_opened()
+        metrics.request_received("analyze")
+        metrics.request_admitted()
+        assert metrics.snapshot()["inflight"] == 1
+        metrics.request_completed(0.004)
+        metrics.shed()
+        metrics.coalesced()
+        metrics.warm_hit()
+        metrics.error("bad_request")
+        metrics.connection_closed()
+        snap = metrics.snapshot()
+        assert snap["requests"]["analyze"] == 1
+        assert snap["completed"] == 1
+        assert snap["inflight"] == 0
+        assert snap["connections"] == 0
+        assert snap["shed"] == 1
+        assert snap["coalesced"] == 1
+        assert snap["warm_hits"] == 1
+        assert snap["errors"]["overloaded"] == 1  # shed implies the code
+        assert snap["errors"]["bad_request"] == 1
+        assert snap["latency"]["count"] == 1
+
+    def test_unknown_verb_and_code_ignored(self):
+        metrics = ServerMetrics()
+        metrics.request_received("frobnicate")
+        metrics.error("no_such_code")
+        snap = metrics.snapshot()
+        assert sum(snap["requests"].values()) == 0
+        assert sum(snap["errors"].values()) == 0
+
+    def test_thread_safety_of_counters(self):
+        metrics = ServerMetrics()
+
+        def pound():
+            for _ in range(500):
+                metrics.request_received("execute")
+                metrics.request_admitted()
+                metrics.request_completed(0.001)
+
+        threads = [threading.Thread(target=pound) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = metrics.snapshot()
+        assert snap["requests"]["execute"] == 4000
+        assert snap["completed"] == 4000
+        assert snap["inflight"] == 0
+        assert snap["latency"]["count"] == 4000

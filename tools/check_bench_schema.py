@@ -26,10 +26,28 @@ sys.path.insert(0, str(ROOT / "src"))
 #: The version(s) of the document shape this checker understands.
 KNOWN_VERSIONS = (1,)
 
+#: Known BENCH_serving.json document versions.
+KNOWN_SERVING_VERSIONS = (1,)
+
 _TOP_KEYS = {
     "backends", "chunk", "equivalence_ok", "jobs", "parallel_wins",
     "repeat", "suite", "version", "workloads",
 }
+
+# -- serving-trajectory shape (suite == "serving") ---------------------------
+_SERVING_TOP_KEYS = {
+    "analyze_fraction", "compile_cache_size", "levels", "mean_speedup",
+    "mode", "programs", "requests_per_level", "seed", "sharded_wins",
+    "suite", "version", "workers",
+}
+_SERVING_LEVEL_KEYS = {"clients", "pools", "speedup"}
+_SERVING_POOLS = {"sharded", "shared"}
+_SERVING_POOL_KEYS = {
+    "analyze_fraction", "clients", "coalesced", "completed", "errors",
+    "failures", "latency", "mode", "requests", "shed", "throughput_rps",
+    "wall_s", "warm_hits",
+}
+_SERVING_LATENCY_KEYS = {"max_s", "mean_s", "p50_s", "p95_s", "p99_s"}
 _CHUNK_KEYS = {"policy", "size"}
 _WIN_KEYS = {"backend", "speedup", "workload"}
 _WORKLOAD_KEYS = {
@@ -53,8 +71,70 @@ def _key_errors(what: str, payload: dict, expected: set) -> list:
     return errors
 
 
+def validate_serving_doc(payload: dict) -> list:
+    """Schema problems of one BENCH_serving document (empty = valid)."""
+    errors = _key_errors("document", payload, _SERVING_TOP_KEYS)
+    if errors:
+        return errors
+    if payload["version"] not in KNOWN_SERVING_VERSIONS:
+        return [
+            f"document: unsupported serving-bench version "
+            f"{payload['version']!r} (this checker speaks "
+            f"{list(KNOWN_SERVING_VERSIONS)})"
+        ]
+    if not isinstance(payload["workers"], int) or payload["workers"] < 1:
+        errors.append("document: 'workers' must be a positive integer")
+    if not isinstance(payload["sharded_wins"], bool):
+        errors.append("document: 'sharded_wins' must be a boolean")
+    if payload["mode"] not in ("closed", "open"):
+        errors.append("document: 'mode' must be 'closed' or 'open'")
+    levels = payload["levels"]
+    if not isinstance(levels, list) or not levels:
+        errors.append("document: 'levels' must be a non-empty list")
+        return errors
+    for level in levels:
+        errors.extend(_key_errors("level", level, _SERVING_LEVEL_KEYS))
+        if set(level) != _SERVING_LEVEL_KEYS:
+            continue
+        clients = level["clients"]
+        what = f"level clients={clients!r}"
+        if not isinstance(clients, int) or clients < 1:
+            errors.append(f"{what}: 'clients' must be a positive integer")
+        if set(level["pools"]) != _SERVING_POOLS:
+            errors.append(
+                f"{what}: pools cover {sorted(level['pools'])}, "
+                f"expected exactly {sorted(_SERVING_POOLS)}"
+            )
+            continue
+        for discipline, entry in level["pools"].items():
+            pool_what = f"{what} pool {discipline!r}"
+            errors.extend(_key_errors(pool_what, entry, _SERVING_POOL_KEYS))
+            if set(entry) != _SERVING_POOL_KEYS:
+                continue
+            errors.extend(_key_errors(
+                f"{pool_what} latency", entry["latency"],
+                _SERVING_LATENCY_KEYS,
+            ))
+            if not isinstance(entry["throughput_rps"], (int, float)) or \
+                    entry["throughput_rps"] < 0:
+                errors.append(f"{pool_what}: 'throughput_rps' must be >= 0")
+            if entry["failures"]:
+                errors.append(
+                    f"{pool_what}: transport failures recorded "
+                    f"({entry['failures'][:1]}...)"
+                )
+    return errors
+
+
 def validate_bench_doc(payload: dict) -> list:
-    """Schema problems of one parsed BENCH document (empty = valid)."""
+    """Schema problems of one parsed BENCH document (empty = valid).
+
+    Dispatches on the suite: the serving trajectory (``suite ==
+    "serving"``) has its own shape; everything else is an
+    execution-backend trajectory.
+    """
+    if isinstance(payload, dict) and payload.get("suite") == "serving":
+        return validate_serving_doc(payload)
     errors = _key_errors("document", payload, _TOP_KEYS)
     if errors:
         return errors
