@@ -93,7 +93,7 @@ class EngineConfig:
     compile_cache_size: int = 4096
     # -- execution policy ------------------------------------------------
     #: default execution backend for validated parallel loops
-    #: ('sequential' | 'thread' | 'process' | 'numpy')
+    #: ('sequential' | 'thread' | 'process' | 'numpy' | 'speculative')
     backend: str = "sequential"
     #: default chunk-scheduler spec for the parallel backends, as a
     #: ``{"policy": ..., "size": ...}`` document (None = static)

@@ -57,7 +57,13 @@ __all__ = [
 #: :class:`StatsResponse`) and a typed :class:`ErrorResponse` the server
 #: returns instead of dropping connections; a v2 reader would reject
 #: both kinds, so the version moves.
-PROTOCOL_VERSION = 3
+#: v4: the speculative LRPD backend -- ExecuteRequest's ``backend``
+#: accepts ``speculative``, and ExecuteResponse reports the speculation
+#: outcome (``speculation_commits`` / ``speculation_rollbacks`` /
+#: ``speculation_privatized``).  A v3 reader would silently drop those
+#: fields from a round-trip, breaking the byte-identity contract, so
+#: the version moves.
+PROTOCOL_VERSION = 4
 
 #: Default upper bound on one serialized request document (the serving
 #: layer's admission control rejects larger payloads with a
@@ -183,8 +189,8 @@ class ExecuteRequest:
     #: exact-test fallback: 'inspector' (hoistable USR evaluation) or
     #: 'tls' (LRPD speculation)
     exact_strategy: str = "inspector"
-    #: execution backend ('sequential' | 'thread' | 'process' | 'numpy';
-    #: None = engine default)
+    #: execution backend ('sequential' | 'thread' | 'process' | 'numpy'
+    #: | 'speculative'; None = engine default)
     backend: Optional[str] = None
     #: worker count for parallel backends (None = engine default)
     jobs: Optional[int] = None
@@ -468,6 +474,12 @@ class ExecuteResponse:
     speculation_overhead: float = 0.0
     used_speculation: bool = False
     misspeculated: bool = False
+    #: committed speculative-backend runs (LRPD validation passed)
+    speculation_commits: int = 0
+    #: rolled-back speculative-backend runs (conflict -> sequential)
+    speculation_rollbacks: int = 0
+    #: arrays the LRPD test privatized during a committed run
+    speculation_privatized: list = field(default_factory=list)
     #: backend the caller requested
     backend: str = "sequential"
     #: backend that actually ran the loop ('' for sequential outcomes)
@@ -508,6 +520,9 @@ class ExecuteResponse:
             speculation_overhead=report.speculation_overhead,
             used_speculation=report.used_speculation,
             misspeculated=report.misspeculated,
+            speculation_commits=report.speculation_commits,
+            speculation_rollbacks=report.speculation_rollbacks,
+            speculation_privatized=list(report.speculation_privatized),
             backend=report.backend,
             backend_used=report.backend_used,
             jobs=report.jobs,
@@ -536,6 +551,9 @@ class ExecuteResponse:
             "speculation_overhead": self.speculation_overhead,
             "used_speculation": self.used_speculation,
             "misspeculated": self.misspeculated,
+            "speculation_commits": self.speculation_commits,
+            "speculation_rollbacks": self.speculation_rollbacks,
+            "speculation_privatized": list(self.speculation_privatized),
             "backend": self.backend,
             "backend_used": self.backend_used,
             "jobs": self.jobs,
@@ -565,6 +583,11 @@ class ExecuteResponse:
             speculation_overhead=payload.get("speculation_overhead", 0.0),
             used_speculation=payload.get("used_speculation", False),
             misspeculated=payload.get("misspeculated", False),
+            speculation_commits=payload.get("speculation_commits", 0),
+            speculation_rollbacks=payload.get("speculation_rollbacks", 0),
+            speculation_privatized=list(
+                payload.get("speculation_privatized", [])
+            ),
             backend=payload.get("backend", "sequential"),
             backend_used=payload.get("backend_used", ""),
             jobs=payload.get("jobs", 1),

@@ -39,7 +39,9 @@ __all__ = [
     "BenchWorkload",
     "BENCH_SUITES",
     "run_bench",
+    "run_speculation_bench",
     "format_bench",
+    "format_speculation_bench",
     "write_bench",
     "bench_path",
 ]
@@ -205,7 +207,9 @@ def _coarse(n: int, m: int) -> BenchWorkload:
 
 
 #: Named workload suites.  'smoke' is the tiny CI configuration; 'core'
-#: is the trajectory suite committed as BENCH_core.json.
+#: is the trajectory suite committed as BENCH_core.json.  The
+#: 'speculation' suite is special-cased (see
+#: :func:`run_speculation_bench`): its document has its own shape.
 BENCH_SUITES: dict = {
     "core": lambda: [
         _saxpy(4000),
@@ -219,6 +223,369 @@ BENCH_SUITES: dict = {
         _histogram(800, 16),
     ],
 }
+
+
+# -- the speculation suite ----------------------------------------------------
+#
+# Loops the static cascade cannot validate: a non-additive indirect
+# update (or scatter) whose independence depends entirely on the runtime
+# contents of IDX.  These are the precision-gap shapes the speculative
+# backend exists to win.  The gap workloads scatter sparsely into
+# *large* shared arrays -- the regime the paper's O(accesses) shadow
+# structures are designed for: the reference backend's per-iteration
+# snapshots cost O(memory) per iteration, while speculation traces and
+# undoes only what the loop actually touches.
+
+_SPEC_UPDATE = """
+program specupd
+param N, M, K
+array H(K), IDX(N), W(M)
+
+main
+  do i = 1, N @ bench
+    t = 0
+    do j = 1, M
+      t = t + W[j] * i
+    end
+    H[IDX[i]] = t + H[IDX[i]] * 2
+  end
+end
+"""
+
+_SPEC_SCATTER = """
+program specscat
+param N, M, K
+array OUT(K), IDX(N), W(M)
+
+main
+  do i = 1, N @ bench
+    t = 0
+    do j = 1, M
+      t = t + W[j] + i
+    end
+    OUT[IDX[i]] = t
+  end
+end
+"""
+
+_SPEC_MAXUPD = """
+program specmax
+param N, M, K
+array H(K), IDX(N), W(M)
+
+main
+  do i = 1, N @ bench
+    t = 0
+    do j = 1, M
+      t = t + (W[j] * i)
+    end
+    H[IDX[i]] = max(H[IDX[i]], t)
+  end
+end
+"""
+
+_SPEC_TWOWAY = """
+program spectwo
+param N, M, K
+array X(K), Y(K), IDX(N), W(M)
+
+main
+  do i = 1, N @ bench
+    t = 0
+    do j = 1, M
+      t = t + W[j] - i
+    end
+    X[IDX[i]] = t
+    Y[IDX[i]] = t + i
+  end
+end
+"""
+
+
+def _weights(m: int) -> list:
+    return [(j * 11) % 23 for j in range(m)]
+
+
+def _spec_workload(name, source, n, m, k, idx, description):
+    return BenchWorkload(
+        name=name,
+        source=source,
+        loop="bench",
+        params={"N": n, "M": m, "K": k},
+        arrays=lambda: {"IDX": idx, "W": _weights(m)},
+        description=description,
+    )
+
+
+def _speculation_gap(n: int, m: int, k: int) -> list:
+    """Commit-expected workloads: runtime-independent index vectors
+    scattering sparsely into arrays of *k* cells."""
+    # odd strides are coprime to the power-of-two k, so n < k indices
+    # are pairwise distinct
+    spread = [((i * 7919) % k) + 1 for i in range(n)]
+    stride = [((i * 4099) % k) + 1 for i in range(n)]
+    return [
+        _spec_workload(
+            "update_spread", _SPEC_UPDATE, n, m, k, spread,
+            "non-additive indirect update, spread distinct indices",
+        ),
+        _spec_workload(
+            "update_stride", _SPEC_UPDATE, n, m, k, stride,
+            "non-additive indirect update, strided distinct indices",
+        ),
+        _spec_workload(
+            "scatter_spread", _SPEC_SCATTER, n, m, k, spread,
+            "indirect scatter, spread distinct indices",
+        ),
+        _spec_workload(
+            "max_update", _SPEC_MAXUPD, n, m, k, spread,
+            "indirect max-update, spread distinct indices",
+        ),
+        _spec_workload(
+            "two_way_scatter", _SPEC_TWOWAY, n, m, k, stride,
+            "two-array indirect scatter, strided distinct indices",
+        ),
+    ]
+
+
+# Conflict loops carry their weight in a scalar-only inner loop: array
+# tracing overhead on reads the LRPD test never needs would inflate the
+# optimistic run, and the loss ratio is supposed to charge the
+# *misspeculation*, not the tracer.
+_CONF_UPDATE = """
+program confupd
+param N, M, K
+array H(K), IDX(N)
+
+main
+  do i = 1, N @ bench
+    t = 0
+    do j = 1, M
+      t = t + (i * j) - j
+    end
+    H[IDX[i]] = t + H[IDX[i]] * 2
+  end
+end
+"""
+
+_CONF_MAXUPD = """
+program confmax
+param N, M, K
+array H(K), IDX(N)
+
+main
+  do i = 1, N @ bench
+    t = 0
+    do j = 1, M
+      t = t + (i * j) - j
+    end
+    H[IDX[i]] = max(H[IDX[i]], t)
+  end
+end
+"""
+
+
+def _conf_workload(name, source, n, m, idx, description):
+    return BenchWorkload(
+        name=name,
+        source=source,
+        loop="bench",
+        params={"N": n, "M": m, "K": n},
+        arrays=lambda: {"IDX": idx},
+        description=description,
+    )
+
+
+def _speculation_conflict(n: int, m: int) -> list:
+    """Rollback-expected workloads: duplicated indices force true flow
+    conflicts through the update's self-read."""
+    dup = [((i * 3) % 8) + 1 for i in range(n)]
+    hot = [(i % 4) + 1 for i in range(n)]
+    return [
+        _conf_workload(
+            "update_dup", _CONF_UPDATE, n, m, dup,
+            "indirect update over 8 duplicated cells",
+        ),
+        _conf_workload(
+            "update_hot", _CONF_MAXUPD, n, m, hot,
+            "indirect max-update over 4 hot cells",
+        ),
+    ]
+
+
+def run_speculation_bench(
+    jobs: int = 4,
+    repeat: int = 3,
+    engine: Optional[Engine] = None,
+    trips: int = 128,
+    inner: int = 320,
+    cells: int = 32768,
+) -> dict:
+    """Measure the speculative backend on the precision-gap workloads
+    (``repro-eval bench --suite speculation``).
+
+    Unlike :func:`run_bench`, all contenders run over the *same frozen*
+    :class:`~repro.runtime.backends.LoopTask`
+    (:meth:`~repro.runtime.executor.HybridExecutor.capture_task`), so
+    the comparison is execution-only.  Three walls are timed per
+    workload:
+
+    * ``sequential_wall_s`` (gap section only) -- the reference
+      :class:`~repro.runtime.backends.SequentialBackend`, the same
+      baseline every other BENCH document's ``speedup`` is measured
+      against.  Its per-iteration snapshots cost O(memory) per
+      iteration, which is exactly what the paper's O(accesses) shadow
+      structures avoid.  The reference executes iterations
+      independently, so it is only meaningful on loops that really are
+      independent -- conflict workloads skip it;
+    * ``inorder_wall_s`` -- bare
+      :func:`~repro.runtime.backends.speculative.sequential_execute`:
+      no tracing, no snapshots, the floor cost of just running the loop
+      in order;
+    * ``speculative_wall_s`` -- the full optimistic pipeline: marked
+      parallel run, LRPD validation, commit (or rollback plus in-order
+      re-execution).
+
+    ``gap.win_fraction`` counts workloads where speculation commits and
+    beats the reference baseline.  ``conflict.max_loss`` is the
+    misspeculation penalty measured against the *stricter* in-order
+    wall (``speculative_wall_s / inorder_wall_s``) -- a rollback hidden
+    behind the reference's snapshot cost would be a meaningless number.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1 (got {repeat})")
+    from time import perf_counter
+
+    from ..runtime.backends import get_backend
+    from ..runtime.backends.speculative import sequential_execute
+
+    engine = engine or Engine(EngineConfig(use_disk_cache=False))
+    reference = get_backend("sequential")
+    backend = get_backend("speculative")
+
+    def best_of(fn):
+        wall = None
+        out = None
+        for _ in range(repeat):
+            start = perf_counter()
+            result = fn()
+            elapsed = perf_counter() - start
+            if wall is None or elapsed < wall:
+                wall = elapsed
+                out = result
+        return wall, out
+
+    equivalence_ok = True
+    sections: dict = {}
+    for section, workloads, expect_commit in (
+        ("gap", _speculation_gap(trips, inner, cells), True),
+        ("conflict", _speculation_conflict(48, 800), False),
+    ):
+        docs = []
+        for workload in workloads:
+            compiled = engine.compile(workload.source)
+            task = compiled.executor(
+                workload.loop, backend="speculative"
+            ).capture_task(workload.params, workload.arrays())
+            inorder_wall, (inorder_arrays, _scalars) = best_of(
+                lambda: sequential_execute(task)
+            )
+            spec_wall, run = best_of(
+                lambda: backend.execute(task, jobs=jobs)
+            )
+            outcome = run.speculation
+            correct = (
+                run.arrays == inorder_arrays
+                and outcome["committed"] == expect_commit
+            )
+            entry = {
+                "committed": outcome["committed"],
+                "description": workload.description,
+                "inorder_wall_s": round(inorder_wall, 6),
+                "name": workload.name,
+                "rollbacks": outcome["rollbacks"],
+                "speculative_wall_s": round(spec_wall, 6),
+                "traced_accesses": outcome["traced_accesses"],
+                "trips": len(task.iterations),
+            }
+            if section == "gap":
+                # the reference backend only means anything on a loop
+                # whose iterations really are independent -- i.e. the
+                # commit-expected section
+                ref_wall, ref_run = best_of(
+                    lambda: reference.execute(task, jobs=jobs)
+                )
+                correct = correct and ref_run.arrays == inorder_arrays
+                entry["sequential_wall_s"] = round(ref_wall, 6)
+                entry["speedup"] = (
+                    round(ref_wall / spec_wall, 3) if spec_wall > 0 else None
+                )
+            else:
+                entry["loss"] = (
+                    round(spec_wall / inorder_wall, 3)
+                    if inorder_wall > 0
+                    else None
+                )
+            entry["correct"] = correct
+            equivalence_ok = equivalence_ok and correct
+            docs.append(entry)
+        sections[section] = docs
+    wins = [
+        w for w in sections["gap"]
+        if w["committed"] and w["speedup"] is not None and w["speedup"] > 1.0
+    ]
+    losses = [
+        w["loss"] for w in sections["conflict"] if w["loss"] is not None
+    ]
+    return {
+        "conflict": {
+            "max_loss": round(max(losses), 3) if losses else None,
+            "workloads": sections["conflict"],
+        },
+        "equivalence_ok": equivalence_ok,
+        "gap": {
+            "win_fraction": round(len(wins) / len(sections["gap"]), 3),
+            "workloads": sections["gap"],
+        },
+        "jobs": jobs,
+        "repeat": repeat,
+        "suite": "speculation",
+        "version": BENCH_VERSION,
+    }
+
+
+def format_speculation_bench(doc: dict) -> str:
+    """Human-readable summary of one speculation bench document."""
+    lines = [
+        f"suite speculation: jobs={doc['jobs']} repeat={doc['repeat']}"
+    ]
+    header = (
+        f"{'workload':<16} {'outcome':<9} {'ref_s':>10} {'inorder_s':>10} "
+        f"{'spec_s':>10} {'ratio':>7} {'ok':>3}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for section, key in (("gap", "speedup"), ("conflict", "loss")):
+        for entry in doc[section]["workloads"]:
+            ratio = entry[key]
+            outcome = "commit" if entry["committed"] else "rollback"
+            ref = entry.get("sequential_wall_s")
+            lines.append(
+                f"{entry['name']:<16} {outcome:<9} "
+                f"{'-' if ref is None else f'{ref:.6f}':>10} "
+                f"{entry['inorder_wall_s']:>10.6f} "
+                f"{entry['speculative_wall_s']:>10.6f} "
+                f"{'-' if ratio is None else f'{ratio:.3f}':>7} "
+                f"{'yes' if entry['correct'] else 'NO':>3}"
+            )
+    lines.append(
+        f"gap win fraction: {doc['gap']['win_fraction']:.3f}  "
+        f"conflict max loss: {doc['conflict']['max_loss']}"
+    )
+    lines.append(
+        "equivalence: " + ("ok" if doc["equivalence_ok"] else "FAILED")
+    )
+    return "\n".join(lines)
 
 
 def run_bench(

@@ -21,6 +21,7 @@ Usage::
 
     repro-eval bench --suite core                  # BENCH_core.json
     repro-eval bench --suite smoke --backends sequential,thread --jobs 2
+    repro-eval bench --suite speculation           # BENCH_speculation.json
 
     repro-eval analyze prog.loop --loop L1         # human-readable plan
     repro-eval analyze prog.loop --loop L1 --json  # AnalyzeResponse JSON
@@ -259,12 +260,22 @@ def _bench_main(argv: list[str]) -> int:
         "BENCH_<suite>.json trajectory file; non-zero exit on any "
         "backend/interpreter divergence.",
     )
-    from .bench import BENCH_SUITES, format_bench, run_bench, write_bench
+    from .bench import (
+        BENCH_SUITES,
+        format_bench,
+        format_speculation_bench,
+        run_bench,
+        run_speculation_bench,
+        write_bench,
+    )
     from ..runtime.backends import BACKENDS, available_backends
 
     parser.add_argument(
-        "--suite", choices=sorted(BENCH_SUITES), default="core",
-        help="workload suite to measure (default: core)",
+        "--suite", choices=sorted([*BENCH_SUITES, "speculation"]),
+        default="core",
+        help="workload suite to measure (default: core); 'speculation' "
+        "races the speculative backend against the in-order baseline "
+        "and ignores --backends/--chunk",
     )
     parser.add_argument(
         "--backends", default=None, metavar="CSV",
@@ -309,6 +320,12 @@ def _bench_main(argv: list[str]) -> int:
     # Only argument validation routes to parser.error; a failure inside
     # the run itself must surface as the real traceback, not a usage
     # message.
+    if args.suite == "speculation":
+        doc = run_speculation_bench(jobs=args.jobs, repeat=args.repeat)
+        path = write_bench(doc, args.out)
+        print(format_speculation_bench(doc))
+        print(f"wrote {path}")
+        return 0 if doc["equivalence_ok"] else 1
     doc = run_bench(
         suite=args.suite,
         backends=backends,

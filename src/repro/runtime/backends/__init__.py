@@ -16,6 +16,10 @@ validated iterations actually execute:
                 (GIL-free) parallelism
 ``numpy``       whole-loop vectorization for fully-parallel (all-``shared``)
                 DO loops: one NumPy gather/compute/scatter per statement
+``speculative`` optimistic LRPD execution: chunks run in parallel with
+                shadow access marking, the LRPD test validates the marks,
+                and a conflict rolls back via the undo log and re-executes
+                the loop sequentially in order
 =============  ==============================================================
 
 Select a backend through :class:`repro.api.EngineConfig` /
@@ -40,6 +44,7 @@ from .base import (
 from .chunking import CHUNK_POLICIES, DYNAMIC_CHUNK_FACTOR, ChunkSpec, plan_chunks
 from .processes import ProcessBackend
 from .sequential import SequentialBackend
+from .speculative import SpeculativeBackend
 from .threads import ThreadBackend
 from .vectorized import VectorizedBackend
 
@@ -56,6 +61,7 @@ __all__ = [
     "LoopTask",
     "ProcessBackend",
     "SequentialBackend",
+    "SpeculativeBackend",
     "ThreadBackend",
     "VectorizedBackend",
     "available_backends",
@@ -72,6 +78,7 @@ BACKENDS = {
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
     VectorizedBackend.name: VectorizedBackend,
+    SpeculativeBackend.name: SpeculativeBackend,
 }
 
 DEFAULT_BACKEND = SequentialBackend.name

@@ -104,6 +104,10 @@ class IterationOutcome:
     values: dict
     #: frame scalars after the iteration body ran
     scalars: dict
+    #: array -> sorted expose-read locations (read before any local
+    #: write); only populated when the caller asked for them
+    #: (``record_exposed``) -- the speculative backend's shadow marks
+    exposed: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -118,6 +122,10 @@ class BackendRun:
     chunks: int
     #: how many workers actually participated
     jobs: int
+    #: speculation outcome document (speculative backend only):
+    #: ``{"committed": bool, "rollbacks": int, "privatized": [...],
+    #: "traced_accesses": int, "conflicts": [...]}``
+    speculation: Optional[dict] = None
 
 
 def default_jobs(jobs: Optional[int]) -> int:
@@ -171,6 +179,7 @@ def execute_positions(
     index_name: Optional[str],
     positions: Sequence[int],
     per_iteration_snapshot: bool,
+    record_exposed: bool = False,
 ) -> list:
     """Execute the given iteration *positions* in isolation.
 
@@ -212,6 +221,11 @@ def execute_positions(
                 updates={a: sorted(l) for a, l in record.updates.items()},
                 values=values,
                 scalars=scalars,
+                exposed=(
+                    {a: sorted(l) for a, l in record.exposed_reads.items()}
+                    if record_exposed
+                    else {}
+                ),
             )
         )
         if not per_iteration_snapshot:

@@ -45,7 +45,7 @@ from .base import (
 )
 from .chunking import ChunkSpec, plan_chunks
 
-__all__ = ["ProcessBackend"]
+__all__ = ["ProcessBackend", "execute_chunks"]
 
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
@@ -172,10 +172,53 @@ def _worker_chunk(payload) -> list:
         state["index_name"],
         positions,
         per_iteration_snapshot=False,
+        record_exposed=state.get("record_exposed", False),
     )
 
 
 # -- parent side -------------------------------------------------------------
+
+
+def execute_chunks(
+    task: LoopTask, chunks: list, jobs: int, record_exposed: bool = False
+) -> list:
+    """Run *chunks* of *task* on the persistent process pool.
+
+    Returns the flattened :class:`IterationOutcome` list in chunk order.
+    ``record_exposed`` makes workers ship each iteration's expose-read
+    marks back with its outcome -- the speculative backend's optimistic
+    run uses this; the plain process backend leaves it off.
+    """
+    shm, layout = _pack_arrays(task.pre_arrays)
+    setup = {
+        "program": task.program,
+        "label": task.label,
+        "params": task.params,
+        "pre_scalars": task.pre_scalars,
+        "frame_arrays": task.frame_arrays,
+        "iterations": task.iterations,
+        "civ_names": task.civ_names,
+        "civ_values": task.civ_values,
+        "index_name": task.index_name,
+        "record_exposed": record_exposed,
+        "shm_name": shm.name if shm is not None else None,
+        "layout": layout,
+        "pre_arrays": None if shm is not None else task.pre_arrays,
+    }
+    token = next(_RUN_TOKENS)
+    setup_blob = pickle.dumps(setup)
+    try:
+        pool = _pool(jobs)
+        payloads = [(token, setup_blob, list(c)) for c in chunks]
+        return [
+            o
+            for chunk_result in pool.map(_worker_chunk, payloads)
+            for o in chunk_result
+        ]
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
 
 
 class ProcessBackend(ExecutionBackend):
@@ -204,35 +247,7 @@ class ProcessBackend(ExecutionBackend):
                 chunks=0,
                 jobs=jobs,
             )
-        shm, layout = _pack_arrays(task.pre_arrays)
-        setup = {
-            "program": task.program,
-            "label": task.label,
-            "params": task.params,
-            "pre_scalars": task.pre_scalars,
-            "frame_arrays": task.frame_arrays,
-            "iterations": task.iterations,
-            "civ_names": task.civ_names,
-            "civ_values": task.civ_values,
-            "index_name": task.index_name,
-            "shm_name": shm.name if shm is not None else None,
-            "layout": layout,
-            "pre_arrays": None if shm is not None else task.pre_arrays,
-        }
-        token = next(_RUN_TOKENS)
-        setup_blob = pickle.dumps(setup)
-        try:
-            pool = _pool(jobs)
-            payloads = [(token, setup_blob, list(c)) for c in chunks]
-            outcomes = [
-                o
-                for chunk_result in pool.map(_worker_chunk, payloads)
-                for o in chunk_result
-            ]
-        finally:
-            if shm is not None:
-                shm.close()
-                shm.unlink()
+        outcomes = execute_chunks(task, chunks, jobs)
         return BackendRun(
             arrays=merge_outcomes(task.pre_arrays, outcomes, task.decisions),
             final_scalars=last_scalars(outcomes),

@@ -80,6 +80,14 @@ class ExecutionReport:
     decisions: dict[str, ArrayDecision] = field(default_factory=dict)
     used_speculation: bool = False
     misspeculated: bool = False
+    #: committed speculative backend runs (LRPD validation passed)
+    speculation_commits: int = 0
+    #: rolled-back speculative backend runs (conflict -> undo-log
+    #: restore -> in-order sequential re-execution)
+    speculation_rollbacks: int = 0
+    #: arrays the LRPD test privatized during a committed speculative
+    #: run (write-write conflicts only, merged with last value)
+    speculation_privatized: list = field(default_factory=list)
     #: execution backend the caller requested
     backend: str = DEFAULT_BACKEND
     #: backend that actually ran the loop ('' when the loop stayed
@@ -155,6 +163,8 @@ class _LoopCapture:
     def __init__(self) -> None:
         self.pre_arrays: Optional[dict[str, list[int]]] = None
         self.pre_scalars: Optional[dict[str, int]] = None
+        self.frame_arrays: dict[str, tuple] = {}
+        self.index_name: Optional[str] = None
         self.iterations: list[int] = []
         self.records: list[IterationRecord] = []
         self.iter_arrays: list[dict[str, list[int]]] = []
@@ -236,6 +246,21 @@ class HybridExecutor:
         scalar_dep = bool(analysis and analysis.scalar_flow_deps - _civ_names(self.plan))
         if self.plan.approximate or scalar_dep:
             report.decisions["<loop>"] = ArrayDecision("<loop>", "dependent", "failed")
+            # Unanalyzable array accesses are exactly what the LRPD
+            # marks validate at runtime, so the speculative backend may
+            # still try the loop.  A cross-iteration *scalar* flow
+            # dependence stays a hard stop: scalar accesses carry no
+            # shadow marks, so speculation could not detect the
+            # conflict.
+            if (
+                self.backend == "speculative"
+                and not scalar_dep
+                and len(capture.iterations) > 1
+            ):
+                return self._speculative_fallback(
+                    params, arrays, capture, report.decisions, report,
+                    seq_arrays,
+                )
             return report
 
         # 2. Runtime environment for predicates: pre-loop state + CIV
@@ -269,12 +294,25 @@ class HybridExecutor:
         report.decisions = decisions
 
         if not all_parallel:
+            if self.backend == "speculative" and len(capture.iterations) > 1:
+                # The cascade failed end to end: the paper's last resort
+                # is to run the loop speculatively anyway and let the
+                # LRPD test judge the attempt after the fact.
+                return self._speculative_fallback(
+                    params, arrays, capture, decisions, report, seq_arrays
+                )
             # Exact tests failed or proved dependence: sequential run.
             return report
 
         # 4. Parallel overlay execution + ground-truth validation.
-        par_arrays = self._parallel_execute(params, arrays, capture, decisions, report)
-        report.parallel = True
+        strategies = {name: d.strategy for name, d in decisions.items()}
+        par_arrays = self._parallel_execute(
+            params, arrays, capture, strategies, report
+        )
+        # A validated loop's speculative run always commits (the
+        # predicates that validated it are sound); guard anyway so a
+        # rollback is never misreported as a parallel execution.
+        report.parallel = report.speculation_rollbacks == 0
         report.correct = par_arrays == seq_arrays
         return report
 
@@ -283,6 +321,8 @@ class HybridExecutor:
         capture.seen = True
         capture.pre_arrays = copy.deepcopy(machine.arrays)
         capture.pre_scalars = dict(frame.scalars)
+        capture.frame_arrays = dict(frame.arrays)
+        capture.index_name = stmt.index if isinstance(stmt, Do) else None
         civ_names = [info.name for info in self.plan.civs]
         for info in self.plan.civs:
             capture.civ_values[info.name] = []
@@ -439,12 +479,86 @@ class HybridExecutor:
             return requested
         return get_backend("sequential")
 
+    def _freeze_task(
+        self,
+        machine: Machine,
+        stmt,
+        frame,
+        capture: _LoopCapture,
+        strategies: dict[str, str],
+    ) -> LoopTask:
+        """Freeze the loop's entry state as a backend-executable task."""
+        return LoopTask(
+            program=self.program,
+            label=self.plan.label,
+            params=dict(machine.params),
+            pre_arrays=copy.deepcopy(machine.arrays),
+            pre_scalars=dict(frame.scalars),
+            frame_arrays=dict(frame.arrays),
+            iterations=list(capture.iterations),
+            civ_names=tuple(info.name for info in self.plan.civs),
+            civ_values=capture.civ_values,
+            index_name=stmt.index if isinstance(stmt, Do) else None,
+            decisions=dict(strategies),
+        )
+
+    def capture_task(self, params: dict, arrays: dict) -> LoopTask:
+        """Freeze the target loop of one concrete run as a
+        :class:`LoopTask` without executing any backend.
+
+        The task carries the pre-loop memory, the captured iteration
+        list and CIV prefixes; ``decisions`` is left empty (callers pick
+        their own merge strategies).  The speculation benchmark times
+        its in-order sequential baseline over exactly this task.
+        """
+        capture = _LoopCapture()
+        machine = Machine(
+            self.program,
+            params=params,
+            arrays=copy.deepcopy(arrays),
+            loop_executor=lambda m, s, f: self._capturing_seq(m, s, f, capture),
+            loop_executor_label=self.plan.label,
+        )
+        machine.run()
+        if not capture.seen:
+            raise ValueError(f"target loop {self.plan.label!r} never executed")
+        return LoopTask(
+            program=self.program,
+            label=self.plan.label,
+            params=dict(machine.params),
+            pre_arrays=capture.pre_arrays,
+            pre_scalars=dict(capture.pre_scalars),
+            frame_arrays=dict(capture.frame_arrays),
+            iterations=list(capture.iterations),
+            civ_names=tuple(info.name for info in self.plan.civs),
+            civ_values=capture.civ_values,
+            index_name=capture.index_name,
+        )
+
+    @staticmethod
+    def _note_speculation(report: ExecutionReport, run) -> None:
+        """Fold a backend run's speculation outcome into the report."""
+        doc = run.speculation
+        if doc is None:
+            return
+        report.used_speculation = True
+        report.speculation_overhead += float(doc["traced_accesses"])
+        if doc["committed"]:
+            report.speculation_commits += 1
+        else:
+            report.speculation_rollbacks += doc["rollbacks"]
+            report.misspeculated = True
+        if doc["privatized"]:
+            report.speculation_privatized = sorted(
+                set(report.speculation_privatized) | set(doc["privatized"])
+            )
+
     def _parallel_execute(
         self,
         params: dict,
         arrays: dict,
         capture: _LoopCapture,
-        decisions: dict[str, ArrayDecision],
+        strategies: dict[str, str],
         report: ExecutionReport,
     ) -> dict[str, list[int]]:
         """Re-run the whole program, delegating the target loop to the
@@ -452,21 +566,7 @@ class HybridExecutor:
         merge rules) and recording the real wall-clock cost."""
 
         def parallel_hook(machine: Machine, stmt, frame):
-            task = LoopTask(
-                program=self.program,
-                label=self.plan.label,
-                params=dict(machine.params),
-                pre_arrays=copy.deepcopy(machine.arrays),
-                pre_scalars=dict(frame.scalars),
-                frame_arrays=dict(frame.arrays),
-                iterations=list(capture.iterations),
-                civ_names=tuple(info.name for info in self.plan.civs),
-                civ_values=capture.civ_values,
-                index_name=stmt.index if isinstance(stmt, Do) else None,
-                decisions={
-                    name: d.strategy for name, d in decisions.items()
-                },
-            )
+            task = self._freeze_task(machine, stmt, frame, capture, strategies)
             backend = self._resolve_backend(task)
             started = time.perf_counter()
             run = backend.execute(task, jobs=self.jobs, chunk=self.chunk)
@@ -474,6 +574,7 @@ class HybridExecutor:
             report.backend_used = backend.name
             report.jobs = max(report.jobs, run.jobs)
             report.chunks += run.chunks
+            self._note_speculation(report, run)
             machine.arrays = run.arrays
             frame.scalars.update(run.final_scalars)
             if isinstance(stmt, Do) and capture.iterations:
@@ -488,6 +589,50 @@ class HybridExecutor:
         )
         result = machine.run()
         return result.arrays
+
+    def _speculative_fallback(
+        self,
+        params: dict,
+        arrays: dict,
+        capture: _LoopCapture,
+        decisions: dict[str, ArrayDecision],
+        report: ExecutionReport,
+        seq_arrays: dict,
+    ) -> ExecutionReport:
+        """Run the loop on the speculative backend after the cascade
+        failed: commit makes the run parallel after the fact; a conflict
+        rolls back and re-executes sequentially (the loop stays correct
+        either way, only the timing differs)."""
+        strategies = {
+            name: ("private" if d.strategy == "dependent" else d.strategy)
+            for name, d in decisions.items()
+        }
+        par_arrays = self._parallel_execute(
+            params, arrays, capture, strategies, report
+        )
+        committed = (
+            report.speculation_commits > 0
+            and report.speculation_rollbacks == 0
+        )
+        report.parallel = committed
+        report.correct = par_arrays == seq_arrays
+        for name, d in decisions.items():
+            if d.strategy != "dependent":
+                continue
+            if committed:
+                strategy = (
+                    "private"
+                    if name in report.speculation_privatized
+                    else "shared"
+                )
+                report.decisions[name] = ArrayDecision(
+                    name, strategy, "speculation"
+                )
+            else:
+                report.decisions[name] = ArrayDecision(
+                    name, "dependent", "speculation"
+                )
+        return report
 
     # -- CIV slice cost ----------------------------------------------------------
     def _civ_slice_fraction(self) -> float:

@@ -14,6 +14,16 @@ On success the speculative run's timing stands (plus the marking
 overhead, proportional to the number of traced accesses); on failure the
 loop re-executes sequentially and the speculative work is wasted -- both
 exactly the cost behaviour the paper attributes to TLS.
+
+Two consumers share the marking analysis:
+
+* :func:`lrpd_test` -- the post-hoc view over a sequential
+  :class:`~repro.ir.interp.LoopTrace` (the cost-model path, and the
+  trace-side oracle the property suite compares against);
+* :func:`lrpd_marks` -- the generic core the *real* speculative
+  execution backend
+  (:class:`~repro.runtime.backends.speculative.SpeculativeBackend`)
+  feeds with the shadow marks of its optimistic parallel run.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from dataclasses import dataclass
 
 from ..ir.interp import LoopTrace
 
-__all__ = ["SpeculationResult", "lrpd_test"]
+__all__ = ["SpeculationResult", "lrpd_marks", "lrpd_test"]
 
 
 @dataclass
@@ -34,29 +44,46 @@ class SpeculationResult:
     traced_accesses: int
     #: privatizable-under-TLS arrays (never expose-read across iterations)
     privatized: frozenset[str] = frozenset()
+    #: arrays whose conflicts aborted speculation (empty on success)
+    conflicts: frozenset[str] = frozenset()
 
 
-def lrpd_test(trace: LoopTrace, privatize: bool = True) -> SpeculationResult:
-    """Run the LRPD marking analysis on an execution trace.
+def lrpd_marks(
+    accesses, privatize: bool = True, skip: frozenset = frozenset()
+) -> SpeculationResult:
+    """Run the LRPD test over shadow marks.
 
-    With ``privatize`` (the paper's LRPD with privatization), arrays whose
-    cross-iteration conflicts are write-write only are treated as
+    *accesses* yields one ``(ident, writes, exposed)`` triple per
+    executed iteration: a hashable iteration identity, the per-array
+    written locations and the per-array expose-read locations (a read of
+    a location with no preceding write in the same iteration).  Arrays
+    in *skip* are exempt from marking entirely -- the caller has already
+    validated a merge rule for them (e.g. a licensed reduction
+    delta-merge), so their accesses can neither conflict nor count
+    toward the marking overhead.
+
+    With ``privatize`` (the paper's LRPD with privatization), arrays
+    whose cross-iteration conflicts are write-write only are treated as
     privatized (with last-value), so only genuine flow dependences --
     a location written by iteration ``i`` and expose-read by ``j != i``
     -- abort speculation.
     """
     traced = 0
-    writers: dict[tuple[str, int], set[int]] = {}
-    exposed: dict[tuple[str, int], set[int]] = {}
-    for rec in trace.iterations:
-        for arr, locs in rec.writes.items():
+    writers: dict[tuple[str, int], set] = {}
+    exposed: dict[tuple[str, int], set] = {}
+    for ident, writes, reads in accesses:
+        for arr, locs in writes.items():
+            if arr in skip:
+                continue
             traced += len(locs)
             for loc in locs:
-                writers.setdefault((arr, loc), set()).add(rec.iteration)
-        for arr, locs in rec.exposed_reads.items():
+                writers.setdefault((arr, loc), set()).add(ident)
+        for arr, locs in reads.items():
+            if arr in skip:
+                continue
             traced += len(locs)
             for loc in locs:
-                exposed.setdefault((arr, loc), set()).add(rec.iteration)
+                exposed.setdefault((arr, loc), set()).add(ident)
 
     output_conflicts: set[str] = set()
     for key, owners in writers.items():
@@ -72,11 +99,30 @@ def lrpd_test(trace: LoopTrace, privatize: bool = True) -> SpeculationResult:
                 break
 
     if flow_conflicts:
-        return SpeculationResult(success=False, traced_accesses=traced)
+        return SpeculationResult(
+            success=False,
+            traced_accesses=traced,
+            conflicts=frozenset(flow_conflicts),
+        )
     if output_conflicts and not privatize:
-        return SpeculationResult(success=False, traced_accesses=traced)
+        return SpeculationResult(
+            success=False,
+            traced_accesses=traced,
+            conflicts=frozenset(output_conflicts),
+        )
     return SpeculationResult(
         success=True,
         traced_accesses=traced,
         privatized=frozenset(output_conflicts),
+    )
+
+
+def lrpd_test(trace: LoopTrace, privatize: bool = True) -> SpeculationResult:
+    """Run the LRPD marking analysis on an execution trace."""
+    return lrpd_marks(
+        (
+            (rec.iteration, rec.writes, rec.exposed_reads)
+            for rec in trace.iterations
+        ),
+        privatize=privatize,
     )

@@ -100,6 +100,8 @@ class ServerMetrics:
         self._warm_hits = 0
         self._inflight = 0
         self._connections = 0
+        self._speculation_commits = 0
+        self._speculation_rollbacks = 0
         self._latency = LatencyHistogram()
 
     # -- recording ------------------------------------------------------
@@ -145,6 +147,12 @@ class ServerMetrics:
         with self._lock:
             self._warm_hits += 1
 
+    def speculation(self, commits: int, rollbacks: int) -> None:
+        """Fold one execute response's speculative-backend outcome in."""
+        with self._lock:
+            self._speculation_commits += commits
+            self._speculation_rollbacks += rollbacks
+
     # -- reporting ------------------------------------------------------
     def snapshot(self) -> dict:
         """The stats document served for the protocol's ``stats`` verb.
@@ -161,6 +169,10 @@ class ServerMetrics:
                 "latency": self._latency.snapshot(),
                 "requests": dict(self._requests),
                 "shed": self._shed,
+                "speculation": {
+                    "commits": self._speculation_commits,
+                    "rollbacks": self._speculation_rollbacks,
+                },
                 "uptime_s": round(self._clock() - self._started, 3),
                 "warm_hits": self._warm_hits,
             }

@@ -94,6 +94,10 @@ class _Worker:
             except BaseException as exc:  # delivered, never swallowed
                 future.set_exception(exc)
             else:
+                commits = getattr(result, "speculation_commits", 0)
+                rollbacks = getattr(result, "speculation_rollbacks", 0)
+                if commits or rollbacks:
+                    self.pool.metrics.speculation(commits, rollbacks)
                 future.set_result(result)
             finally:
                 self.inbox.task_done()

@@ -15,7 +15,12 @@ divergence surfaces as an ``unsound`` or ``crash`` verdict:
   demands;
 * per seed, all backends must also *agree with each other* (same
   outcome, same parallel flag): backends only change how validated
-  iterations execute, never what the runtime decides.
+  iterations execute, never what the runtime decides.  The one
+  sanctioned exception is the speculative backend, which exists to
+  *upgrade* verdicts: a loop the cascade could not validate may commit
+  at runtime (``precision-gap``/``sound-sequential`` ->
+  ``sound-parallel``) -- but it must never downgrade a validated loop,
+  and never be unsound.
 
 Curated (non-generated) shapes -- reductions, CIVs, privatization,
 while loops -- are exercised directly on top, since the fuzz grammar
@@ -171,7 +176,83 @@ def test_curated_shapes_on_every_backend(shape, backend):
     assert report.backend_used in BACKEND_NAMES
 
 
+# -- curated speculation shapes ----------------------------------------------
+
+#: A non-additive indirect update: the cascade cannot validate it, the
+#: inspector's verdict depends on the runtime contents of IDX, and the
+#: LRPD marks decide at execution time.
+_SPEC_SOURCE = """
+program upd
+param N, K
+array H(K), IDX(N), V(N)
+
+main
+  do i = 1, N @ target
+    H[IDX[i]] = V[i] + H[IDX[i]] * 2
+  end
+end
+"""
+
+
+def test_speculative_commit_on_runtime_independent_loop():
+    """Distinct indices at runtime: the optimistic run commits and the
+    loop is parallel after the fact."""
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    report = engine.compile(_SPEC_SOURCE).execute(
+        "target", {"N": 40, "K": 40},
+        {"IDX": [((i * 7) % 40) + 1 for i in range(40)],
+         "V": [i % 9 for i in range(40)]},
+        backend="speculative", jobs=3,
+    )
+    assert report.correct and report.parallel
+    assert report.backend_used == "speculative"
+    assert report.speculation_commits == 1
+    assert report.speculation_rollbacks == 0
+
+
+def test_speculative_rollback_on_conflicting_loop():
+    """Duplicate indices at runtime: the LRPD test detects the flow
+    conflict, the run rolls back, and the sequential re-execution keeps
+    the final memory correct."""
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    report = engine.compile(_SPEC_SOURCE).execute(
+        "target", {"N": 40, "K": 40},
+        {"IDX": [((i * 3) % 8) + 1 for i in range(40)],
+         "V": [i % 9 for i in range(40)]},
+        backend="speculative", jobs=3,
+    )
+    assert report.correct and not report.parallel
+    assert report.misspeculated
+    assert report.speculation_commits == 0
+    assert report.speculation_rollbacks == 1
+
+
 # -- fresh fuzz seeds ---------------------------------------------------------
+
+
+def _assert_verdict_agrees(seed, backend, reference, result):
+    """Backends must not change the runtime's verdict -- except the
+    speculative backend, which may *upgrade* an unvalidated loop to
+    ``sound-parallel`` (never the reverse)."""
+    if backend == "speculative":
+        if reference.outcome == "sound-parallel":
+            assert result.outcome == "sound-parallel", (
+                f"seed {seed}: speculative backend downgraded a "
+                f"validated loop ({result.outcome})"
+            )
+        else:
+            assert result.outcome in (reference.outcome, "sound-parallel"), (
+                f"seed {seed}: speculative backend changed the verdict "
+                f"({reference.outcome} -> {result.outcome})"
+            )
+        return
+    assert (result.outcome, result.parallel) == (
+        reference.outcome, reference.parallel
+    ), (
+        f"seed {seed}: backend {backend!r} changed the verdict "
+        f"({reference.outcome}/{reference.parallel} -> "
+        f"{result.outcome}/{result.parallel})"
+    )
 
 
 @pytest.mark.parametrize("backend", BACKEND_NAMES)
@@ -182,13 +263,7 @@ def test_fuzz_sample_equivalence(backend):
         case = generate_case(seed)
         reference = _assert_equivalent(case, "sequential")
         result = _assert_equivalent(case, backend)
-        assert (result.outcome, result.parallel) == (
-            reference.outcome, reference.parallel
-        ), (
-            f"seed {seed}: backend {backend!r} changed the verdict "
-            f"({reference.outcome}/{reference.parallel} -> "
-            f"{result.outcome}/{result.parallel})"
-        )
+        _assert_verdict_agrees(seed, backend, reference, result)
 
 
 @pytest.mark.slow

@@ -1,0 +1,73 @@
+"""Replay of the harvested precision-gap corpus.
+
+``precision_gap_corpus.json`` records every fuzz seed in the harvest
+window whose loop the static/predicate/inspector cascade could not
+validate even though the trace oracle saw no cross-iteration
+dependence -- the precision gap the speculative backend exists to
+close.  Replaying pins both halves of the claim per seed:
+
+* the gap still exists: the sequential backend still classifies the
+  seed as ``precision-gap`` (if the cascade learns to validate one of
+  these, the harvest should be regenerated, not silently outgrown);
+* speculation closes it as recorded: the speculative backend's verdict
+  matches the harvested ``speculative_outcome`` (all ``sound-parallel``
+  at harvest time).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import generate_case
+from repro.fuzz.oracle import run_case
+
+CORPUS_PATH = Path(__file__).parent / "precision_gap_corpus.json"
+CORPUS = json.loads(CORPUS_PATH.read_text())
+
+#: Fast-path sample; the slow soak replays every harvested seed.
+FAST_SAMPLE = 10
+
+
+def _replay(entry):
+    seed = entry["seed"]
+    case = generate_case(seed)
+    reference = run_case(case, backend="sequential")
+    assert reference.outcome == entry["sequential_outcome"], (
+        f"seed {seed}: cascade verdict drifted "
+        f"({entry['sequential_outcome']} -> {reference.outcome}); "
+        "regenerate the harvest"
+    )
+    speculative = run_case(case, backend="speculative", jobs=4)
+    assert speculative.outcome == entry["speculative_outcome"], (
+        f"seed {seed}: speculative verdict drifted "
+        f"({entry['speculative_outcome']} -> {speculative.outcome})"
+    )
+
+
+def test_corpus_is_well_formed():
+    assert CORPUS["seed_range"] == [0, 400]
+    seeds = [e["seed"] for e in CORPUS["seeds"]]
+    assert seeds, "harvest must not be empty"
+    assert seeds == sorted(set(seeds)), "seeds must be unique and ordered"
+    assert all(
+        CORPUS["seed_range"][0] <= s < CORPUS["seed_range"][1] for s in seeds
+    )
+    for entry in CORPUS["seeds"]:
+        assert entry["sequential_outcome"] == "precision-gap"
+        assert entry["speculative_outcome"] == "sound-parallel"
+
+
+@pytest.mark.parametrize(
+    "entry",
+    CORPUS["seeds"][:FAST_SAMPLE],
+    ids=lambda e: f"seed{e['seed']}",
+)
+def test_gap_seed_flips_to_parallel(entry):
+    _replay(entry)
+
+
+@pytest.mark.slow
+def test_full_corpus_replays():
+    for entry in CORPUS["seeds"]:
+        _replay(entry)

@@ -108,6 +108,53 @@ def test_analyze_response_content(engine):
     assert reduction.transform == "reduction"
 
 
+#: A runtime-dependent scatter: duplicate indices with no exposed
+#: reads, so the cascade cannot validate it but the speculative backend
+#: commits with the written array privatized -- the shape that fills
+#: every v4 speculation field at once.
+_SPEC_SOURCE = """
+program specproto
+param N
+array A(N), B(N), IDX(N)
+
+main
+  do i = 1, N @ target
+    B[IDX[i]] = A[i] + 1
+  end
+end
+"""
+
+
+def test_v4_speculation_fields_serialize(engine):
+    response = engine.execute(
+        ExecuteRequest(
+            source=_SPEC_SOURCE, loop="target",
+            params={"N": 20},
+            arrays={"IDX": [(i % 6) + 1 for i in range(20)],
+                    "A": [i % 4 for i in range(20)]},
+            backend="speculative", jobs=2,
+        )
+    )
+    payload = response.to_json()
+    assert payload["version"] == PROTOCOL_VERSION
+    assert payload["speculation_commits"] == 1
+    assert payload["speculation_rollbacks"] == 0
+    assert payload["speculation_privatized"] == ["B"]
+    # byte-identical roundtrip with the new fields populated
+    text = response.canonical_text()
+    assert _roundtrip(text, lambda p: ExecuteResponse.from_json(p)) == text
+    # a v4 document without the fields still reads (defaults apply)
+    for key in (
+        "speculation_commits", "speculation_rollbacks",
+        "speculation_privatized",
+    ):
+        payload.pop(key)
+    slim = ExecuteResponse.from_json(payload)
+    assert slim.speculation_commits == 0
+    assert slim.speculation_rollbacks == 0
+    assert slim.speculation_privatized == []
+
+
 def test_execute_response_matches_report(engine):
     compiled = engine.compile(SOURCE)
     report = compiled.execute("target", PARAMS, ARRAYS)

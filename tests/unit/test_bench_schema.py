@@ -170,6 +170,83 @@ def test_format_serving_summarizes(serving_doc):
     assert "sharded" in text and "shared" in text
 
 
+# -- the speculation trajectory (BENCH_speculation.json) ---------------------
+
+
+@pytest.fixture(scope="module")
+def speculation_doc():
+    from repro.evaluation.bench import run_speculation_bench
+
+    # tiny sizes: the schema is what's under test, not the speedups
+    return run_speculation_bench(
+        jobs=2, repeat=1, trips=24, inner=40, cells=256
+    )
+
+
+def test_speculation_doc_is_schema_valid(speculation_doc):
+    assert CHECKER.validate_bench_doc(speculation_doc) == []
+    assert CHECKER.validate_speculation_doc(speculation_doc) == []
+    assert speculation_doc["version"] == BENCH_VERSION
+    assert speculation_doc["equivalence_ok"] is True
+    assert all(
+        w["committed"] for w in speculation_doc["gap"]["workloads"]
+    )
+    assert all(
+        w["rollbacks"] == 1
+        for w in speculation_doc["conflict"]["workloads"]
+    )
+
+
+def test_speculation_doc_is_byte_stable(speculation_doc, tmp_path):
+    path = write_bench(speculation_doc, str(tmp_path))
+    assert path.name == "BENCH_speculation.json"
+    text = path.read_text()
+    assert canonical_json(json.loads(text)) + "\n" == text
+    assert CHECKER.check_file(path) == []
+
+
+def test_speculation_checker_rejects_drift(speculation_doc):
+    broken = json.loads(canonical_json(speculation_doc))
+    broken["surprise"] = 1
+    assert any("surprise" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(speculation_doc))
+    del broken["gap"]["workloads"][0]["speedup"]
+    assert CHECKER.validate_bench_doc(broken)
+    broken = json.loads(canonical_json(speculation_doc))
+    broken["conflict"]["workloads"][0]["committed"] = True
+    assert any("committed" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(speculation_doc))
+    broken["version"] = 999
+    assert any("version" in e for e in CHECKER.validate_bench_doc(broken))
+
+
+def test_format_speculation_summarizes(speculation_doc):
+    from repro.evaluation.bench import format_speculation_bench
+
+    text = format_speculation_bench(speculation_doc)
+    assert "suite speculation" in text
+    assert "commit" in text and "rollback" in text
+    assert "equivalence: ok" in text
+
+
+def test_committed_speculation_trajectory_is_valid():
+    committed = ROOT / "BENCH_speculation.json"
+    assert committed.is_file(), (
+        "the BENCH_speculation.json trajectory point must be committed "
+        "(regenerate with 'repro-eval bench --suite speculation')"
+    )
+    assert CHECKER.check_file(committed) == []
+    payload = json.loads(committed.read_text())
+    assert payload["suite"] == "speculation"
+    assert payload["jobs"] >= 4
+    assert payload["equivalence_ok"] is True
+    # the acceptance bar: speculation beats the reference baseline on
+    # >= 80% of the gap workloads, and a misspeculation costs less than
+    # 2.5x the bare in-order execution
+    assert payload["gap"]["win_fraction"] >= 0.8
+    assert payload["conflict"]["max_loss"] < 2.5
+
+
 def test_committed_serving_trajectory_is_valid():
     committed = ROOT / "BENCH_serving.json"
     assert committed.is_file(), (

@@ -112,3 +112,12 @@ def test_real_execution_fields_default_to_not_yet_run():
     assert report.jobs == 1
     assert report.chunks == 0
     assert report.wall_s == 0.0
+
+
+def test_speculation_fields_default_to_no_speculation():
+    report = _report()
+    assert report.used_speculation is False
+    assert report.misspeculated is False
+    assert report.speculation_commits == 0
+    assert report.speculation_rollbacks == 0
+    assert report.speculation_privatized == []

@@ -12,7 +12,7 @@ from repro.server import LatencyHistogram, ServerMetrics
 
 SNAPSHOT_KEYS = {
     "coalesced", "completed", "connections", "errors", "inflight",
-    "latency", "requests", "shed", "uptime_s", "warm_hits",
+    "latency", "requests", "shed", "speculation", "uptime_s", "warm_hits",
 }
 LATENCY_KEYS = {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"}
 
@@ -60,6 +60,7 @@ class TestServerMetrics:
         assert set(snap["latency"]) == LATENCY_KEYS
         assert set(snap["requests"]) == {"analyze", "execute", "stats"}
         assert set(snap["errors"]) == ERROR_CODES
+        assert snap["speculation"] == {"commits": 0, "rollbacks": 0}
 
     def test_counter_lifecycle(self):
         metrics = ServerMetrics()
@@ -84,6 +85,15 @@ class TestServerMetrics:
         assert snap["errors"]["overloaded"] == 1  # shed implies the code
         assert snap["errors"]["bad_request"] == 1
         assert snap["latency"]["count"] == 1
+
+    def test_speculation_counters_accumulate(self):
+        metrics = ServerMetrics()
+        metrics.speculation(1, 0)
+        metrics.speculation(0, 1)
+        metrics.speculation(2, 0)
+        assert metrics.snapshot()["speculation"] == {
+            "commits": 3, "rollbacks": 1,
+        }
 
     def test_unknown_verb_and_code_ignored(self):
         metrics = ServerMetrics()

@@ -29,6 +29,9 @@ KNOWN_VERSIONS = (1,)
 #: Known BENCH_serving.json document versions.
 KNOWN_SERVING_VERSIONS = (1,)
 
+#: Known BENCH_speculation.json document versions.
+KNOWN_SPECULATION_VERSIONS = (1,)
+
 _TOP_KEYS = {
     "backends", "chunk", "equivalence_ok", "jobs", "parallel_wins",
     "repeat", "suite", "version", "workloads",
@@ -48,6 +51,20 @@ _SERVING_POOL_KEYS = {
     "wall_s", "warm_hits",
 }
 _SERVING_LATENCY_KEYS = {"max_s", "mean_s", "p50_s", "p95_s", "p99_s"}
+
+# -- speculation-trajectory shape (suite == "speculation") -------------------
+_SPECULATION_TOP_KEYS = {
+    "conflict", "equivalence_ok", "gap", "jobs", "repeat", "suite",
+    "version",
+}
+_SPECULATION_COMMON_KEYS = {
+    "committed", "correct", "description", "inorder_wall_s", "name",
+    "rollbacks", "speculative_wall_s", "traced_accesses", "trips",
+}
+_SPECULATION_GAP_KEYS = _SPECULATION_COMMON_KEYS | {
+    "sequential_wall_s", "speedup",
+}
+_SPECULATION_CONFLICT_KEYS = _SPECULATION_COMMON_KEYS | {"loss"}
 _CHUNK_KEYS = {"policy", "size"}
 _WIN_KEYS = {"backend", "speedup", "workload"}
 _WORKLOAD_KEYS = {
@@ -126,15 +143,68 @@ def validate_serving_doc(payload: dict) -> list:
     return errors
 
 
+def validate_speculation_doc(payload: dict) -> list:
+    """Schema problems of one BENCH_speculation document (empty =
+    valid)."""
+    errors = _key_errors("document", payload, _SPECULATION_TOP_KEYS)
+    if errors:
+        return errors
+    if payload["version"] not in KNOWN_SPECULATION_VERSIONS:
+        return [
+            f"document: unsupported speculation-bench version "
+            f"{payload['version']!r} (this checker speaks "
+            f"{list(KNOWN_SPECULATION_VERSIONS)})"
+        ]
+    if not isinstance(payload["jobs"], int) or payload["jobs"] < 1:
+        errors.append("document: 'jobs' must be a positive integer")
+    if not isinstance(payload["repeat"], int) or payload["repeat"] < 1:
+        errors.append("document: 'repeat' must be a positive integer")
+    if not isinstance(payload["equivalence_ok"], bool):
+        errors.append("document: 'equivalence_ok' must be a boolean")
+    for section, headline, entry_keys, expect_commit in (
+        ("gap", "win_fraction", _SPECULATION_GAP_KEYS, True),
+        ("conflict", "max_loss", _SPECULATION_CONFLICT_KEYS, False),
+    ):
+        body = payload[section]
+        errors.extend(_key_errors(
+            section, body, {headline, "workloads"},
+        ))
+        if set(body) != {headline, "workloads"}:
+            continue
+        workloads = body["workloads"]
+        if not isinstance(workloads, list) or not workloads:
+            errors.append(f"{section}: 'workloads' must be a non-empty list")
+            continue
+        for entry in workloads:
+            what = f"{section} workload {entry.get('name')!r}"
+            errors.extend(_key_errors(what, entry, entry_keys))
+            if set(entry) != entry_keys:
+                continue
+            if not isinstance(entry["correct"], bool):
+                errors.append(f"{what}: 'correct' must be a boolean")
+            if entry["committed"] is not expect_commit:
+                errors.append(
+                    f"{what}: expected committed={expect_commit} in the "
+                    f"{section} section"
+                )
+            for key in ("inorder_wall_s", "speculative_wall_s"):
+                if not isinstance(entry[key], (int, float)) or entry[key] < 0:
+                    errors.append(f"{what}: {key!r} must be >= 0")
+    return errors
+
+
 def validate_bench_doc(payload: dict) -> list:
     """Schema problems of one parsed BENCH document (empty = valid).
 
     Dispatches on the suite: the serving trajectory (``suite ==
-    "serving"``) has its own shape; everything else is an
+    "serving"``) and the speculation trajectory (``suite ==
+    "speculation"``) have their own shapes; everything else is an
     execution-backend trajectory.
     """
     if isinstance(payload, dict) and payload.get("suite") == "serving":
         return validate_serving_doc(payload)
+    if isinstance(payload, dict) and payload.get("suite") == "speculation":
+        return validate_speculation_doc(payload)
     errors = _key_errors("document", payload, _TOP_KEYS)
     if errors:
         return errors
