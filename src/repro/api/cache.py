@@ -41,7 +41,10 @@ __all__ = [
 #: v3: exposed-read tracking in the dataflow summaries; the EXT-RRED
 #: enabling equation now catches plain reads demoted into RW (read-
 #: before-write regions), changing reduction classifications.
-CACHE_VERSION = 3
+#: v4: tiered analysis -- responses carry tier-provenance fields and the
+#: 'tiering' knob joined the key's knob text, so v3 entries (written
+#: before either existed) must never satisfy a v4 request.
+CACHE_VERSION = 4
 
 #: Default on-disk cache location (overridable via $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = ".repro-cache"

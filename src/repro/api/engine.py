@@ -67,6 +67,7 @@ ANALYZER_KNOBS = (
     "interprocedural",
     "size_cap",
     "work_cap",
+    "tiering",
 )
 
 
@@ -81,6 +82,11 @@ class EngineConfig:
     interprocedural: bool = True
     size_cap: Optional[int] = None
     work_cap: Optional[int] = None
+    #: Tier-0 screening before cascade construction (off = always run
+    #: the full Tier-1 pipeline).  Screening cannot change a plan, but
+    #: it does change the tier-provenance fields of the response, so the
+    #: knob participates in the analysis cache key like any other.
+    tiering: bool = True
     # -- cache / concurrency policy -------------------------------------
     #: persistent cache location (None = .repro-cache / $REPRO_CACHE_DIR)
     cache_dir: Optional[str] = None

@@ -63,7 +63,12 @@ __all__ = [
 #: ``speculation_privatized``).  A v3 reader would silently drop those
 #: fields from a round-trip, breaking the byte-identity contract, so
 #: the version moves.
-PROTOCOL_VERSION = 4
+#: v5: tiered analysis -- AnalyzeResponse reports tier provenance
+#: (``tier_used`` / ``screening`` / ``escalation_reason``).  The fields
+#: are additive and default-tolerant (a document without them reads as
+#: an untired ``tier1``/``off`` answer), but a v4 reader re-serializing
+#: a v5 document would drop them, so the version moves.
+PROTOCOL_VERSION = 5
 
 #: Default upper bound on one serialized request document (the serving
 #: layer's admission control rejects larger payloads with a
@@ -380,6 +385,14 @@ class AnalyzeResponse:
     is_while: bool = False
     civs: list = field(default_factory=list)
     arrays: list = field(default_factory=list)
+    #: v5 tier provenance: 'tier0' = every independence equation was
+    #: resolved by the screening pass (no USR cascade construction),
+    #: 'tier1' = the full FACTOR pipeline ran for at least one equation.
+    tier_used: str = "tier1"
+    #: screening verdict: 'resolved' | 'escalated' | 'off'
+    screening: str = "off"
+    #: 'array:equation' of the first inconclusive screening query
+    escalation_reason: str = ""
     version: int = PROTOCOL_VERSION
     #: served from a cache (process-local; never serialized)
     cached: bool = False
@@ -402,6 +415,9 @@ class AnalyzeResponse:
                 ArrayPlanSummary.from_plan(p)
                 for _, p in sorted(plan.arrays.items())
             ],
+            tier_used=plan.tier_used,
+            screening=plan.screening,
+            escalation_reason=plan.escalation_reason,
         )
 
     def to_json(self) -> dict:
@@ -420,6 +436,9 @@ class AnalyzeResponse:
             "is_while": self.is_while,
             "civs": list(self.civs),
             "arrays": [a.to_json() for a in self.arrays],
+            "tier_used": self.tier_used,
+            "screening": self.screening,
+            "escalation_reason": self.escalation_reason,
         }
 
     @classmethod
@@ -441,6 +460,11 @@ class AnalyzeResponse:
                 ArrayPlanSummary.from_json(a)
                 for a in payload.get("arrays", [])
             ],
+            # Absent tier fields (a pre-v5 document) read as an untired
+            # tier1/off answer -- the default-tolerance contract.
+            tier_used=payload.get("tier_used", "tier1"),
+            screening=payload.get("screening", "off"),
+            escalation_reason=payload.get("escalation_reason", ""),
             cached=cached,
         )
 

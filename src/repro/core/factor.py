@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import profiling as _profiling
+
 from ..lmad import (
     disjoint_lmad_sets,
     fills_array,
@@ -40,6 +42,7 @@ from ..pdag import (
     p_or,
 )
 from ..symbolic import Expr, b_not, sym
+from ..symbolic.intern import Memo
 from ..usr import (
     CallSite,
     Gate,
@@ -132,6 +135,7 @@ def _leaf_empty(leaf: Leaf) -> PDAG:
     return p_leaf(_leaf_empty_pred(leaf))
 
 
+@_profiling.timed("core.factor")
 def factor(s: USR, ctx: Optional[FactorContext] = None) -> PDAG:
     """Translate summary *s* into a sufficient emptiness predicate."""
     ctx = ctx or FactorContext()
@@ -341,8 +345,21 @@ def _included_h(s: USR, u: USR, ctx: FactorContext, fuel: int) -> PDAG:
     return p_or(p1, p2)
 
 
+#: The APP fallbacks are pure functions of their summaries and the
+#: monotone-fact set (the only context field they read), and both the
+#: Tier-0 screening audit and the Tier-1 factoring evaluate them on the
+#: same operand pairs -- memoizing globally makes the screen's probes
+#: free on escalation instead of doubled.
+_INCLUDED_APP_MEMO = Memo("core.included_app", max_size=200_000)
+_DISJOINT_APP_MEMO = Memo("core.disjoint_app", max_size=200_000)
+
+
 def _included_app(c: USR, d: USR, ctx: FactorContext) -> PDAG:
     """Fallback to the LMAD domain via conditional estimates."""
+    key = (c, d, ctx.monotone)
+    cached = _INCLUDED_APP_MEMO.get(key)
+    if cached is not None:
+        return cached
     over_c = overestimate(c, ctx.monotone)
     under_d = underestimate(d)
     pieces: list[PDAG] = [p_leaf(over_c.pred)]
@@ -353,7 +370,7 @@ def _included_app(c: USR, d: USR, ctx: FactorContext) -> PDAG:
                 p_leaf(included_lmad_sets(over_c.lmads, under_d.lmads)),
             )
         )
-    return p_or(*pieces)
+    return _INCLUDED_APP_MEMO.put(key, p_or(*pieces))
 
 
 # -- DISJOINT ----------------------------------------------------------------
@@ -507,9 +524,13 @@ def _disjoint_h(u: USR, s: USR, ctx: FactorContext, fuel: int) -> PDAG:
 
 
 def _disjoint_app(c: USR, d: USR, ctx: FactorContext) -> PDAG:
+    key = (c, d, ctx.monotone)
+    cached = _DISJOINT_APP_MEMO.get(key)
+    if cached is not None:
+        return cached
     over_c = overestimate(c, ctx.monotone)
     over_d = overestimate(d, ctx.monotone)
     pieces: list[PDAG] = [p_leaf(over_c.pred), p_leaf(over_d.pred)]
     if not over_c.failed and not over_d.failed:
         pieces.append(p_leaf(disjoint_lmad_sets(over_c.lmads, over_d.lmads)))
-    return p_or(*pieces)
+    return _DISJOINT_APP_MEMO.put(key, p_or(*pieces))

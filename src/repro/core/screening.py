@@ -1,0 +1,264 @@
+"""Tier-0 screening: cheap sufficient checks that FACTOR yields true.
+
+The tiered analysis pipeline (ROADMAP: "cold-path compile latency")
+resolves the easy majority of independence equations without running
+the full :func:`repro.core.factor.factor` translation.
+:func:`screen_static` answers one question at O(|USR|) cost:
+
+    would ``simplify(factor(usr, ctx'))`` -- for a *fresh* context
+    ``ctx'`` carrying the same knobs -- be literally ``PTRUE``?
+
+``True`` is a proof; ``False`` only means "inconclusive, escalate to
+Tier-1".  The hard invariant (screening may short-circuit the full
+pipeline but never change its answer) therefore reduces to the
+soundness of each rule below, which the tier-equivalence fuzz matrix
+re-checks end to end on every CI run.
+
+Soundness rests on three properties of the full pipeline:
+
+* **eager constant folding**: the PDAG smart constructors fold
+  ``p_or(PTRUE, anything)`` to ``PTRUE``, ``p_and`` of trues to
+  ``PTRUE``, ``p_loop_and(.., PTRUE)`` to ``PTRUE``; ``_capped``,
+  ``simplify`` and ``_fold_monotone_leaves`` all map ``PTRUE`` to
+  ``PTRUE``.  So proving any disjunct of a factor rule literally true
+  proves the whole translation true.
+* **the APP fallbacks are always in the disjunction** -- except for the
+  recurrence-vs-recurrence shortcuts (DISJOINT rule (1), INCLUDED rule
+  (3)), which return early *without* the LMAD fallback.  Pair rules
+  here therefore refuse recurrence pairs those shortcuts could claim.
+* **budget exhaustion folds to false**: with a finite
+  :attr:`~repro.core.factor.FactorContext.work_cap` a subterm can fold
+  to false purely because an earlier sibling's exploration spent the
+  budget.  The audit tracks an upper bound on the *total* budget the
+  full exploration would consume; under a finite cap a claim is only
+  valid when that bound fits, or when the folding disjunct is computed
+  before any budget is spent on siblings (the "fold-immune" top-level
+  rules).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import profiling as _profiling
+from ..symbolic import b_not
+from ..usr import (
+    CallSite,
+    Gate,
+    Intersect,
+    Leaf,
+    Recurrence,
+    Subtract,
+    Union,
+    USR,
+    reshape,
+)
+from ..usr.estimate import _leaf_empty_pred
+from .factor import (
+    FactorContext,
+    _disjoint_app,
+    _fold_monotone_leaves,
+    _included_app,
+    _included_h,
+)
+from .monotonic import match_self_overlap, monotonicity_predicate
+
+__all__ = ["screen_static"]
+
+#: Below these context bounds every claim is refused outright: the full
+#: pipeline could fold even trivial proofs to false (fuel or budget runs
+#: out before the folding node is reached, or the size cap drops the
+#: constant-true result).
+_MIN_DEPTH = 4
+_MIN_SIZE = 4
+
+
+def _mono_true(s: Recurrence, ctx: FactorContext) -> bool:
+    """The Section 3.3 monotonicity predicate folds to literal true.
+
+    Mirrors the Recurrence arm of ``_factor_uncached``: when the rule
+    fires with a non-false predicate the result is
+    ``p_or(mono, per_iter)``, which is ``PTRUE`` whenever ``mono`` is --
+    regardless of what the per-iteration exploration returns.  When the
+    context carries monotone facts, ``factor`` additionally rewrites
+    comparison leaves through ``_fold_monotone_leaves``, so a predicate
+    that folds true *under those facts* is an equally valid claim.
+    """
+    if not ctx.use_monotonicity or s.partial:
+        return False
+    if match_self_overlap(s) is None:
+        return False
+    mono = monotonicity_predicate(s, ctx.monotone)
+    if mono.is_false():
+        # factor takes the plain loop-conjunction path in this case; the
+        # monotonicity avenue proves nothing.
+        return False
+    if mono.is_true():
+        return True
+    if ctx.monotone:
+        return _fold_monotone_leaves(mono, ctx.monotone).is_true()
+    return False
+
+
+def _pair_audit(
+    a: USR, b: USR, ctx: FactorContext, fuel: int
+) -> tuple[Optional[int], bool]:
+    """(budget bound, provable truth) of ``disjoint(a, b, ctx, fuel)``.
+
+    Truth leans on the DISJOINT_APP fallback, which sits in the final
+    disjunction for every operand shape except a pair of non-partial
+    recurrences (rule (1) can return early without it).
+    """
+    if fuel <= 0:
+        return (0, False)
+    if (
+        isinstance(a, Recurrence)
+        and isinstance(b, Recurrence)
+        and not a.partial
+        and not b.partial
+    ):
+        return (None, False)
+    true = _disjoint_app(a, b, ctx).is_true()
+
+    # Budget: one spend for the disjoint() entry, and none below it --
+    # but only when the structural rules cannot recurse: leaves have no
+    # structural arm at all, and recurrences only recurse when the
+    # (off-by-default) distribution knob is set.
+    def _flat(x: USR) -> bool:
+        return isinstance(x, Leaf) or (
+            isinstance(x, Recurrence)
+            and not ctx.distribute_disjoint_recurrences
+        )
+
+    cost = 1 if _flat(a) and _flat(b) else None
+    return (cost, true)
+
+
+def _included_audit(
+    s: USR, u: USR, ctx: FactorContext, fuel: int
+) -> tuple[Optional[int], bool]:
+    """(budget bound, provable truth) of ``included(s, u, ctx, fuel)``.
+
+    Same shape as :func:`_pair_audit`: INCLUDED_APP is always in the
+    disjunction except for the recurrence-pair rule (3).
+    """
+    if fuel <= 0:
+        return (0, False)
+    if s == u:
+        # included() folds identical operands before spending budget.
+        return (0, True)
+    if isinstance(s, Recurrence) and isinstance(u, Recurrence):
+        return (None, False)
+    true = _included_app(s, u, ctx).is_true()
+    if isinstance(s, Leaf) and isinstance(u, Leaf):
+        # The structural pass is spend-free for leaves and contributes
+        # the direct LMAD-inclusion disjunct.
+        true = true or _included_h(s, u, ctx, fuel - 1).is_true()
+        return (1, true)
+    return (None, true)
+
+
+def _audit(
+    s: USR, ctx: FactorContext, fuel: int
+) -> tuple[Optional[int], bool]:
+    """The screening core: one pass over *s* mirroring ``_factor``.
+
+    Returns ``(cost, true)`` where *true* claims ``factor`` would fold
+    this subtree to ``PTRUE`` given unlimited budget, and *cost* is an
+    upper bound on the budget units the full exploration of the subtree
+    consumes (``None`` = unbounded/unknown).  Every node visit in
+    ``_factor``/``disjoint``/``included`` costs one unit; the bound
+    ignores memo hits, so it always overestimates.
+    """
+    if fuel <= 0:
+        # _factor returns false immediately, exploring (and spending)
+        # nothing.
+        return (0, False)
+    if isinstance(s, Leaf):
+        return (1, _leaf_empty_pred(s).is_true())
+    if isinstance(s, Gate):
+        cost, true = _audit(s.body, ctx, fuel - 1)
+        cost = None if cost is None else 1 + cost
+        return (cost, b_not(s.cond).is_true() or true)
+    if isinstance(s, Union):
+        cost, true = 1, True
+        for a in s.args:
+            c, t = _audit(a, ctx, fuel - 1)
+            cost = None if (cost is None or c is None) else cost + c
+            true = true and t
+        return (cost, true)
+    if isinstance(s, Subtract):
+        lc, lt = _audit(s.left, ctx, fuel - 1)
+        ic, it = _included_audit(s.left, s.right, ctx, fuel - 1)
+        cost = None if (lc is None or ic is None) else 1 + lc + ic
+        return (cost, lt or it)
+    if isinstance(s, Intersect):
+        cost, true = 1, False
+        for a in s.args:
+            c, t = _audit(a, ctx, fuel - 1)
+            cost = None if (cost is None or c is None) else cost + c
+            true = true or t
+        for i in range(len(s.args)):
+            for j in range(i + 1, len(s.args)):
+                c, t = _pair_audit(s.args[i], s.args[j], ctx, fuel - 1)
+                cost = None if (cost is None or c is None) else cost + c
+                true = true or t
+        return (cost, true)
+    if isinstance(s, CallSite):
+        cost, true = _audit(s.body, ctx, fuel - 1)
+        return (None if cost is None else 1 + cost, true)
+    if isinstance(s, Recurrence):
+        cost, true = _audit(s.body, ctx, fuel - 1)
+        return (None if cost is None else 1 + cost, _mono_true(s, ctx) or true)
+    return (None, False)
+
+
+def _fold_immune(s: USR, ctx: FactorContext) -> bool:
+    """Budget-immune single-node claims: the true-fold is computed from
+    inputs available before any further exploration can spend budget, so
+    they hold under any finite work_cap that admits reaching the node."""
+    if isinstance(s, Leaf):
+        return _leaf_empty_pred(s).is_true()
+    if isinstance(s, Gate):
+        # p_or(p_leaf(not cond), body-exploration): a literally-false
+        # gate folds the disjunction true whatever the body returns.
+        return b_not(s.cond).is_true()
+    if isinstance(s, Recurrence):
+        return _mono_true(s, ctx)
+    return False
+
+
+@_profiling.timed("core.screen_static")
+def screen_static(usr: USR, ctx: FactorContext) -> bool:
+    """True only when the Tier-1 pipeline would prove *usr* empty
+    statically -- i.e. :meth:`HybridAnalyzer._cascade_of` would return
+    ``(None, True, False)`` for these knobs.  Never errs on the True
+    side; False means escalate."""
+    if ctx.max_depth < _MIN_DEPTH or ctx.size_cap < _MIN_SIZE:
+        return False
+    if usr.is_empty_leaf():
+        # reshape maps the empty leaf to itself and factor folds it true
+        # after a single budget unit.
+        return ctx.work_cap is None or ctx.work_cap >= 1
+    s = reshape(usr) if ctx.use_reshaping else usr
+    cost, true = _audit(s, ctx, ctx.max_depth)
+    if true and (
+        ctx.work_cap is None
+        or (cost is not None and cost <= ctx.work_cap)
+    ):
+        return True
+    if ctx.work_cap is None:
+        return False
+    # Finite budget and no bounded proof: the fold-immune rules still
+    # apply at the root (nothing can have spent budget yet) and at the
+    # first-evaluated operand of a root intersection (one unit for the
+    # intersection node itself).
+    if ctx.work_cap >= 2 and _fold_immune(s, ctx):
+        return True
+    if (
+        ctx.work_cap >= 3
+        and isinstance(s, Intersect)
+        and _fold_immune(s.args[0], ctx)
+    ):
+        return True
+    return False

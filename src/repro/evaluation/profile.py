@@ -1,0 +1,39 @@
+"""Public import point for the kernel profiler.
+
+The implementation lives in :mod:`repro.profiling` (a dependency-free
+leaf module) so the instrumented kernel layers can import it without
+creating an import cycle through this package's harness modules; see
+that module's docstring for the design.  Evaluation-side callers --
+benchmarks, notebooks, tests -- should import from here::
+
+    from repro.evaluation import profile
+    with profile.profiling():
+        engine.analyze(...)
+    print(profile.snapshot().format())
+"""
+
+from ..profiling import (
+    ProfileSnapshot,
+    count,
+    disable,
+    enable,
+    is_enabled,
+    profiling,
+    reset,
+    snapshot,
+    timed,
+    timer,
+)
+
+__all__ = [
+    "ProfileSnapshot",
+    "count",
+    "disable",
+    "enable",
+    "is_enabled",
+    "profiling",
+    "reset",
+    "snapshot",
+    "timed",
+    "timer",
+]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from math import gcd
 from typing import Optional, Sequence
 
+from .. import profiling as _profiling
 from ..symbolic import (
     FALSE,
     TRUE,
@@ -357,12 +358,102 @@ def fills_array(a: LMAD, declared_lower: Expr, declared_upper: Expr) -> BoolExpr
     return b_and(cmp_le(lo, declared_lower), cmp_ge(hi, declared_upper))
 
 
+try:  # NumPy accelerates the all-constant bulk path; never required.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+
+def _const_1d_rows(
+    lmads: Sequence[LMAD],
+) -> Optional[tuple[list[int], list[int], list[int], list[bool]]]:
+    """``(base, hi, stride_gcd, empty)`` per LMAD when every descriptor
+    is fully constant with at most one live dimension, else None."""
+    bases: list[int] = []
+    his: list[int] = []
+    gcds: list[int] = []
+    empties: list[bool] = []
+    for a in lmads:
+        if not a.base.is_constant() or not a.has_constant_geometry():
+            return None
+        a = a.normalized()
+        if a.ndims > 1:
+            return None
+        base = a.base.constant_value()
+        spans = [s.constant_value() for s in a.spans]
+        bases.append(base)
+        his.append(base + sum(spans))
+        gcds.append(
+            abs(a.strides[0].constant_value()) if a.ndims else 0
+        )
+        empties.append(any(s < 0 for s in spans))
+    return bases, his, gcds, empties
+
+
+def _disjoint_sets_fast(
+    s1: Sequence[LMAD], s2: Sequence[LMAD]
+) -> Optional[BoolExpr]:
+    """Bulk-evaluated :func:`disjoint_lmad_sets` for all-constant inputs.
+
+    When every LMAD in both sets is fully constant and (normalized) at
+    most 1D, each pairwise ``DISJOINT_LMAD_1D`` predicate folds to a
+    literal, so the whole conjunction can be computed numerically --
+    vectorized over the cross product with NumPy when available -- and
+    must equal what the symbolic path would have folded to.  Returns
+    None (fall through to the reference) in every other case;
+    ``test_lmad.py`` fuzzes the agreement.
+    """
+    if not s1 or not s2:
+        return None
+    rows1 = _const_1d_rows(s1)
+    if rows1 is None:
+        return None
+    rows2 = _const_1d_rows(s2)
+    if rows2 is None:
+        return None
+    _profiling.count("lmad.disjoint_pairs_fast", len(s1) * len(s2))
+    b1, h1, g1, e1 = rows1
+    b2, h2, g2, e2 = rows2
+    if _np is not None and len(s1) * len(s2) >= 4:
+        base_a = _np.asarray(b1)[:, None]
+        base_b = _np.asarray(b2)[None, :]
+        hi_a = _np.asarray(h1)[:, None]
+        hi_b = _np.asarray(h2)[None, :]
+        empty = _np.asarray(e1)[:, None] | _np.asarray(e2)[None, :]
+        g = _np.gcd(_np.asarray(g1)[:, None], _np.asarray(g2)[None, :])
+        interleaved = (g > 1) & ((base_a - base_b) % _np.where(g > 1, g, 1) != 0)
+        separated = (base_a > hi_b) | (base_b > hi_a)
+        ok = bool((empty | interleaved | separated).all())
+    else:
+        ok = True
+        for ba, ha, ga, ea in zip(b1, h1, g1, e1):
+            for bb, hb, gb, eb in zip(b2, h2, g2, e2):
+                if ea or eb:
+                    continue
+                g = gcd(ga, gb)
+                if g > 1 and (ba - bb) % g != 0:
+                    continue
+                if ba > hb or bb > ha:
+                    continue
+                ok = False
+                break
+            if not ok:
+                break
+    return TRUE if ok else FALSE
+
+
+@_profiling.timed("lmad.disjoint_sets")
 def disjoint_lmad_sets(s1: Sequence[LMAD], s2: Sequence[LMAD]) -> BoolExpr:
     """Every LMAD of ``s1`` disjoint from every LMAD of ``s2``."""
+    fast = _disjoint_sets_fast(s1, s2)
+    if fast is not None:
+        return fast
+    _profiling.count("lmad.disjoint_pairs", len(s1) * len(s2))
     preds = [disjoint_lmads(a, b) for a in s1 for b in s2]
     return b_and(*preds) if preds else TRUE
 
 
+@_profiling.timed("lmad.included_sets")
 def included_lmad_sets(s1: Sequence[LMAD], s2: Sequence[LMAD]) -> BoolExpr:
     """Every LMAD of ``s1`` included in at least one LMAD of ``s2``."""
     if not s1:
@@ -370,6 +461,7 @@ def included_lmad_sets(s1: Sequence[LMAD], s2: Sequence[LMAD]) -> BoolExpr:
     if not s2:
         preds = [_empty_pred(a) for a in s1]
         return b_and(*preds)
+    _profiling.count("lmad.included_pairs", len(s1) * len(s2))
     out = []
     for a in s1:
         out.append(b_or(*(included_lmads(a, b) for b in s2)))

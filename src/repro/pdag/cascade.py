@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import profiling as _profiling
 from ..symbolic import EvalEnv
 from ..symbolic.intern import Memo
 from .nodes import EvalStats, PAnd, PCall, PDAG, PFALSE, PLeaf, PLoopAnd, POr, p_and, p_call, p_loop_and, p_or
@@ -94,10 +95,16 @@ class Cascade:
         """
         stats = EvalStats()
         memo: dict = {}
+        outcome = None
         for i, stage in enumerate(self.stages):
             if stage.predicate.evaluate(env, stats, memo):
-                return CascadeOutcome(True, stage.label, i, stats)
-        return CascadeOutcome(False, None, None, stats)
+                outcome = CascadeOutcome(True, stage.label, i, stats)
+                break
+        if outcome is None:
+            outcome = CascadeOutcome(False, None, None, stats)
+        _profiling.count("cascade.runs")
+        _profiling.count("cascade.leaf_evals", stats.leaf_evals)
+        return outcome
 
     def cheapest_label(self) -> Optional[str]:
         return self.stages[0].label if self.stages else None

@@ -22,6 +22,7 @@ has no negative positions), preserving the sufficiency invariant
 
 from __future__ import annotations
 
+from .. import profiling as _profiling
 from ..symbolic import eliminate_symbol
 from ..symbolic.intern import Memo
 from .nodes import (
@@ -161,6 +162,7 @@ def _hoist_invariants(node: PDAG) -> PDAG:
 _SIMPLIFY_MEMO = Memo("pdag.simplify", max_size=100_000)
 
 
+@_profiling.timed("pdag.simplify")
 def simplify(node: PDAG) -> PDAG:
     """Run hoisting + factor extraction to a (bounded) fixpoint.
 

@@ -1,0 +1,191 @@
+"""Lightweight counters/timers for the hot symbolic kernels.
+
+This is the implementation behind :mod:`repro.evaluation.profile` (the
+public import point); it lives at the package root so the instrumented
+leaf layers (:mod:`repro.symbolic`, :mod:`repro.lmad`,
+:mod:`repro.core`) can import it without pulling the evaluation harness
+-- and its :mod:`repro.core` imports -- into their import graph.
+
+Design constraints, in priority order:
+
+* **near-zero overhead while disabled**: the kernels this instruments
+  (Fourier-Motzkin elimination, LMAD set comparison, USR reshape,
+  cascade leaf evaluation) run millions of times per benchmark, so the
+  disabled path is a single module-global attribute load and a falsy
+  branch -- no allocation, no ``perf_counter`` call, no context-manager
+  frame.
+* **exact counters under nesting**: :func:`count` increments
+  unconditionally per call; :func:`timed`'s call counter does too, so
+  recursive kernels report true invocation counts.
+* **wall-honest timers under recursion**: a timer records *inclusive*
+  elapsed time only at the outermost activation of its name (per-name
+  depth tracking), so a recursive kernel's total can never exceed the
+  wall time it actually occupied.
+
+The profiler is process-global and explicitly not thread-aware: it
+exists to answer "where does a cold ``analyze`` spend its time", which
+is a single-threaded question here.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Iterator, TypeVar
+
+__all__ = [
+    "ProfileSnapshot",
+    "count",
+    "disable",
+    "enable",
+    "is_enabled",
+    "profiling",
+    "reset",
+    "snapshot",
+    "timed",
+    "timer",
+]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+class _State:
+    """Mutable profiler state; a class (not a dict) so the hot-path
+    check compiles to one LOAD_ATTR on an identity-stable object."""
+
+    __slots__ = ("enabled", "counts", "times", "calls", "depth")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.counts: dict[str, int] = {}
+        self.times: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self.depth: dict[str, int] = {}
+
+
+_state = _State()
+
+
+@dataclass(frozen=True)
+class ProfileSnapshot:
+    """Immutable copy of the collected data at one point in time."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    times: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Human-readable table, timers sorted by total time."""
+        lines = []
+        if self.times:
+            lines.append(f"{'timer':<32} {'calls':>10} {'total_s':>12}")
+            for name in sorted(self.times, key=self.times.get, reverse=True):
+                lines.append(
+                    f"{name:<32} {self.calls.get(name, 0):>10}"
+                    f" {self.times[name]:>12.6f}"
+                )
+        if self.counts:
+            lines.append(f"{'counter':<32} {'count':>10}")
+            for name in sorted(self.counts):
+                lines.append(f"{name:<32} {self.counts[name]:>10}")
+        return "\n".join(lines)
+
+
+def enable() -> None:
+    """Start collecting.  Does not reset previously collected data."""
+    _state.enabled = True
+
+
+def disable() -> None:
+    _state.enabled = False
+
+
+def is_enabled() -> bool:
+    return _state.enabled
+
+
+def reset() -> None:
+    """Drop all collected data (leaves the enabled flag alone)."""
+    _state.counts.clear()
+    _state.times.clear()
+    _state.calls.clear()
+    _state.depth.clear()
+
+
+def snapshot() -> ProfileSnapshot:
+    return ProfileSnapshot(
+        counts=dict(_state.counts),
+        times=dict(_state.times),
+        calls=dict(_state.calls),
+    )
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter *name* by *n* when profiling is enabled."""
+    if _state.enabled:
+        _state.counts[name] = _state.counts.get(name, 0) + n
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Context-managed timer; prefer :func:`timed` on hot functions
+    (the decorator's disabled path avoids the generator frame)."""
+    if not _state.enabled:
+        yield
+        return
+    st = _state
+    st.calls[name] = st.calls.get(name, 0) + 1
+    depth = st.depth.get(name, 0)
+    st.depth[name] = depth + 1
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        if depth == 0:
+            st.times[name] = st.times.get(name, 0.0) + perf_counter() - t0
+        st.depth[name] = depth
+
+
+def timed(name: str) -> Callable[[_F], _F]:
+    """Decorate a kernel so each call is counted, and its inclusive
+    wall time accumulated under *name* (outermost activation only)."""
+
+    def deco(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            st = _state
+            if not st.enabled:
+                return fn(*args, **kwargs)
+            st.calls[name] = st.calls.get(name, 0) + 1
+            depth = st.depth.get(name, 0)
+            st.depth[name] = depth + 1
+            t0 = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                if depth == 0:
+                    st.times[name] = st.times.get(name, 0.0) + (
+                        perf_counter() - t0
+                    )
+                st.depth[name] = depth
+
+        wrapper.__wrapped__ = fn
+        return wrapper  # type: ignore[return-value]
+
+    return deco
+
+
+@contextmanager
+def profiling(fresh: bool = True) -> Iterator[None]:
+    """Enable collection for a ``with`` block, restoring the previous
+    enabled state on exit.  ``fresh=True`` resets counters first."""
+    was = _state.enabled
+    if fresh:
+        reset()
+    enable()
+    try:
+        yield
+    finally:
+        _state.enabled = was

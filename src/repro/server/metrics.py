@@ -102,6 +102,7 @@ class ServerMetrics:
         self._connections = 0
         self._speculation_commits = 0
         self._speculation_rollbacks = 0
+        self._tiers = {"tier0": 0, "tier1": 0}
         self._latency = LatencyHistogram()
 
     # -- recording ------------------------------------------------------
@@ -153,6 +154,13 @@ class ServerMetrics:
             self._speculation_commits += commits
             self._speculation_rollbacks += rollbacks
 
+    def tier(self, tier_used: str) -> None:
+        """Fold one analyze response's tier provenance in ('tier0' =
+        resolved entirely by the Tier-0 screen)."""
+        with self._lock:
+            if tier_used in self._tiers:
+                self._tiers[tier_used] += 1
+
     # -- reporting ------------------------------------------------------
     def snapshot(self) -> dict:
         """The stats document served for the protocol's ``stats`` verb.
@@ -173,6 +181,7 @@ class ServerMetrics:
                     "commits": self._speculation_commits,
                     "rollbacks": self._speculation_rollbacks,
                 },
+                "tiers": dict(self._tiers),
                 "uptime_s": round(self._clock() - self._started, 3),
                 "warm_hits": self._warm_hits,
             }

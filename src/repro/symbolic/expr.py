@@ -28,6 +28,8 @@ from __future__ import annotations
 from functools import total_ordering
 from typing import Callable, Iterable, Iterator, Mapping, Union
 
+from .. import profiling as _profiling
+
 from .intern import Interner
 
 __all__ = [
@@ -386,6 +388,7 @@ class Expr:
         # computation serves every structurally equal occurrence.
         cached = getattr(self, "_free_cache", None)
         if cached is None:
+            _profiling.count("expr.free_symbols.compute")
             out: frozenset[str] = frozenset()
             for mono, _ in self._terms:
                 for atom, _p in mono:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .. import profiling as _profiling
 from .boolean import FALSE, TRUE, BoolExpr, b_and, b_or, gt0
 from .expr import Expr, ExprLike, as_expr
 from .intern import Memo
@@ -169,6 +170,7 @@ def reduce_ge0(expr: ExprLike, bounds: BoundsEnv, order: Sequence[str] = ()) -> 
 _ELIM_MEMO = Memo("symbolic.eliminate_symbol", max_size=200_000)
 
 
+@_profiling.timed("fm.eliminate_symbol")
 def eliminate_symbol(
     pred: BoolExpr, name: str, lower: ExprLike, upper: ExprLike
 ) -> BoolExpr:

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .. import profiling as _profiling
 from ..symbolic import BoolExpr, Cmp, b_not
+from ..symbolic.intern import Memo
 from .build import usr_gate, usr_intersect, usr_subtract, usr_union
 from .nodes import CallSite, Gate, Intersect, Leaf, Recurrence, Subtract, Union, USR
 
@@ -127,10 +129,24 @@ def _reshape_intersect(node: Intersect) -> USR:
     return usr_intersect(*args)
 
 
+#: Reshape is a pure function of one hash-consed node, and both the
+#: Tier-0 screen and the Tier-1 factoring reshape the same equation
+#: summaries, so memoizing globally halves the work on escalated loops.
+_RESHAPE_MEMO = Memo("usr.reshape", max_size=200_000)
+
+
+@_profiling.timed("usr.reshape")
 def reshape(usr: USR) -> USR:
     """Bottom-up application of the Section 3.4 reshaping rules."""
     if isinstance(usr, Leaf):
         return usr
+    cached = _RESHAPE_MEMO.get(usr)
+    if cached is not None:
+        return cached
+    return _RESHAPE_MEMO.put(usr, _reshape_uncached(usr))
+
+
+def _reshape_uncached(usr: USR) -> USR:
     if isinstance(usr, Subtract):
         return _reshape_subtract(usr)
     if isinstance(usr, Intersect):

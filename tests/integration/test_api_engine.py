@@ -186,3 +186,56 @@ def test_cli_analyze_unknown_loop_errors(tmp_path, capsys):
     with pytest.raises(SystemExit) as exc:
         cli.main(["analyze", str(path), "--loop", "nope", "--no-cache"])
     assert exc.value.code == 2
+
+
+# -- tiering and the analysis-cache key schema --------------------------------
+
+
+def test_tiering_knob_partitions_the_disk_cache(tmp_path):
+    """The v4 cache-key fix: two requests differing only in the
+    ``tiering`` knob must never serve each other's entries."""
+    config = EngineConfig(cache_dir=str(tmp_path))
+    Engine(config).analyze(AnalyzeRequest(source=SOURCE, loop="copy"))
+    off = Engine(config).analyze(
+        AnalyzeRequest(source=SOURCE, loop="copy", options={"tiering": False})
+    )
+    assert not off.cached
+    again_off = Engine(config).analyze(
+        AnalyzeRequest(source=SOURCE, loop="copy", options={"tiering": False})
+    )
+    assert again_off.cached
+
+
+def test_cache_key_schema_is_pinned(tmp_path):
+    """Pin what the key digests: cache + protocol versions, digest,
+    loop label and the sorted knob text (which must name 'tiering')."""
+    from repro.api.engine import AnalysisCache, _knob_text
+    from repro.api.protocol import PROTOCOL_VERSION
+
+    assert api_cache.CACHE_VERSION == 4
+    knob_text = _knob_text(EngineConfig().analyzer_knobs())
+    assert "tiering=True" in knob_text
+    cache = AnalysisCache(str(tmp_path))
+    key = cache.key("d1g3st", "copy", knob_text)
+    assert key == "api-analyze-d1g3st-" + cache.digest(
+        f"v{api_cache.CACHE_VERSION}\0p{PROTOCOL_VERSION}\0"
+        f"d1g3st\0copy\0{knob_text}"
+    )
+    # flipping only the tiering knob must move the key
+    flipped = dict(EngineConfig().analyzer_knobs(), tiering=False)
+    assert cache.key("d1g3st", "copy", _knob_text(flipped)) != key
+
+
+def test_tiering_off_is_wire_visible_and_equivalent():
+    engine = Engine(EngineConfig(use_disk_cache=False))
+    tiered = engine.analyze(AnalyzeRequest(source=SOURCE, loop="copy"))
+    baseline = engine.analyze(
+        AnalyzeRequest(source=SOURCE, loop="copy", options={"tiering": False})
+    )
+    assert baseline.tier_used == "tier1"
+    assert baseline.screening == "off"
+    assert tiered.screening in ("resolved", "escalated")
+    a, b = tiered.to_json(), baseline.to_json()
+    for field in ("tier_used", "screening", "escalation_reason"):
+        a.pop(field), b.pop(field)
+    assert a == b

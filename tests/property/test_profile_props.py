@@ -1,0 +1,192 @@
+"""Properties of the kernel profiler (:mod:`repro.evaluation.profile`).
+
+The profiler sits inside the analyzer's hottest kernels, so its
+contract is behavioural, not just API-shaped:
+
+* counters are **exact** -- every call increments, including recursive
+  re-entry, and counts survive nesting in any order;
+* timers are **wall-honest** -- a recursive kernel accumulates
+  inclusive time at its outermost activation only, so no timer can
+  report more time than the wall clock that elapsed around it;
+* the **disabled path costs nearly nothing** -- no state mutation at
+  all, and per-call overhead bounded within noise of a bare call.
+"""
+
+import random
+from time import perf_counter
+
+import pytest
+
+from repro.evaluation import profile as prof
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiler():
+    prof.disable()
+    prof.reset()
+    yield
+    prof.disable()
+    prof.reset()
+
+
+class TestCounters:
+    def test_exact_under_nesting(self):
+        @prof.timed("outer")
+        def outer(n):
+            prof.count("ticks")
+            if n:
+                inner(n)
+
+        @prof.timed("inner")
+        def inner(n):
+            prof.count("ticks", 2)
+            outer(n - 1)
+
+        with prof.profiling():
+            outer(5)
+            snap = prof.snapshot()
+        # outer runs at n=5..0 (6 calls), inner at n=5..1 (5 calls)
+        assert snap.calls["outer"] == 6
+        assert snap.calls["inner"] == 5
+        assert snap.counts["ticks"] == 6 + 2 * 5
+
+    def test_randomized_count_totals(self):
+        rng = random.Random(7)
+        expected: dict = {}
+        with prof.profiling():
+            for _ in range(500):
+                name = rng.choice("abc")
+                n = rng.randrange(1, 9)
+                expected[name] = expected.get(name, 0) + n
+                prof.count(name, n)
+            assert prof.snapshot().counts == expected
+
+    def test_disabled_records_nothing(self):
+        prof.count("never", 10)
+        with prof.timer("never"):
+            pass
+        snap = prof.snapshot()
+        assert snap.counts == {} and snap.times == {} and snap.calls == {}
+
+
+class TestTimers:
+    def test_recursive_total_bounded_by_wall(self):
+        @prof.timed("recurse")
+        def recurse(n):
+            if n:
+                recurse(n - 1)
+
+        with prof.profiling():
+            start = perf_counter()
+            recurse(200)
+            wall = perf_counter() - start
+            snap = prof.snapshot()
+        assert snap.calls["recurse"] == 201
+        # inclusive-at-outermost: one activation's elapsed time, never
+        # the (~201x larger) sum over every frame
+        assert snap.times["recurse"] <= wall + 1e-9
+
+    def test_mutually_nested_timers_bounded_by_wall(self):
+        with prof.profiling():
+            start = perf_counter()
+            for _ in range(50):
+                with prof.timer("a"):
+                    with prof.timer("b"):
+                        with prof.timer("a"):
+                            pass
+            wall = perf_counter() - start
+            snap = prof.snapshot()
+        assert snap.calls["a"] == 100 and snap.calls["b"] == 50
+        assert snap.times["a"] <= wall + 1e-9
+        assert snap.times["b"] <= wall + 1e-9
+
+    def test_timer_depth_recovers_after_exception(self):
+        @prof.timed("boom")
+        def boom():
+            raise ValueError("x")
+
+        with prof.profiling():
+            for _ in range(3):
+                with pytest.raises(ValueError):
+                    boom()
+            snap = prof.snapshot()
+        assert snap.calls["boom"] == 3
+        # depth unwound correctly: all three record as outermost
+        assert snap.times["boom"] >= 0.0
+
+
+class TestOverhead:
+    def test_disabled_overhead_is_small(self):
+        def bare(x):
+            return x + 1
+
+        @prof.timed("wrapped")
+        def wrapped(x):
+            return x + 1
+
+        n = 50_000
+
+        def measure(fn):
+            best = None
+            for _ in range(5):
+                start = perf_counter()
+                for i in range(n):
+                    fn(i)
+                elapsed = perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            return best
+
+        prof.disable()
+        base = measure(bare)
+        overhead = measure(wrapped)
+        # the disabled path is one attribute load and a falsy branch on
+        # top of the call; allow generous headroom for CI noise, but a
+        # perf_counter call or dict mutation per call would blow way
+        # past 5x
+        assert overhead <= base * 5 + 0.01
+
+    def test_disabled_call_passes_through(self):
+        @prof.timed("ident")
+        def ident(x):
+            return x
+
+        assert ident(42) == 42
+        assert prof.snapshot().calls == {}
+
+
+class TestLifecycle:
+    def test_profiling_restores_prior_state(self):
+        prof.enable()
+        with prof.profiling():
+            assert prof.is_enabled()
+        assert prof.is_enabled()
+        prof.disable()
+        with prof.profiling():
+            pass
+        assert not prof.is_enabled()
+
+    def test_fresh_resets_but_enable_accumulates(self):
+        with prof.profiling():
+            prof.count("x")
+        with prof.profiling(fresh=False):
+            prof.count("x")
+        assert prof.snapshot().counts["x"] == 2
+        with prof.profiling(fresh=True):
+            prof.count("x")
+        assert prof.snapshot().counts["x"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        with prof.profiling():
+            prof.count("x")
+            snap = prof.snapshot()
+            prof.count("x")
+        assert snap.counts["x"] == 1
+        assert prof.snapshot().counts["x"] == 2
+
+    def test_format_lists_timers_and_counters(self):
+        with prof.profiling():
+            prof.count("widgets", 3)
+            with prof.timer("spin"):
+                pass
+            text = prof.snapshot().format()
+        assert "widgets" in text and "spin" in text

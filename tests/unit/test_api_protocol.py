@@ -165,3 +165,43 @@ def test_execute_response_matches_report(engine):
     assert response.correct == report.correct
     assert response.trips == len(report.iteration_costs)
     assert set(response.decisions) == set(report.decisions)
+
+
+def test_v5_tier_fields_serialize(engine):
+    response = engine.analyze(AnalyzeRequest(source=SOURCE, loop="target"))
+    payload = response.to_json()
+    assert payload["version"] == PROTOCOL_VERSION
+    assert payload["tier_used"] in ("tier0", "tier1")
+    assert payload["screening"] in ("resolved", "escalated")
+    # provenance coherence on the wire: tier0 iff the screen resolved,
+    # and an escalation reason appears exactly on escalation
+    resolved = payload["screening"] == "resolved"
+    assert (payload["tier_used"] == "tier0") == resolved
+    assert (payload["escalation_reason"] == "") == resolved
+    # byte-identical roundtrip with the new fields populated
+    text = response.canonical_text()
+    assert _roundtrip(text, lambda p: AnalyzeResponse.from_json(p)) == text
+
+
+def test_v5_tier_fields_default_for_older_documents(engine):
+    """A pre-v5 reader re-serializing a v5 document would drop the tier
+    fields; a v5 reader of such a document must fall back to the
+    defaults rather than fail (additive, default-tolerant evolution)."""
+    response = engine.analyze(AnalyzeRequest(source=SOURCE, loop="target"))
+    payload = response.to_json()
+    for key in ("tier_used", "screening", "escalation_reason"):
+        payload.pop(key)
+    slim = AnalyzeResponse.from_json(payload)
+    assert slim.tier_used == "tier1"
+    assert slim.screening == "off"
+    assert slim.escalation_reason == ""
+
+
+def test_tiering_request_option_roundtrips():
+    request = AnalyzeRequest(
+        source=SOURCE, loop="target", options={"tiering": False}
+    )
+    payload = json.loads(request.canonical_text())
+    assert payload["options"] == {"tiering": False}
+    again = request_from_json(payload)
+    assert again.options == {"tiering": False}

@@ -263,3 +263,81 @@ def test_committed_serving_trajectory_is_valid():
     for level in payload["levels"]:
         for entry in level["pools"].values():
             assert entry["errors"] == 0 and not entry["failures"]
+
+
+# -- the compile trajectory (BENCH_compile.json) -----------------------------
+
+
+@pytest.fixture(scope="module")
+def compile_doc():
+    from repro.evaluation.bench import run_compile_bench
+
+    # tiny mix: the schema (and the zero-divergence invariant) is
+    # what's under test, not the latency numbers
+    return run_compile_bench(seed=0, programs=3, repeat=1)
+
+
+def test_compile_doc_is_schema_valid(compile_doc):
+    assert CHECKER.validate_bench_doc(compile_doc) == []
+    assert CHECKER.validate_compile_doc(compile_doc) == []
+    assert compile_doc["version"] == BENCH_VERSION
+    assert compile_doc["divergences"] == 0
+    assert compile_doc["equivalence_ok"] is True
+    assert set(compile_doc["sections"]) == {"fuzz", "workloads"}
+    for body in compile_doc["sections"].values():
+        assert 0.0 <= body["tier0_fraction"] <= 1.0
+        for entry in body["items"]:
+            # tier provenance is internally consistent: tier0 iff the
+            # screen resolved every cascade of the loop
+            resolved = entry["screening"] == "resolved"
+            assert (entry["tier_used"] == "tier0") == resolved
+            assert (entry["escalation_reason"] == "") == resolved
+
+
+def test_compile_doc_is_byte_stable(compile_doc, tmp_path):
+    path = write_bench(compile_doc, str(tmp_path))
+    assert path.name == "BENCH_compile.json"
+    text = path.read_text()
+    assert canonical_json(json.loads(text)) + "\n" == text
+    assert CHECKER.check_file(path) == []
+
+
+def test_compile_checker_rejects_drift(compile_doc):
+    broken = json.loads(canonical_json(compile_doc))
+    broken["surprise"] = 1
+    assert any("surprise" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(compile_doc))
+    del broken["sections"]["fuzz"]["items"][0]["tier_used"]
+    assert CHECKER.validate_bench_doc(broken)
+    broken = json.loads(canonical_json(compile_doc))
+    broken["sections"]["fuzz"]["items"][0]["divergent"] = True
+    assert any("divergence" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(compile_doc))
+    broken["divergences"] = 1
+    assert any(
+        "equivalence_ok" in e for e in CHECKER.validate_bench_doc(broken)
+    )
+    broken = json.loads(canonical_json(compile_doc))
+    broken["version"] = 999
+    assert any("version" in e for e in CHECKER.validate_bench_doc(broken))
+
+
+def test_format_compile_summarizes(compile_doc):
+    from repro.evaluation.bench import format_compile_bench
+
+    text = format_compile_bench(compile_doc)
+    assert "suite compile" in text
+    assert "tier0" in text
+    assert "equivalence: ok" in text
+
+
+def test_committed_compile_trajectory_is_valid():
+    committed = ROOT / "BENCH_compile.json"
+    assert committed.is_file(), (
+        "the BENCH_compile.json trajectory point must be committed "
+        "(regenerate with 'repro-eval bench --suite compile')"
+    )
+    assert CHECKER.check_file(committed) == []
+    payload = json.loads(committed.read_text())
+    assert payload["suite"] == "compile"
+    assert payload["divergences"] == 0

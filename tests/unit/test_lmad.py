@@ -238,3 +238,78 @@ class TestDenseAndFills:
 
     def test_fills_array_not_dense(self):
         assert fills_array(LMAD([2], [10], 0), as_expr(1), as_expr(10)).is_false()
+
+
+class TestFastDisjointKernel:
+    """The bulk/NumPy constant-geometry kernel behind
+    ``disjoint_lmad_sets`` must agree exactly with the symbolic
+    reference fold -- it is a vectorization, not an approximation."""
+
+    @staticmethod
+    def _reference(s1, s2):
+        from repro.symbolic import TRUE, b_and
+
+        preds = [disjoint_lmads(a, b) for a in s1 for b in s2]
+        return b_and(*preds) if preds else TRUE
+
+    @staticmethod
+    def _random_const_lmad(rng):
+        ndims = rng.randrange(0, 2)
+        if ndims == 0:
+            return point(rng.randrange(-5, 40))
+        stride = rng.choice([1, 1, 2, 3, 4, -2])
+        span = rng.randrange(-2, 30)
+        base = rng.randrange(-5, 40)
+        return LMAD([stride], [span], base)
+
+    def test_agreement_randomized(self):
+        import random
+
+        from repro.lmad.compare import _disjoint_sets_fast
+
+        rng = random.Random(99)
+        fast_hits = 0
+        for _ in range(300):
+            s1 = [self._random_const_lmad(rng)
+                  for _ in range(rng.randrange(1, 5))]
+            s2 = [self._random_const_lmad(rng)
+                  for _ in range(rng.randrange(1, 5))]
+            fast = _disjoint_sets_fast(s1, s2)
+            assert fast is not None, "all-constant 1D sets must bulk-fold"
+            fast_hits += 1
+            reference = self._reference(s1, s2)
+            assert fast.is_true() or fast.is_false()
+            assert fast.evaluate({}) == reference.evaluate({}), (
+                f"fast kernel diverged on {s1} vs {s2}"
+            )
+        assert fast_hits == 300
+
+    def test_falls_through_on_symbolic_or_multidim(self):
+        from repro.lmad.compare import _disjoint_sets_fast
+
+        n = sym("N")
+        assert _disjoint_sets_fast([interval(1, n)], [point(0)]) is None
+        multi = LMAD([1, 16], [3, 32], 0)
+        assert _disjoint_sets_fast([multi], [point(0)]) is None
+        assert _disjoint_sets_fast([], [point(0)]) is None
+
+    def test_zero_span_dims_normalize_into_fast_path(self):
+        from repro.lmad.compare import _disjoint_sets_fast
+
+        # 2D on paper, 1D after normalized() drops the span-0 dim
+        a = LMAD([1, 7], [4, 0], 10)
+        fast = _disjoint_sets_fast([a], [interval(0, 5)])
+        assert fast is not None
+        assert fast.evaluate({}) == self._reference(
+            [a], [interval(0, 5)]
+        ).evaluate({})
+
+    def test_set_level_result_used_by_public_entry(self):
+        # separated constants: the public function must return the
+        # folded literal (the fast path), same as the reference
+        s1 = [interval(1, 5), point(7)]
+        s2 = [interval(20, 30)]
+        result = disjoint_lmad_sets(s1, s2)
+        assert result.is_true()
+        s3 = [interval(4, 8)]
+        assert disjoint_lmad_sets(s1, s3).is_false()
