@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-trajectory bench-schema serve serving-trajectory docs-check api-surface examples batch fuzz clean
+.PHONY: test test-fast bench bench-trajectory bench-schema serve serve-multiproc serving-trajectory docs-check api-surface examples batch fuzz clean
 
 ## Tier-1 verification: the full unit/property/integration/benchmark suite.
 test:
@@ -30,8 +30,14 @@ bench-schema:
 serve:
 	$(PYTHON) -m repro.evaluation serve --port 7070 --workers 4
 
+## Serve via the multi-process front tier: 4 supervised backend
+## processes, digest routing, hot-shard replication (see docs/SERVER.md).
+serve-multiproc:
+	$(PYTHON) -m repro.evaluation serve --port 7070 --topology multiproc --backends 4
+
 ## Regenerate the committed BENCH_serving.json trajectory point (the
-## sharded-vs-shared pool A/B at three concurrency levels).
+## sharded-vs-shared pool A/B at three concurrency levels, plus the
+## multiproc front-tier A/B with its zipf hot-shard run).
 serving-trajectory:
 	$(PYTHON) -m repro.evaluation loadgen --bench --levels 4,16,32 --requests 400
 

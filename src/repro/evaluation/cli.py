@@ -380,8 +380,14 @@ def _serve_main(argv: list[str]) -> int:
         help="TCP port (default: 7070; 0 picks an ephemeral port)",
     )
     parser.add_argument(
+        "--topology", choices=("threads", "multiproc"), default="threads",
+        help="serving topology: one process with a sharded thread pool, "
+        "or a front-tier proxy over supervised backend processes "
+        "(default: threads)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=4,
-        help="engine pool width (default: 4)",
+        help="engine pool width (default: 4; threads topology only)",
     )
     parser.add_argument(
         "--sharding", choices=("digest", "shared"), default="digest",
@@ -389,13 +395,35 @@ def _serve_main(argv: list[str]) -> int:
         "digest, or one shared engine round-robin (default: digest)",
     )
     parser.add_argument(
-        "--queue-depth", type=int, default=128,
-        help="bounded per-worker queue depth (default: 128)",
+        "--queue-depth", type=int, default=None,
+        help="bounded per-worker queue depth (default: 128; threads "
+        "topology only)",
     )
     parser.add_argument(
-        "--max-inflight", type=int, default=256,
+        "--max-inflight", type=int, default=None,
         help="global in-flight request budget; beyond it requests are "
-        "shed with a retryable 'overloaded' error (default: 256)",
+        "shed with a retryable 'overloaded' error (default: 256; "
+        "threads topology only)",
+    )
+    parser.add_argument(
+        "--backends", type=int, default=4,
+        help="multiproc topology: backend processes to supervise "
+        "(default: 4)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="multiproc topology: replica fan-out width for hot "
+        "digests (default: 2)",
+    )
+    parser.add_argument(
+        "--backend-workers", type=int, default=2,
+        help="multiproc topology: engine pool width per backend "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--hot-rps", type=float, default=32.0,
+        help="multiproc topology: per-digest request rate beyond which "
+        "a shard counts as hot and fans out (default: 32)",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -408,28 +436,62 @@ def _serve_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
-    if args.queue_depth < 1:
+    if args.topology == "multiproc":
+        if args.queue_depth is not None or args.max_inflight is not None:
+            parser.error(
+                "--queue-depth/--max-inflight configure the threads "
+                "topology; backends use their own defaults"
+            )
+        if args.backends < 1:
+            parser.error("--backends must be >= 1")
+        if args.replicas < 1:
+            parser.error("--replicas must be >= 1")
+        if args.backend_workers < 1:
+            parser.error("--backend-workers must be >= 1")
+        if args.hot_rps <= 0:
+            parser.error("--hot-rps must be > 0")
+    queue_depth = args.queue_depth if args.queue_depth is not None else 128
+    max_inflight = args.max_inflight if args.max_inflight is not None else 256
+    if queue_depth < 1:
         parser.error("--queue-depth must be >= 1")
-    if args.max_inflight < 1:
+    if max_inflight < 1:
         parser.error("--max-inflight must be >= 1")
 
     import asyncio
     import signal
 
     from ..api import EngineConfig
-    from ..server import ReproServer
+    from ..server import FrontTier, ReproServer
 
-    server = ReproServer(
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        sharding=args.sharding,
-        queue_depth=args.queue_depth,
-        max_inflight=args.max_inflight,
-        engine_config=EngineConfig(
-            cache_dir=args.cache_dir, use_disk_cache=not args.no_cache
-        ),
-    )
+    if args.topology == "multiproc":
+        server = FrontTier(
+            host=args.host,
+            port=args.port,
+            backends=args.backends,
+            replicas=args.replicas,
+            backend_workers=args.backend_workers,
+            sharding=args.sharding,
+            cache_dir=args.cache_dir,
+            use_disk_cache=not args.no_cache,
+            hot_rps=args.hot_rps,
+        )
+        banner = (
+            f"topology=multiproc, backends={args.backends}, "
+            f"replicas={args.replicas}, backend_workers={args.backend_workers}"
+        )
+    else:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            sharding=args.sharding,
+            queue_depth=queue_depth,
+            max_inflight=max_inflight,
+            engine_config=EngineConfig(
+                cache_dir=args.cache_dir, use_disk_cache=not args.no_cache
+            ),
+        )
+        banner = f"workers={args.workers}, sharding={args.sharding}"
 
     async def _run() -> None:
         await server.start()
@@ -445,15 +507,25 @@ def _serve_main(argv: list[str]) -> int:
             pass  # non-Unix event loop: rely on KeyboardInterrupt
         print(
             f"repro-serve: listening on {server.host}:{server.port} "
-            f"(workers={args.workers}, sharding={args.sharding})",
+            f"({banner})",
             flush=True,
         )
         await server.serve_forever()
         snapshot = server.metrics.snapshot()
+        if args.topology == "multiproc":
+            tail = (
+                f"(backend_deaths={snapshot['backend_died']}, "
+                f"rerouted={snapshot['rerouted']}, "
+                f"p95={snapshot['latency']['p95_s']}s)"
+            )
+        else:
+            tail = (
+                f"(shed={snapshot['shed']}, "
+                f"p95={snapshot['latency']['p95_s']}s)"
+            )
         print(
             f"repro-serve: shut down cleanly after "
-            f"{snapshot['completed']} request(s) "
-            f"(shed={snapshot['shed']}, p95={snapshot['latency']['p95_s']}s)",
+            f"{snapshot['completed']} request(s) {tail}",
             flush=True,
         )
 
@@ -507,13 +579,29 @@ def _loadgen_main(argv: list[str]) -> int:
         help="fraction of analyze (vs execute) requests (default: 0.9)",
     )
     parser.add_argument(
+        "--skew", choices=("uniform", "zipf"), default="uniform",
+        help="program popularity: uniform over the mix, or zipf-skewed "
+        "(seeded, deterministic) (default: uniform)",
+    )
+    parser.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="zipf exponent for --skew zipf (default: 1.1)",
+    )
+    parser.add_argument(
+        "--multiplex", type=int, default=1,
+        help="logical closed-loop clients per connection (sliding-"
+        "window pipelining); thousands of clients cost clients/M "
+        "sockets (default: 1)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit the summary as a canonical JSON document",
     )
     parser.add_argument(
         "--bench", action="store_true",
         help="self-hosted serving benchmark: sweep concurrency levels "
-        "against sharded and shared pools, write BENCH_serving.json",
+        "against sharded and shared pools, run the multiproc front-tier "
+        "A/B, write BENCH_serving.json",
     )
     parser.add_argument(
         "--levels", default="4,16,32", metavar="CSV",
@@ -522,6 +610,15 @@ def _loadgen_main(argv: list[str]) -> int:
     parser.add_argument(
         "--workers", type=int, default=4,
         help="--bench pool width (default: 4)",
+    )
+    parser.add_argument(
+        "--backends", type=int, default=4,
+        help="--bench multiproc section: backend processes (default: 4)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="--bench multiproc section: hot-shard replica width "
+        "(default: 2)",
     )
     parser.add_argument(
         "--out", default=".", metavar="DIR",
@@ -536,9 +633,21 @@ def _loadgen_main(argv: list[str]) -> int:
         parser.error("--mode open needs a positive --rate")
     if not 0.0 <= args.analyze_fraction <= 1.0:
         parser.error("--analyze-fraction must be within [0, 1]")
+    if args.zipf_s <= 0:
+        parser.error("--zipf-s must be > 0")
+    if args.multiplex < 1:
+        parser.error("--multiplex must be >= 1")
+    if args.multiplex > 1 and args.mode != "closed":
+        parser.error("--multiplex only applies to closed-loop mode")
 
     from ..api import canonical_json
-    from ..server import format_serving, run_load, run_serving_bench, write_serving_bench
+    from ..server import (
+        format_serving,
+        run_load,
+        run_multiproc_bench,
+        run_serving_bench,
+        write_serving_bench,
+    )
 
     if args.bench:
         # the bench self-hosts its servers and always runs closed-loop;
@@ -550,6 +659,11 @@ def _loadgen_main(argv: list[str]) -> int:
             parser.error("--bench always runs closed-loop; drop --mode/--rate")
         if args.clients is not None:
             parser.error("--bench sweeps --levels; drop --clients")
+        if args.skew != "uniform" or args.multiplex != 1:
+            parser.error(
+                "--bench runs its own uniform and zipf sections; drop "
+                "--skew/--multiplex"
+            )
         try:
             levels = tuple(
                 int(piece) for piece in args.levels.split(",") if piece.strip()
@@ -560,10 +674,20 @@ def _loadgen_main(argv: list[str]) -> int:
             parser.error("--levels needs positive integers")
         if args.workers < 1:
             parser.error("--workers must be >= 1")
+        if args.backends < 1:
+            parser.error("--backends must be >= 1")
+        if args.replicas < 1:
+            parser.error("--replicas must be >= 1")
         doc = run_serving_bench(
             levels=levels,
             requests_per_level=args.requests,
             workers=args.workers,
+            seed=args.seed,
+            analyze_fraction=args.analyze_fraction,
+        )
+        doc["multiproc"] = run_multiproc_bench(
+            backends=args.backends,
+            replicas=args.replicas,
             seed=args.seed,
             analyze_fraction=args.analyze_fraction,
         )
@@ -584,6 +708,9 @@ def _loadgen_main(argv: list[str]) -> int:
         rate=args.rate,
         seed=args.seed,
         analyze_fraction=args.analyze_fraction,
+        skew=args.skew,
+        zipf_s=args.zipf_s,
+        multiplex=args.multiplex,
     )
     if args.json:
         print(canonical_json(summary))

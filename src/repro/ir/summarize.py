@@ -321,7 +321,10 @@ class Summarizer:
         if cond is None:
             # Unconvertible gate: merge both branches conservatively (all
             # touched locations demoted to RW -- sound overestimation).
-            for name in set(then_region.arrays) | set(else_region.arrays):
+            # sorted: insertion order here decides downstream iteration
+            # order (and thus e.g. the first tier-0 screening miss), so
+            # it must not depend on per-process hash randomization
+            for name in sorted(set(then_region.arrays) | set(else_region.arrays)):
                 merged = usr_union(
                     then_region.array_summary(name).all_accessed(),
                     else_region.array_summary(name).all_accessed(),
@@ -329,7 +332,7 @@ class Summarizer:
                 out.arrays[name] = Summary.read_write(merged)
             out.approximate = True
             out.scalars = dict(scalars)
-            assigned = set(then_region.scalars) | set(else_region.scalars)
+            assigned = sorted(set(then_region.scalars) | set(else_region.scalars))
             for name in assigned:
                 t = then_region.scalars.get(name, scalars.get(name))
                 e = else_region.scalars.get(name, scalars.get(name))
@@ -338,14 +341,14 @@ class Summarizer:
                 else:
                     out.scalars[name] = self.fresh_symbol(name)
         else:
-            for name in set(then_region.arrays) | set(else_region.arrays):
+            for name in sorted(set(then_region.arrays) | set(else_region.arrays)):
                 out.arrays[name] = merge_branches(
                     cond,
                     then_region.array_summary(name),
                     else_region.array_summary(name),
                 )
             out.scalars = dict(scalars)
-            for name in set(then_region.scalars) | set(else_region.scalars):
+            for name in sorted(set(then_region.scalars) | set(else_region.scalars)):
                 t = then_region.scalars.get(name, scalars.get(name))
                 e = else_region.scalars.get(name, scalars.get(name))
                 if t == e and t is not None:

@@ -19,8 +19,22 @@ heavy analysis back end:
 * :class:`ServerMetrics` (``metrics.py``) -- counters + latency
   histogram served through the protocol's ``stats`` verb;
 * :class:`ServerClient` (``client.py``) -- a small blocking client;
-* :mod:`repro.server.loadgen` -- open-/closed-loop load generation and
-  the ``BENCH_serving.json`` sharded-vs-shared benchmark.
+* :mod:`repro.server.loadgen` -- open-/closed-loop load generation
+  (uniform or zipf-skewed) and the ``BENCH_serving.json`` benchmarks.
+
+The multi-process tier (``--topology multiproc``) stacks three more
+modules on the same transport (``lineserver.py``):
+
+* :class:`FrontTier` (``proxy.py``) -- a front-tier proxy speaking the
+  identical protocol, routing requests by source digest across backend
+  *processes*, racing hot digests across replicas, and answering
+  ``stats`` with an aggregated topology document;
+* :class:`BackendSupervisor` (``supervisor.py``) -- spawns/monitors N
+  backend ``repro-eval serve`` processes, restarts crashes with
+  exponential backoff, drains on shutdown;
+* :class:`Router` / :class:`HotShardTracker` (``routing.py``) -- the
+  consistent-hash ring promoted to process level plus sliding-window
+  hot-shard detection.
 
 Quickstart::
 
@@ -47,17 +61,22 @@ from .dispatch import Dispatcher
 from .loadgen import (
     SERVING_VERSION,
     MixItem,
+    ZipfSampler,
     build_mix,
     format_serving,
     make_request,
     run_load,
+    run_multiproc_bench,
     run_serving_bench,
     serving_path,
     write_serving_bench,
 )
-from .metrics import LatencyHistogram, ServerMetrics
+from .metrics import FrontTierMetrics, LatencyHistogram, ServerMetrics
 from .pool import EnginePool, PoolClosed, consistent_ring
+from .proxy import BackendDied, FrontTier
+from .routing import HotShardTracker, Router
 from .server import ReproServer, ServerThread
+from .supervisor import BackendSupervisor, serve_backend_command
 
 __all__ = [
     "ReproServer",
@@ -68,13 +87,22 @@ __all__ = [
     "consistent_ring",
     "Dispatcher",
     "ServerMetrics",
+    "FrontTierMetrics",
     "LatencyHistogram",
+    "FrontTier",
+    "BackendDied",
+    "BackendSupervisor",
+    "serve_backend_command",
+    "Router",
+    "HotShardTracker",
     "SERVING_VERSION",
     "MixItem",
+    "ZipfSampler",
     "build_mix",
     "make_request",
     "run_load",
     "run_serving_bench",
+    "run_multiproc_bench",
     "write_serving_bench",
     "format_serving",
     "serving_path",

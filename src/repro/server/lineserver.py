@@ -1,0 +1,327 @@
+"""The shared asyncio JSON-lines-over-TCP transport.
+
+Both serving tiers speak the same wire format -- one request document
+per line, one response document per line, responses **in request order
+per connection** while the server works on pipelined requests
+concurrently -- so the transport lives here once:
+
+* :class:`ReproServer <repro.server.server.ReproServer>` (the
+  single-process engine-pool tier) and
+* :class:`FrontTier <repro.server.proxy.FrontTier>` (the multi-process
+  front tier)
+
+both subclass :class:`LineServer` and implement only the *admission*
+half: ``_admit(line, oversized)`` returns an awaitable resolving to a
+response payload, and the lifecycle hooks ``_on_start`` / ``_on_stop``
+own whatever backs the admission (an engine pool, a backend fleet).
+
+The transport guarantees are the protocol's hard promises and are
+enforced here for every tier: bounded line framing (oversized lines
+yield a ``too_large`` error and the stream resynchronizes at the next
+newline), bounded per-connection pipelining (TCP backpressure instead
+of unbounded buffering), and a graceful shutdown that stops accepting,
+drains every admitted request, and flushes the responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from ..api import wire_json
+
+__all__ = ["LineServer", "ServerThread"]
+
+#: Upper bound on responses admitted-but-unwritten per connection.  A
+#: client that pipelines without reading fills this queue, which stops
+#: the server reading its connection -- TCP backpressure instead of
+#: unbounded buffering.
+MAX_PIPELINED = 256
+
+#: How long one response write may wait for the peer to read before the
+#: connection is treated as broken and its remaining output dropped.
+DRAIN_TIMEOUT_S = 60.0
+
+
+class _LineReader:
+    """Bounded line framing over an asyncio stream.
+
+    ``next()`` returns ``(line_bytes, None)`` for each complete line,
+    ``(None, "too_large")`` once per oversized line (whose remaining
+    bytes are then discarded up to its newline, resynchronizing the
+    stream), and ``None`` at EOF.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, max_bytes: int):
+        self.reader = reader
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+        self._discarding = False
+        self._eof = False
+
+    async def next(self):
+        while True:
+            line = self._take_line()
+            if line is not None:
+                return line
+            if self._eof:
+                if self._buffer and not self._discarding:
+                    # lenient: serve a trailing unterminated line
+                    tail = bytes(self._buffer)
+                    self._buffer.clear()
+                    return (tail, None)
+                return None
+            chunk = await self.reader.read(65536)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buffer += chunk
+                if self._discarding:
+                    newline = self._buffer.find(b"\n")
+                    if newline < 0:
+                        self._buffer.clear()
+                    else:
+                        del self._buffer[: newline + 1]
+                        self._discarding = False
+                elif self._buffer.find(b"\n") < 0 and len(self._buffer) > self.max_bytes:
+                    self._buffer.clear()
+                    self._discarding = True
+                    return (None, "too_large")
+
+    def _take_line(self):
+        newline = self._buffer.find(b"\n")
+        if newline < 0:
+            return None
+        line = bytes(self._buffer[:newline])
+        del self._buffer[: newline + 1]
+        if len(line) > self.max_bytes:
+            return (None, "too_large")
+        return (line, None)
+
+
+class LineServer:
+    """One JSON-lines serving endpoint: listener + per-connection pump.
+
+    Subclasses implement ``_admit(line, oversized)`` (cheap, on the
+    event loop; returns an awaitable resolving to a response document
+    object with ``to_json()``) and the ``_on_start`` / ``_on_stop``
+    lifecycle hooks; ``connection_opened`` / ``connection_closed``
+    metric hooks are optional overrides.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_request_bytes: int = 1024 * 1024,
+    ):
+        self.host = host
+        self.port = port  # 0 = ephemeral; the bound port replaces it on start
+        self.max_request_bytes = max_request_bytes
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._conn_tasks: set = set()
+
+    # -- subclass surface -----------------------------------------------
+    async def _on_start(self) -> None:
+        """Bring up whatever backs admission (pool, backend fleet)."""
+
+    async def _on_stop(self) -> None:
+        """Tear the backing down; runs after every connection drained."""
+
+    def _admit(self, line, oversized):
+        raise NotImplementedError
+
+    def _connection_opened(self) -> None:
+        pass
+
+    def _connection_closed(self) -> None:
+        pass
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "LineServer":
+        self._stop_event = asyncio.Event()
+        self._stopped = asyncio.Event()
+        await self._on_start()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except BaseException:
+            # a failed bind (port in use, bad host) must not leak the
+            # idle backing resources
+            await self._on_stop()
+            raise
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, stop reading, let every
+        admitted request finish and its response flush, then stop the
+        backing."""
+        if self._stop_event is None or self._stop_event.is_set():
+            return
+        self._stop_event.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        await self._on_stop()
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Run until a :meth:`stop` call (from a signal handler or
+        another task) has *completed* the graceful shutdown."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connection_opened()
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        order: asyncio.Queue = asyncio.Queue(maxsize=MAX_PIPELINED)
+        writer_task = asyncio.create_task(self._write_responses(order, writer))
+        liner = _LineReader(reader, self.max_request_bytes)
+        stop_wait = asyncio.create_task(self._stop_event.wait())
+        try:
+            while not self._stop_event.is_set():
+                next_line = asyncio.create_task(liner.next())
+                done, _pending = await asyncio.wait(
+                    {next_line, stop_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if next_line not in done:
+                    next_line.cancel()
+                    break
+                try:
+                    item = next_line.result()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if item is None:  # client closed its half
+                    break
+                line, oversized = item
+                if line is not None and not line.strip():
+                    continue  # blank keepalive line
+                await order.put(self._admit(line, oversized))
+        finally:
+            stop_wait.cancel()
+            try:
+                # the writer keeps draining concurrently, so this
+                # terminates even when the pipeline is full; a peer that
+                # stopped reading is bounded by the drain timeout
+                await order.put(None)
+                await writer_task
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                self._conn_tasks.discard(task)
+                self._connection_closed()
+
+    async def _write_responses(self, order: asyncio.Queue, writer) -> None:
+        """Await pipelined responses in arrival order and write them.
+
+        A response may be a protocol document (``to_json()``) or raw
+        ``bytes`` -- an already-serialized line a proxying tier forwards
+        verbatim, so a front tier is byte-transparent to its backends.
+        """
+        broken = False
+        while True:
+            pending = await order.get()
+            if pending is None:
+                return
+            response = await pending
+            if broken:
+                continue  # keep consuming futures; peer is gone
+            try:
+                if isinstance(response, (bytes, bytearray)):
+                    writer.write(bytes(response) + b"\n")
+                else:
+                    writer.write(wire_json(response.to_json()).encode() + b"\n")
+                await asyncio.wait_for(writer.drain(), DRAIN_TIMEOUT_S)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                broken = True
+
+
+def ready(response):
+    """A resolved future for a response computed during admission."""
+    future = asyncio.get_running_loop().create_future()
+    future.set_result(response)
+    return future
+
+
+class ServerThread:
+    """Host any :class:`LineServer` on a dedicated event-loop thread.
+
+    ``start()`` blocks until the port is bound (so callers can connect
+    immediately); ``stop()`` performs the graceful shutdown and joins
+    the thread.  Used by the self-hosted load-generation benchmarks and
+    the integration tests; the CLI runs servers on the main thread
+    instead.
+
+    Construction: either pass a ready server instance (``server=``), or
+    pass :class:`~repro.server.ReproServer` keyword arguments (the
+    historical form, which builds a single-process engine-pool server).
+    """
+
+    def __init__(self, server: Optional[LineServer] = None, **server_kwargs):
+        if server is not None and server_kwargs:
+            raise ValueError("pass either server= or ReproServer kwargs, not both")
+        if server is None:
+            from .server import ReproServer
+
+            server = ReproServer(**server_kwargs)
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._bound = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._bound.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    @property
+    def address(self) -> tuple:
+        return (self.server.host, self.server.port)
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            try:
+                self._loop.run_until_complete(self.server.start())
+            except BaseException as exc:
+                self._startup_error = exc
+                return
+            finally:
+                self._bound.set()
+            self._loop.run_until_complete(self.server.serve_forever())
+            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+            self._loop.run_until_complete(self._loop.shutdown_default_executor())
+        finally:
+            asyncio.set_event_loop(None)
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            )
+            future.result(timeout=120)
+        self._thread.join(timeout=120)

@@ -26,6 +26,8 @@ performance trajectory.
 
 from __future__ import annotations
 
+import bisect
+import os
 import random
 import threading
 import time
@@ -45,22 +47,35 @@ from ..evaluation.bench import BENCH_SUITES
 from ..fuzz import generate_case
 from ..fuzz.generator import GeneratorConfig
 from .client import ServerClient
+from .lineserver import MAX_PIPELINED
 from .server import ServerThread
 
 __all__ = [
     "SERVING_VERSION",
     "MixItem",
+    "ZipfSampler",
     "build_mix",
     "make_request",
     "run_load",
     "run_serving_bench",
+    "run_multiproc_bench",
     "write_serving_bench",
     "format_serving",
+    "format_multiproc",
     "serving_path",
 ]
 
 #: Bump on any change to the BENCH_serving.json document shape.
-SERVING_VERSION = 1
+#: Version 2: per-run summaries gain skew/zipf_s/connections, and the
+#: document gains the "multiproc" section (front tier vs single
+#: process, cold and zipf-skewed).
+SERVING_VERSION = 2
+
+#: Ceiling on logical clients per multiplexed connection: half the
+#: server's per-connection pipelining bound, so a connection's whole
+#: window is always admitted and the sliding window can never deadlock
+#: against the server's backpressure.
+MAX_MULTIPLEX = MAX_PIPELINED // 2
 
 
 @dataclass(frozen=True)
@@ -117,9 +132,47 @@ def build_mix(
     return items[:programs]
 
 
-def make_request(rng: random.Random, mix: list, analyze_fraction: float):
-    """Draw one request from the mix (analyze or execute)."""
-    item = mix[rng.randrange(len(mix))]
+class ZipfSampler:
+    """Seeded, deterministic zipf(s) sampling over mix indices.
+
+    Index *i* (0-based) is rank *i+1* with weight ``1 / (i+1)**s`` --
+    the first mix item is the hottest program ("one viral program"), the
+    tail approximates the long tail of distinct sources.  The sampler
+    itself is stateless (a cumulative weight table); all randomness
+    comes from the caller's seeded ``random.Random``, so a (seed, s, n)
+    triple always produces the identical request stream.
+    """
+
+    def __init__(self, n: int, s: float = 1.1):
+        if n < 1:
+            raise ValueError(f"n must be >= 1 (got {n})")
+        if s <= 0:
+            raise ValueError(f"s must be > 0 (got {s})")
+        self.n = n
+        self.s = s
+        self._cumulative = []
+        total = 0.0
+        for rank in range(1, n + 1):
+            total += 1.0 / (rank ** s)
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        """One index drawn zipf(s), consuming one ``rng.random()``."""
+        return bisect.bisect_left(self._cumulative, rng.random() * self._total)
+
+    def share(self, index: int) -> float:
+        """The fraction of traffic index *index* receives."""
+        previous = self._cumulative[index - 1] if index > 0 else 0.0
+        return (self._cumulative[index] - previous) / self._total
+
+
+def make_request(rng: random.Random, mix: list, analyze_fraction: float,
+                 sampler: Optional[ZipfSampler] = None):
+    """Draw one request from the mix (analyze or execute), uniformly or
+    through a skew *sampler*."""
+    index = sampler.sample(rng) if sampler is not None else rng.randrange(len(mix))
+    item = mix[index]
     if rng.random() < analyze_fraction:
         return AnalyzeRequest(
             source=item.source, loop=item.loop, options=item.options
@@ -156,13 +209,14 @@ class _ClientStats:
             self.latencies.append(latency_s)
 
 
-def _closed_loop(host, port, count, seed, mix, analyze_fraction, timeout):
+def _closed_loop(host, port, count, seed, mix, analyze_fraction, timeout,
+                 sampler=None):
     stats = _ClientStats()
     rng = random.Random(seed)
     try:
         with ServerClient(host, port, timeout=timeout) as client:
             for _ in range(count):
-                request = make_request(rng, mix, analyze_fraction)
+                request = make_request(rng, mix, analyze_fraction, sampler)
                 started = time.monotonic()
                 response = client.call(request)
                 stats.record(response, time.monotonic() - started)
@@ -174,7 +228,36 @@ def _closed_loop(host, port, count, seed, mix, analyze_fraction, timeout):
     return stats
 
 
-def _open_loop(host, port, count, seed, mix, analyze_fraction, timeout, interval_s):
+def _multiplexed_loop(host, port, count, seed, mix, analyze_fraction, timeout,
+                      window, sampler=None):
+    """*window* logical closed-loop clients sharing one pipelined
+    connection: keep exactly *window* requests in flight, replacing each
+    response with the next send.  Responses arrive in request order, so
+    per-request latency pairs with a FIFO of send timestamps.  This is
+    how the load generator reaches hundreds-to-thousands of simulated
+    clients without a thread and a socket per client."""
+    stats = _ClientStats()
+    rng = random.Random(seed)
+    sent_at: deque = deque()
+    try:
+        with ServerClient(host, port, timeout=timeout) as client:
+            sent = received = 0
+            while received < count:
+                while sent < count and len(sent_at) < window:
+                    request = make_request(rng, mix, analyze_fraction, sampler)
+                    sent_at.append(time.monotonic())
+                    client.send(request)
+                    sent += 1
+                response = client.recv()
+                stats.record(response, time.monotonic() - sent_at.popleft())
+                received += 1
+    except (ConnectionError, OSError, ValueError) as exc:
+        stats.failures.append(f"{type(exc).__name__}: {exc}")
+    return stats
+
+
+def _open_loop(host, port, count, seed, mix, analyze_fraction, timeout, interval_s,
+               sampler=None):
     """One connection, sends on a fixed schedule, receives concurrently.
     Responses arrive in request order, so latency correlation is a
     FIFO of send timestamps."""
@@ -198,7 +281,7 @@ def _open_loop(host, port, count, seed, mix, analyze_fraction, timeout, interval
                 delay = next_at - time.monotonic()
                 if delay > 0:
                     time.sleep(delay)
-                request = make_request(rng, mix, analyze_fraction)
+                request = make_request(rng, mix, analyze_fraction, sampler)
                 sent_at.append(time.monotonic())
                 client.send(request)
                 sent_total[0] += 1
@@ -246,12 +329,20 @@ def run_load(
     mix: Optional[list] = None,
     analyze_fraction: float = 0.9,
     timeout: float = 120.0,
+    skew: str = "uniform",
+    zipf_s: float = 1.1,
+    multiplex: int = 1,
 ) -> dict:
     """Drive *requests* total requests from *clients* concurrent
-    connections and summarize throughput and latency.
+    logical clients and summarize throughput and latency.
 
     ``mode="open"`` needs *rate* (total offered requests/second across
-    all clients).  The summary document is JSON-safe and schema-stable.
+    all clients).  ``skew="zipf"`` draws programs zipf(*zipf_s*)-skewed
+    instead of uniformly (seeded -- the stream is deterministic).
+    ``multiplex=M`` packs up to M closed-loop clients onto each
+    connection (sliding-window pipelining), so thousands of simulated
+    clients cost ``clients / M`` threads and sockets.  The summary
+    document is JSON-safe and schema-stable.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1 (got {clients})")
@@ -261,26 +352,51 @@ def run_load(
         raise ValueError(f"mode must be 'closed' or 'open' (got {mode!r})")
     if mode == "open" and (rate is None or rate <= 0):
         raise ValueError("open-loop mode needs a positive --rate")
+    if skew not in ("uniform", "zipf"):
+        raise ValueError(f"skew must be 'uniform' or 'zipf' (got {skew!r})")
+    if not 1 <= multiplex <= MAX_MULTIPLEX:
+        raise ValueError(
+            f"multiplex must be within [1, {MAX_MULTIPLEX}] (got {multiplex})"
+        )
+    if multiplex > 1 and mode != "closed":
+        raise ValueError("multiplex only applies to closed-loop mode")
     mix = mix or build_mix(seed)
-    per_client = [requests // clients] * clients
-    for i in range(requests % clients):
-        per_client[i] += 1
-    per_client = [n for n in per_client if n]
+    sampler = ZipfSampler(len(mix), zipf_s) if skew == "zipf" else None
 
-    results: list = [None] * len(per_client)
+    # pack logical clients onto connections (multiplex=1: one each),
+    # then spread the request budget across connections by window size
+    connections = (clients + multiplex - 1) // multiplex
+    windows = [clients // connections] * connections
+    for i in range(clients % connections):
+        windows[i] += 1
+    per_conn = [0] * connections
+    weight = sum(windows)
+    for i, window in enumerate(windows):
+        per_conn[i] = requests * window // weight
+    for i in range(requests - sum(per_conn)):
+        per_conn[i % connections] += 1
+    lanes = [(n, w) for n, w in zip(per_conn, windows) if n]
 
-    def run_one(index: int, count: int) -> None:
+    results: list = [None] * len(lanes)
+
+    def run_one(index: int, count: int, window: int) -> None:
         client_seed = seed * 1_000_003 + index
         try:
-            if mode == "closed":
-                results[index] = _closed_loop(
-                    host, port, count, client_seed, mix, analyze_fraction, timeout
-                )
-            else:
-                interval_s = len(per_client) / rate
+            if mode == "open":
+                interval_s = len(lanes) / rate
                 results[index] = _open_loop(
                     host, port, count, client_seed, mix, analyze_fraction,
-                    timeout, interval_s,
+                    timeout, interval_s, sampler,
+                )
+            elif window > 1:
+                results[index] = _multiplexed_loop(
+                    host, port, count, client_seed, mix, analyze_fraction,
+                    timeout, window, sampler,
+                )
+            else:
+                results[index] = _closed_loop(
+                    host, port, count, client_seed, mix, analyze_fraction,
+                    timeout, sampler,
                 )
         except Exception as exc:  # noqa: BLE001 -- a dead thread must still report
             stats = _ClientStats()
@@ -289,8 +405,8 @@ def run_load(
 
     started = time.monotonic()
     threads = [
-        threading.Thread(target=run_one, args=(i, n), daemon=True)
-        for i, n in enumerate(per_client)
+        threading.Thread(target=run_one, args=(i, n, w), daemon=True)
+        for i, (n, w) in enumerate(lanes)
     ]
     for thread in threads:
         thread.start()
@@ -306,8 +422,9 @@ def run_load(
     answered = len(latencies)  # == completed: served requests only
     return {
         "analyze_fraction": analyze_fraction,
-        "clients": len(per_client),
+        "clients": clients,
         "completed": completed,
+        "connections": len(lanes),
         "errors": errors,
         "failures": failures,
         "latency": {
@@ -320,8 +437,10 @@ def run_load(
         "mode": mode,
         "requests": requests,
         "shed": shed,
+        "skew": skew,
         "throughput_rps": round(answered / wall_s, 3) if wall_s > 0 else 0.0,
         "wall_s": round(wall_s, 6),
+        "zipf_s": zipf_s if skew == "zipf" else None,
     }
 
 
@@ -422,6 +541,172 @@ def run_serving_bench(
     }
 
 
+def run_multiproc_bench(
+    backends: int = 4,
+    replicas: int = 2,
+    backend_workers: int = 1,
+    levels: tuple = (8, 32),
+    requests_per_level: int = 240,
+    seed: int = 0,
+    programs: int = 32,
+    analyze_fraction: float = 0.9,
+    zipf_clients: int = 64,
+    zipf_multiplex: int = 16,
+    zipf_requests: int = 600,
+    zipf_s: float = 1.2,
+    hot_rps: float = 8.0,
+) -> dict:
+    """The multi-process A/B: front tier over N backend processes vs a
+    single-process sharded pool with the same total worker count.
+
+    Two disciplines, each run on both systems from cold caches:
+
+    * **cold** -- uniform analyze-heavy closed loop over a fresh program
+      mix per concurrency level (every level's first sight of every
+      program pays a full compile), the GIL-bound workload the ISSUE
+      names;
+    * **zipf** -- one viral program dominating a skewed mix driven by
+      hundreds of multiplexed clients.  On the single process, every
+      cold compile holds the GIL and stalls the event loop, so even the
+      cache-warm hot requests queue behind it; the front tier isolates
+      compiles in backend processes and fans the hot digest across its
+      replica set, which is where latency isolation shows up.
+
+    The host's ``cpu_count`` is recorded in the document: on a
+    single-core host the cold section measures process overhead versus
+    GIL overhead (roughly parity), not parallel speedup -- the honest
+    reading of any result this benchmark reports.
+    """
+    from .proxy import FrontTier  # local: avoids a module cycle
+
+    if not levels:
+        raise ValueError("need at least one concurrency level")
+    levels = tuple(sorted(int(level) for level in levels))
+    single_workers = backends * backend_workers
+    engine_config = EngineConfig(use_disk_cache=False)
+    # distinct programs per level so every level is cold for both
+    # systems even though each system instance persists across levels
+    level_mixes = [
+        build_mix(
+            seed + 7919 * (i + 1), programs=programs,
+            include_workloads=False, generator=GeneratorConfig(),
+        )
+        for i in range(len(levels))
+    ]
+    zipf_mix = build_mix(
+        seed + 104_729, programs=programs,
+        include_workloads=False, generator=GeneratorConfig(),
+    )
+
+    def single_server():
+        return ServerThread(
+            workers=single_workers,
+            sharding="digest",
+            engine_config=engine_config,
+            queue_depth=4096,
+            max_inflight=8192,
+        )
+
+    def front_server(rps=hot_rps):
+        return ServerThread(server=FrontTier(
+            backends=backends,
+            replicas=replicas,
+            backend_workers=backend_workers,
+            use_disk_cache=False,
+            hot_rps=rps,
+        ))
+
+    # -- cold section ------------------------------------------------------
+    level_docs = [{"clients": c, "systems": {}} for c in levels]
+    for system, make in (("single", single_server), ("multiproc", front_server)):
+        hosted = make().start()
+        host, port = hosted.address
+        try:
+            for level_doc, mix in zip(level_docs, level_mixes):
+                level_doc["systems"][system] = run_load(
+                    host, port,
+                    clients=level_doc["clients"],
+                    requests=requests_per_level,
+                    mode="closed",
+                    seed=seed,
+                    mix=mix,
+                    analyze_fraction=analyze_fraction,
+                )
+        finally:
+            hosted.stop()
+    speedups = []
+    for level_doc in level_docs:
+        multi = level_doc["systems"]["multiproc"]["throughput_rps"]
+        single = level_doc["systems"]["single"]["throughput_rps"]
+        level_doc["speedup"] = round(multi / single, 3) if single else None
+        if level_doc["speedup"] is not None:
+            speedups.append(level_doc["speedup"])
+    cold_mean = round(sum(speedups) / len(speedups), 3) if speedups else None
+
+    # -- zipf hot-shard section --------------------------------------------
+    zipf_doc = {
+        "clients": zipf_clients,
+        "hot_rps": hot_rps,
+        "multiplex": zipf_multiplex,
+        "requests": zipf_requests,
+        "systems": {},
+        "zipf_s": zipf_s,
+    }
+    for system, make in (("single", single_server), ("multiproc", front_server)):
+        hosted = make().start()
+        host, port = hosted.address
+        try:
+            summary = run_load(
+                host, port,
+                clients=zipf_clients,
+                requests=zipf_requests,
+                mode="closed",
+                seed=seed,
+                mix=zipf_mix,
+                analyze_fraction=analyze_fraction,
+                skew="zipf",
+                zipf_s=zipf_s,
+                multiplex=zipf_multiplex,
+            )
+            if system == "multiproc":
+                with ServerClient(host, port) as client:
+                    front = client.stats().stats["front"]
+                summary["fanouts"] = front["fanouts"]
+                summary["front_coalesced"] = front["coalesced"]
+            zipf_doc["systems"][system] = summary
+        finally:
+            hosted.stop()
+    multi_lat = zipf_doc["systems"]["multiproc"]["latency"]
+    single_lat = zipf_doc["systems"]["single"]["latency"]
+    for quantile in ("p50_s", "p95_s"):
+        single_q, multi_q = single_lat[quantile], multi_lat[quantile]
+        key = quantile.replace("_s", "_speedup")
+        zipf_doc[key] = round(single_q / multi_q, 3) if multi_q else None
+    multi_rps = zipf_doc["systems"]["multiproc"]["throughput_rps"]
+    single_rps = zipf_doc["systems"]["single"]["throughput_rps"]
+    zipf_doc["throughput_speedup"] = (
+        round(multi_rps / single_rps, 3) if single_rps else None
+    )
+
+    return {
+        "analyze_fraction": analyze_fraction,
+        "backend_workers": backend_workers,
+        "backends": backends,
+        "cold": {"levels": level_docs, "mean_speedup": cold_mean},
+        "cpu_count": os.cpu_count(),
+        "multiproc_wins": bool(cold_mean is not None and cold_mean > 1.0),
+        "hot_shard_wins": bool(
+            zipf_doc["p50_speedup"] is not None and zipf_doc["p50_speedup"] > 1.0
+        ),
+        "programs": programs,
+        "replicas": replicas,
+        "requests_per_level": requests_per_level,
+        "seed": seed,
+        "single_workers": single_workers,
+        "zipf": zipf_doc,
+    }
+
+
 def serving_path(directory: str = ".") -> Path:
     return Path(directory) / "BENCH_serving.json"
 
@@ -465,5 +750,60 @@ def format_serving(doc: dict) -> str:
     lines.append(
         f"digest-sharded pooling {verdict} the shared engine "
         f"(mean speedup {doc['mean_speedup']})"
+    )
+    if "multiproc" in doc:
+        lines.append("")
+        lines.append(format_multiproc(doc["multiproc"]))
+    return "\n".join(lines)
+
+
+def format_multiproc(doc: dict) -> str:
+    """Human-readable summary of the multiproc bench section."""
+    lines = [
+        f"multiproc bench: {doc['backends']} backends x "
+        f"{doc['backend_workers']} worker(s) (replicas={doc['replicas']}) "
+        f"vs single process x {doc['single_workers']} workers "
+        f"[cpu_count={doc['cpu_count']}]"
+    ]
+    header = (
+        f"{'section':<8} {'clients':>7} {'system':<10} {'rps':>9} "
+        f"{'p50_ms':>8} {'p95_ms':>8} {'err':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def row(section, clients, system, entry):
+        lat = entry["latency"]
+        return (
+            f"{section:<8} {clients:>7} {system:<10} "
+            f"{entry['throughput_rps']:>9.1f} "
+            f"{lat['p50_s'] * 1e3:>8.2f} {lat['p95_s'] * 1e3:>8.2f} "
+            f"{entry['errors']:>4}"
+        )
+
+    for level in doc["cold"]["levels"]:
+        for system in ("single", "multiproc"):
+            lines.append(row("cold", level["clients"], system,
+                             level["systems"][system]))
+        if level["speedup"] is not None:
+            lines.append(
+                f"{'':>16} multiproc/single throughput: {level['speedup']:.3f}x"
+            )
+    zipf = doc["zipf"]
+    for system in ("single", "multiproc"):
+        lines.append(row(f"zipf{zipf['zipf_s']}", zipf["clients"], system,
+                         zipf["systems"][system]))
+    lines.append(
+        f"{'':>16} hot-shard p50 speedup {zipf['p50_speedup']}x, "
+        f"p95 {zipf['p95_speedup']}x, throughput "
+        f"{zipf['throughput_speedup']}x "
+        f"(fanouts={zipf['systems']['multiproc'].get('fanouts', 0)})"
+    )
+    cold_verdict = "beats" if doc["multiproc_wins"] else "does NOT beat"
+    hot_verdict = "isolates" if doc["hot_shard_wins"] else "does NOT isolate"
+    lines.append(
+        f"front tier {cold_verdict} the single process on the cold mix "
+        f"(mean {doc['cold']['mean_speedup']}x) and {hot_verdict} "
+        f"hot-shard latency under zipf skew"
     )
     return "\n".join(lines)

@@ -24,7 +24,7 @@ from typing import Optional
 
 from ..api.protocol import ERROR_CODES
 
-__all__ = ["LatencyHistogram", "ServerMetrics"]
+__all__ = ["FrontTierMetrics", "LatencyHistogram", "ServerMetrics"]
 
 #: Histogram bucket upper bounds in seconds: 43 log-spaced edges from
 #: 10us to ~1000s (ratio ~1.55), plus a catch-all overflow bucket.
@@ -184,4 +184,99 @@ class ServerMetrics:
                 "tiers": dict(self._tiers),
                 "uptime_s": round(self._clock() - self._started, 3),
                 "warm_hits": self._warm_hits,
+            }
+
+
+class FrontTierMetrics:
+    """Thread-safe counters + latency for the multi-process front tier.
+
+    Same design rules as :class:`ServerMetrics` (one lock, schema-stable
+    :meth:`snapshot`), but the counted events are proxy events: routing,
+    replica fan-out, backend deaths and reroutes -- the front tier has
+    no engines, so pool/speculation/tier counters live on the backends
+    and surface through the aggregated topology stats instead.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self._requests = {verb: 0 for verb in VERBS}
+        self._completed = 0
+        self._errors = {code: 0 for code in sorted(ERROR_CODES)}
+        self._coalesced = 0
+        self._fanouts = 0
+        self._rerouted = 0
+        self._backend_died = 0
+        self._inflight = 0
+        self._connections = 0
+        self._latency = LatencyHistogram()
+
+    # -- recording ------------------------------------------------------
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections -= 1
+
+    def request_received(self, verb: str) -> None:
+        with self._lock:
+            if verb in self._requests:
+                self._requests[verb] += 1
+
+    def request_admitted(self) -> None:
+        with self._lock:
+            self._inflight += 1
+
+    def request_completed(self, wall_s: Optional[float] = None) -> None:
+        with self._lock:
+            self._completed += 1
+            self._inflight = max(0, self._inflight - 1)
+            if wall_s is not None:
+                self._latency.observe(wall_s)
+
+    def error(self, code: str) -> None:
+        with self._lock:
+            if code in self._errors:
+                self._errors[code] += 1
+
+    def coalesced(self) -> None:
+        with self._lock:
+            self._coalesced += 1
+
+    def fanout(self) -> None:
+        """One hot-digest request fanned out across its replica set."""
+        with self._lock:
+            self._fanouts += 1
+
+    def rerouted(self) -> None:
+        """One request routed past a dead primary to a live successor."""
+        with self._lock:
+            self._rerouted += 1
+
+    def backend_died(self) -> None:
+        """One backend death observed by the proxy (requests in flight
+        on it each receive a retryable ``overloaded`` error)."""
+        with self._lock:
+            self._backend_died += 1
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Front-tier half of the topology stats document.  Key set is
+        fixed; only values vary."""
+        with self._lock:
+            return {
+                "backend_died": self._backend_died,
+                "coalesced": self._coalesced,
+                "completed": self._completed,
+                "connections": self._connections,
+                "errors": dict(self._errors),
+                "fanouts": self._fanouts,
+                "inflight": self._inflight,
+                "latency": self._latency.snapshot(),
+                "requests": dict(self._requests),
+                "rerouted": self._rerouted,
+                "uptime_s": round(self._clock() - self._started, 3),
             }

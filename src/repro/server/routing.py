@@ -1,0 +1,180 @@
+"""Process-level request routing: the consistent-hash ring promoted
+from thread shards to backend processes, plus hot-shard detection.
+
+The single-process pool (:mod:`repro.server.pool`) already routes
+source digests across worker *threads* on a consistent-hash ring; this
+module promotes the same ring to route across backend *processes* for
+the multi-process front tier, and adds the two things a fleet needs
+that a thread pool does not:
+
+* **liveness-aware routing** -- a backend that crashed (and is being
+  restarted by the supervisor) drops out of the live set; its keys move
+  to their next ring successor and *only* its keys move (the classic
+  bounded-movement property, tested at process level in
+  ``tests/unit/test_server_routing.py``);
+* **hot-shard detection** -- per-digest request-rate counters over a
+  sliding window identify "viral" programs whose traffic would
+  otherwise pin one backend; the front tier fans those out to the
+  digest's first R distinct ring successors (its *replica set*, a pure
+  function of the digest, so every front-tier process agrees on it).
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from .pool import consistent_ring
+
+__all__ = ["Router", "HotShardTracker"]
+
+
+class Router:
+    """Digest -> backend routing on a consistent-hash ring.
+
+    The ring construction is shared with the thread-level pool
+    (:func:`repro.server.pool.consistent_ring`), so a digest's process-
+    level primary is as stable across runs and hosts as its thread-level
+    shard: SHA-256 ring points, no RNG, no process state.
+    """
+
+    def __init__(self, backends: int, vnodes: int = 64):
+        if backends < 1:
+            raise ValueError(f"backends must be >= 1 (got {backends})")
+        self.backends = backends
+        self._ring = consistent_ring(backends, vnodes)
+        self._points = [point for point, _ in self._ring]
+
+    def successors(self, digest: str) -> Iterator[int]:
+        """Distinct backends in ring order starting at *digest*'s
+        primary.  Yields each backend exactly once."""
+        point = int(digest[:16], 16)
+        start = bisect.bisect_right(self._points, point)
+        seen = set()
+        for offset in range(len(self._ring)):
+            index = (start + offset) % len(self._ring)
+            backend = self._ring[index][1]
+            if backend not in seen:
+                seen.add(backend)
+                yield backend
+                if len(seen) == self.backends:
+                    return
+
+    def primary(self, digest: str) -> int:
+        """The backend that owns *digest* when every backend is live."""
+        return next(self.successors(digest))
+
+    def replicas(self, digest: str, count: int) -> List[int]:
+        """The digest's replica set: its first min(*count*, backends)
+        distinct ring successors.  Deterministic -- a pure function of
+        (digest, ring) -- so hot-shard fan-out is reproducible."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1 (got {count})")
+        result = []
+        for backend in self.successors(digest):
+            result.append(backend)
+            if len(result) == count:
+                break
+        return result
+
+    def route(self, digest: str, live: FrozenSet[int]) -> Optional[int]:
+        """The first *live* backend on the digest's successor walk, or
+        ``None`` when no backend is live.  When a backend dies, exactly
+        the digests it owned move (to their next live successor);
+        everything else keeps its assignment."""
+        for backend in self.successors(digest):
+            if backend in live:
+                return backend
+        return None
+
+
+class HotShardTracker:
+    """Sliding-window per-digest request rates for hot-shard detection.
+
+    Two-bucket sliding window (the standard approximation): counts land
+    in the current window bucket; the rate estimate blends the previous
+    bucket proportionally to how much of the sliding window still
+    overlaps it.  Memory is bounded by ``max_tracked`` digests per
+    bucket -- once the current bucket is full, *new* digests are not
+    tracked (a digest hot enough to matter appears long before the
+    bound is hit, and an untracked digest simply stays on its primary).
+
+    Deterministic under an injected ``clock`` -- what the unit tests
+    use.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 1.0,
+        hot_rps: float = 32.0,
+        max_tracked: int = 4096,
+        clock=time.monotonic,
+    ):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0 (got {window_s})")
+        if hot_rps <= 0:
+            raise ValueError(f"hot_rps must be > 0 (got {hot_rps})")
+        self.window_s = window_s
+        self.hot_rps = hot_rps
+        self.max_tracked = max_tracked
+        self._clock = clock
+        self._window_start = clock()
+        self._current: Dict[str, int] = {}
+        self._previous: Dict[str, int] = {}
+
+    def _rotate(self, now: float) -> None:
+        elapsed = now - self._window_start
+        if elapsed < self.window_s:
+            return
+        if elapsed < 2 * self.window_s:
+            self._previous = self._current
+        else:  # idle gap longer than a full window: nothing carries over
+            self._previous = {}
+        self._current = {}
+        # snap the window start forward so rates stay aligned to real time
+        windows = int(elapsed / self.window_s)
+        self._window_start += windows * self.window_s
+
+    def observe(self, digest: str, count: int = 1) -> None:
+        """Record *count* request(s) for *digest* now."""
+        now = self._clock()
+        self._rotate(now)
+        if digest in self._current or len(self._current) < self.max_tracked:
+            self._current[digest] = self._current.get(digest, 0) + count
+
+    def rate(self, digest: str) -> float:
+        """The digest's estimated requests/second over the sliding
+        window ending now."""
+        now = self._clock()
+        self._rotate(now)
+        into_window = (now - self._window_start) / self.window_s
+        previous_weight = max(0.0, 1.0 - into_window)
+        blended = (
+            self._previous.get(digest, 0) * previous_weight
+            + self._current.get(digest, 0)
+        )
+        return blended / self.window_s
+
+    def is_hot(self, digest: str) -> bool:
+        return self.rate(digest) >= self.hot_rps
+
+    def hot_digests(self) -> Dict[str, float]:
+        """Every currently-hot digest with its estimated rate."""
+        result = {}
+        for digest in set(self._previous) | set(self._current):
+            rate = self.rate(digest)
+            if rate >= self.hot_rps:
+                result[digest] = rate
+        return result
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary for the front tier's stats document."""
+        hot = self.hot_digests()
+        return {
+            "hot_digests": len(hot),
+            "hot_rps_threshold": self.hot_rps,
+            "max_rate": round(max(hot.values()), 3) if hot else 0.0,
+            "tracked": len(self._current),
+            "window_s": self.window_s,
+        }

@@ -1,12 +1,10 @@
-"""The asyncio JSON-lines-over-TCP front end.
+"""The single-process serving tier: asyncio front end over the
+sharded engine pool.
 
-Wire format: one request document per line (compact single-line JSON,
-:func:`repro.api.protocol.wire_json`), one response document per line.
-Responses come back **in request order per connection** -- that is the
-correlation contract -- while the server is free to work on many
-requests from the same connection concurrently (pipelining): the
-handler admits each line immediately and a per-connection writer
-coroutine awaits the resulting futures in arrival order.
+Wire format and transport guarantees (one request per line, responses
+in request order per connection, bounded framing and pipelining,
+graceful drain) live in :mod:`repro.server.lineserver`; this module
+implements the *admission* half for the ``threads`` topology.
 
 Everything that can go wrong with a payload yields a typed
 :class:`~repro.api.protocol.ErrorResponse` *on the same connection*
@@ -20,16 +18,15 @@ pool behind the :class:`~repro.server.dispatch.Dispatcher` -- the same
 inspector/executor separation the paper applies to loops, applied to
 the service.
 
-:class:`ServerThread` hosts a server on a background thread with its
-own event loop -- what the load generator's self-hosted benchmark mode
-and the integration tests use.
+:class:`ServerThread` (re-exported from the transport module) hosts a
+server on a background thread with its own event loop -- what the load
+generator's self-hosted benchmark mode and the integration tests use.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-import threading
 from typing import Optional
 
 from ..api import (
@@ -39,82 +36,16 @@ from ..api import (
     ErrorResponse,
     StatsResponse,
     request_from_json,
-    wire_json,
 )
 from .dispatch import Dispatcher
+from .lineserver import LineServer, ServerThread, ready
 from .metrics import ServerMetrics
 from .pool import EnginePool
 
 __all__ = ["ReproServer", "ServerThread"]
 
-#: Upper bound on responses admitted-but-unwritten per connection.  A
-#: client that pipelines without reading fills this queue, which stops
-#: the server reading its connection -- TCP backpressure instead of
-#: unbounded buffering.
-_MAX_PIPELINED = 256
 
-#: How long one response write may wait for the peer to read before the
-#: connection is treated as broken and its remaining output dropped.
-_DRAIN_TIMEOUT_S = 60.0
-
-
-class _LineReader:
-    """Bounded line framing over an asyncio stream.
-
-    ``next()`` returns ``(line_bytes, None)`` for each complete line,
-    ``(None, "too_large")`` once per oversized line (whose remaining
-    bytes are then discarded up to its newline, resynchronizing the
-    stream), and ``None`` at EOF.
-    """
-
-    def __init__(self, reader: asyncio.StreamReader, max_bytes: int):
-        self.reader = reader
-        self.max_bytes = max_bytes
-        self._buffer = bytearray()
-        self._discarding = False
-        self._eof = False
-
-    async def next(self):
-        while True:
-            line = self._take_line()
-            if line is not None:
-                return line
-            if self._eof:
-                if self._buffer and not self._discarding:
-                    # lenient: serve a trailing unterminated line
-                    tail = bytes(self._buffer)
-                    self._buffer.clear()
-                    return (tail, None)
-                return None
-            chunk = await self.reader.read(65536)
-            if not chunk:
-                self._eof = True
-            else:
-                self._buffer += chunk
-                if self._discarding:
-                    newline = self._buffer.find(b"\n")
-                    if newline < 0:
-                        self._buffer.clear()
-                    else:
-                        del self._buffer[: newline + 1]
-                        self._discarding = False
-                elif self._buffer.find(b"\n") < 0 and len(self._buffer) > self.max_bytes:
-                    self._buffer.clear()
-                    self._discarding = True
-                    return (None, "too_large")
-
-    def _take_line(self):
-        newline = self._buffer.find(b"\n")
-        if newline < 0:
-            return None
-        line = bytes(self._buffer[:newline])
-        del self._buffer[: newline + 1]
-        if len(line) > self.max_bytes:
-            return (None, "too_large")
-        return (line, None)
-
-
-class ReproServer:
+class ReproServer(LineServer):
     """One serving endpoint: listener + dispatcher + engine pool."""
 
     def __init__(
@@ -128,9 +59,7 @@ class ReproServer:
         sharding: str = "digest",
         max_request_bytes: int = MAX_REQUEST_BYTES,
     ):
-        self.host = host
-        self.port = port  # 0 = ephemeral; the bound port replaces it on start
-        self.max_request_bytes = max_request_bytes
+        super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
         self.metrics = ServerMetrics()
         self.pool = EnginePool(
             workers=workers,
@@ -142,115 +71,21 @@ class ReproServer:
         self.dispatcher = Dispatcher(
             self.pool, metrics=self.metrics, max_inflight=max_inflight
         )
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._stop_event: Optional[asyncio.Event] = None
-        self._stopped: Optional[asyncio.Event] = None
-        self._conn_tasks: set = set()
 
-    # -- lifecycle ------------------------------------------------------
-    async def start(self) -> "ReproServer":
-        self._stop_event = asyncio.Event()
-        self._stopped = asyncio.Event()
+    # -- lifecycle hooks -------------------------------------------------
+    async def _on_start(self) -> None:
         self.pool.start()
-        try:
-            self._server = await asyncio.start_server(
-                self._handle_connection, self.host, self.port
-            )
-        except BaseException:
-            # a failed bind (port in use, bad host) must not leak the
-            # idle worker threads and their engines
-            await asyncio.get_running_loop().run_in_executor(
-                None, self.pool.stop
-            )
-            raise
-        self.port = self._server.sockets[0].getsockname()[1]
-        return self
 
-    async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, stop reading, let every
-        admitted request finish and its response flush, then stop the
-        pool."""
-        if self._stop_event is None or self._stop_event.is_set():
-            return
-        self._stop_event.set()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        if self._conn_tasks:
-            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+    async def _on_stop(self) -> None:
         # pool queues are empty by now (handlers awaited their futures);
         # drain=True also covers requests admitted but unawaited
         await asyncio.get_running_loop().run_in_executor(None, self.pool.stop)
-        self._stopped.set()
 
-    async def serve_forever(self) -> None:
-        """Run until a :meth:`stop` call (from a signal handler or
-        another task) has *completed* the graceful shutdown."""
-        if self._server is None:
-            await self.start()
-        await self._stopped.wait()
-
-    # -- connection handling --------------------------------------------
-    async def _handle_connection(self, reader, writer) -> None:
+    def _connection_opened(self) -> None:
         self.metrics.connection_opened()
-        task = asyncio.current_task()
-        self._conn_tasks.add(task)
-        order: asyncio.Queue = asyncio.Queue(maxsize=_MAX_PIPELINED)
-        writer_task = asyncio.create_task(self._write_responses(order, writer))
-        liner = _LineReader(reader, self.max_request_bytes)
-        stop_wait = asyncio.create_task(self._stop_event.wait())
-        try:
-            while not self._stop_event.is_set():
-                next_line = asyncio.create_task(liner.next())
-                done, _pending = await asyncio.wait(
-                    {next_line, stop_wait},
-                    return_when=asyncio.FIRST_COMPLETED,
-                )
-                if next_line not in done:
-                    next_line.cancel()
-                    break
-                try:
-                    item = next_line.result()
-                except (ConnectionError, asyncio.IncompleteReadError):
-                    break
-                if item is None:  # client closed its half
-                    break
-                line, oversized = item
-                if line is not None and not line.strip():
-                    continue  # blank keepalive line
-                await order.put(self._admit(line, oversized))
-        finally:
-            stop_wait.cancel()
-            try:
-                # the writer keeps draining concurrently, so this
-                # terminates even when the pipeline is full; a peer that
-                # stopped reading is bounded by the drain timeout
-                await order.put(None)
-                await writer_task
-            finally:
-                writer.close()
-                try:
-                    await writer.wait_closed()
-                except (ConnectionError, OSError):
-                    pass
-                self._conn_tasks.discard(task)
-                self.metrics.connection_closed()
 
-    async def _write_responses(self, order: asyncio.Queue, writer) -> None:
-        """Await pipelined responses in arrival order and write them."""
-        broken = False
-        while True:
-            pending = await order.get()
-            if pending is None:
-                return
-            response = await pending
-            if broken:
-                continue  # keep consuming futures; peer is gone
-            try:
-                writer.write(wire_json(response.to_json()).encode() + b"\n")
-                await asyncio.wait_for(writer.drain(), _DRAIN_TIMEOUT_S)
-            except (ConnectionError, OSError, asyncio.TimeoutError):
-                broken = True
+    def _connection_closed(self) -> None:
+        self.metrics.connection_closed()
 
     # -- admission -------------------------------------------------------
     def _admit(self, line, oversized):
@@ -258,7 +93,7 @@ class ReproServer:
         awaitable resolving to a response document."""
         if oversized:
             self.metrics.error("too_large")
-            return _ready(ErrorResponse(
+            return ready(ErrorResponse(
                 "too_large",
                 f"request exceeds {self.max_request_bytes} bytes",
             ))
@@ -266,15 +101,15 @@ class ReproServer:
             payload = json.loads(line)
         except ValueError:
             self.metrics.error("malformed")
-            return _ready(ErrorResponse("malformed", "request is not valid JSON"))
+            return ready(ErrorResponse("malformed", "request is not valid JSON"))
         if not isinstance(payload, dict):
             self.metrics.error("malformed")
-            return _ready(ErrorResponse(
+            return ready(ErrorResponse(
                 "malformed", "request must be a JSON object"))
         version = payload.get("version")
         if version != PROTOCOL_VERSION:
             self.metrics.error("unsupported_version")
-            return _ready(ErrorResponse(
+            return ready(ErrorResponse(
                 "unsupported_version",
                 f"unsupported protocol version {version!r} "
                 f"(this server speaks {PROTOCOL_VERSION})",
@@ -282,10 +117,10 @@ class ReproServer:
         kind = payload.get("kind")
         if kind == "stats":
             self.metrics.request_received("stats")
-            return _ready(StatsResponse(stats=self.metrics.snapshot()))
+            return ready(StatsResponse(stats=self.metrics.snapshot()))
         if kind not in ("analyze", "execute"):
             self.metrics.error("unknown_verb")
-            return _ready(ErrorResponse(
+            return ready(ErrorResponse(
                 "unknown_verb", f"unknown request kind {kind!r}"))
         self.metrics.request_received(kind)
         try:
@@ -294,77 +129,11 @@ class ReproServer:
             # request's fault, and the contract is a typed response, never
             # a dropped connection
             self.metrics.error("bad_request")
-            return _ready(ErrorResponse(
+            return ready(ErrorResponse(
                 "bad_request", str(exc.args[0] if exc.args else exc)))
         try:
             return asyncio.wrap_future(self.dispatcher.submit(request))
         except Exception as exc:  # noqa: BLE001 -- the contract: never drop the connection
             self.metrics.error("internal")
-            return _ready(ErrorResponse(
+            return ready(ErrorResponse(
                 "internal", f"{type(exc).__name__}: {exc}"))
-
-
-def _ready(response):
-    future = asyncio.get_running_loop().create_future()
-    future.set_result(response)
-    return future
-
-
-class ServerThread:
-    """Host a :class:`ReproServer` on a dedicated event-loop thread.
-
-    ``start()`` blocks until the port is bound (so callers can connect
-    immediately); ``stop()`` performs the graceful shutdown and joins
-    the thread.  Used by the self-hosted load-generation benchmark and
-    the integration tests; the CLI runs the server on the main thread
-    instead.
-    """
-
-    def __init__(self, **server_kwargs):
-        self.server = ReproServer(**server_kwargs)
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._thread: Optional[threading.Thread] = None
-        self._bound = threading.Event()
-        self._startup_error: Optional[BaseException] = None
-
-    def start(self) -> "ServerThread":
-        self._thread = threading.Thread(
-            target=self._run, name="repro-server", daemon=True
-        )
-        self._thread.start()
-        self._bound.wait()
-        if self._startup_error is not None:
-            raise self._startup_error
-        return self
-
-    @property
-    def address(self) -> tuple:
-        return (self.server.host, self.server.port)
-
-    def _run(self) -> None:
-        self._loop = asyncio.new_event_loop()
-        asyncio.set_event_loop(self._loop)
-        try:
-            try:
-                self._loop.run_until_complete(self.server.start())
-            except BaseException as exc:
-                self._startup_error = exc
-                return
-            finally:
-                self._bound.set()
-            self._loop.run_until_complete(self.server.serve_forever())
-            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
-            self._loop.run_until_complete(self._loop.shutdown_default_executor())
-        finally:
-            asyncio.set_event_loop(None)
-            self._loop.close()
-
-    def stop(self) -> None:
-        if self._loop is None or self._thread is None:
-            return
-        if self._thread.is_alive():
-            future = asyncio.run_coroutine_threadsafe(
-                self.server.stop(), self._loop
-            )
-            future.result(timeout=60)
-        self._thread.join(timeout=60)

@@ -1,0 +1,284 @@
+"""End-to-end multi-process serving: the front tier over real backend
+processes.
+
+The load-bearing contracts, in test order: byte transparency (a client
+cannot tell the fleet from one server), typed error paths answered at
+the front without burning a backend round trip, the topology-aware
+stats document, hot-shard replica fan-out, and the chaos bar -- a
+backend SIGKILLed under load never drops a connection or emits a
+malformed response, only (at worst) a typed *retryable* ``overloaded``
+error, and the supervisor brings the fleet back to full strength.
+"""
+
+import json
+import random
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    PROTOCOL_VERSION,
+    AnalyzeRequest,
+    Engine,
+    EngineConfig,
+    ErrorResponse,
+    ExecuteRequest,
+    StatsResponse,
+    wire_json,
+)
+from repro.server import (
+    FrontTier,
+    ServerClient,
+    ServerThread,
+    build_mix,
+    make_request,
+)
+
+SOURCE = """
+program multiproc_test
+param N
+array A(200), B(200), IDX(200)
+
+main
+  do i = 1, N @ target
+    t = B[i] + 1
+    A[IDX[i]] = A[IDX[i]] + t
+  end
+end
+"""
+
+PARAMS = {"N": 20}
+ARRAYS = {"IDX": [(i % 7) + 1 for i in range(200)], "B": [2] * 200}
+
+
+@pytest.fixture(scope="module")
+def hosted():
+    """A front tier over two real backend processes (no disk cache);
+    hot_rps is set low so the fan-out test can trip it quickly."""
+    front = FrontTier(
+        backends=2, replicas=2, backend_workers=1,
+        use_disk_cache=False, hot_rps=5.0,
+    )
+    thread = ServerThread(server=front).start()
+    yield thread, front
+    thread.stop()
+
+
+@pytest.fixture(scope="module")
+def direct():
+    """A plain single-process server, the byte-transparency reference."""
+    thread = ServerThread(
+        workers=1, engine_config=EngineConfig(use_disk_cache=False)
+    ).start()
+    yield thread
+    thread.stop()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return Engine(EngineConfig(use_disk_cache=False))
+
+
+def _client(hosted_or_thread):
+    thread = hosted_or_thread[0] if isinstance(hosted_or_thread, tuple) else hosted_or_thread
+    host, port = thread.address
+    return ServerClient(host, port)
+
+
+def _stats(hosted):
+    with _client(hosted) as client:
+        response = client.stats()
+    assert isinstance(response, StatsResponse)
+    return response.stats
+
+
+def _wait(predicate, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+class TestByteTransparency:
+    def test_analyze_matches_in_process(self, hosted, reference):
+        request = AnalyzeRequest(source=SOURCE, loop="target")
+        with _client(hosted) as client:
+            served = client.call(request)
+        assert served.canonical_text() == reference.serve(request).canonical_text()
+
+    def test_execute_matches_in_process(self, hosted, reference):
+        request = ExecuteRequest(
+            source=SOURCE, loop="target", params=PARAMS, arrays=ARRAYS
+        )
+        with _client(hosted) as client:
+            served = client.call(request)
+        assert served.canonical_text() == reference.serve(request).canonical_text()
+
+    def test_wire_bytes_match_single_process_server(self, hosted, direct):
+        """Literal byte equivalence: the same request lines produce the
+        same response lines whether one server or a fleet answers."""
+        mix = build_mix(seed=23, programs=5)
+        rng = random.Random(23)
+        lines = [
+            wire_json(make_request(rng, mix, analyze_fraction=0.7).to_json())
+            for _ in range(16)
+        ]
+        with _client(hosted) as fleet, _client(direct) as single:
+            for line in lines:
+                fleet.send_line(line)
+                single.send_line(line)
+                assert fleet.recv_raw() == single.recv_raw()
+
+
+class TestErrorPaths:
+    def test_malformed_json(self, hosted):
+        with _client(hosted) as client:
+            client.send_line("{not json")
+            response = client.recv()
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "malformed"
+            assert response.retryable is False
+
+    def test_wrong_protocol_version(self, hosted):
+        with _client(hosted) as client:
+            client.send_line(wire_json({
+                "kind": "analyze", "version": PROTOCOL_VERSION + 1,
+                "source": SOURCE, "loop": "target",
+            }))
+            response = client.recv()
+            assert response.code == "unsupported_version"
+            assert str(PROTOCOL_VERSION) in response.message
+
+    def test_unknown_verb(self, hosted):
+        with _client(hosted) as client:
+            client.send_line(wire_json({
+                "kind": "reticulate", "version": PROTOCOL_VERSION,
+            }))
+            assert client.recv().code == "unknown_verb"
+
+    def test_bad_request_bytes_match_single_process(self, hosted, direct):
+        """The front validates before forwarding, and its typed
+        bad_request is byte-identical to the single server's."""
+        line = wire_json({
+            "kind": "analyze", "version": PROTOCOL_VERSION,
+            "source": SOURCE,  # missing the required loop field
+        })
+        with _client(hosted) as fleet, _client(direct) as single:
+            fleet.send_line(line)
+            single.send_line(line)
+            fleet_doc, single_doc = fleet.recv_raw(), single.recv_raw()
+        assert fleet_doc["code"] == "bad_request"
+        assert fleet_doc == single_doc
+
+    def test_connection_survives_errors(self, hosted):
+        with _client(hosted) as client:
+            client.send_line("garbage")
+            assert client.recv().code == "malformed"
+            served = client.call(AnalyzeRequest(source=SOURCE, loop="target"))
+            assert served.to_json()["kind"] == "analyze"
+
+
+class TestTopologyStats:
+    def test_stats_document_shape(self, hosted):
+        stats = _stats(hosted)
+        assert set(stats) == {"backends", "front", "topology"}
+        topology = stats["topology"]
+        assert topology["kind"] == "multiproc"
+        assert topology["backends"] == 2
+        assert topology["replicas"] == 2
+        assert topology["live"] == 2
+        assert len(stats["backends"]) == 2
+        for backend in stats["backends"]:
+            assert backend["state"] == "up"
+            assert backend["pid"] is not None
+            # each live backend contributed its own engine-level stats
+            assert isinstance(backend["stats"], dict)
+            assert "requests" in backend["stats"]
+        assert "hot_shards" in stats["front"]
+        assert stats["front"]["requests"]["stats"] >= 1
+
+
+class TestHotShardFanOut:
+    def test_sustained_hot_digest_fans_to_replicas(self, hosted):
+        """Hammering one program past hot_rps flips the tracker and the
+        analyzes start racing the replica set (fanouts > 0), without
+        ever changing the answer."""
+        thread, front = hosted
+        request = AnalyzeRequest(source=SOURCE, loop="target")
+        texts = set()
+        with _client(hosted) as client:
+            first = client.call(request)
+            texts.add(first.canonical_text())
+            for _ in range(40):
+                texts.add(client.call(request).canonical_text())
+        assert len(texts) == 1  # replicas agree byte-for-byte
+        stats = _stats(hosted)
+        assert stats["front"]["fanouts"] > 0
+        assert stats["front"]["hot_shards"]["hot_digests"] >= 0
+
+
+class TestChaos:
+    def test_sigkill_under_load_yields_no_protocol_violations(self, hosted):
+        """The chaos bar: SIGKILL a backend mid-load; every in-flight
+        and subsequent request still gets exactly one well-formed
+        response (success or typed retryable overloaded), no connection
+        is dropped, and the supervisor restores the fleet."""
+        thread, front = hosted
+        mix = build_mix(seed=31, programs=8)
+        violations = []
+        responses = []
+        lock = threading.Lock()
+
+        def worker(seed):
+            rng = random.Random(seed)
+            try:
+                with _client(hosted) as client:
+                    for _ in range(25):
+                        request = make_request(rng, mix, analyze_fraction=0.8)
+                        doc = client.call(request).to_json()
+                        with lock:
+                            responses.append(doc)
+            except Exception as exc:  # noqa: BLE001 -- any transport
+                # failure is exactly the violation under test
+                with lock:
+                    violations.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(100 + i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)  # let the load ramp, then pull the trigger
+        killed_pid = front.supervisor.kill(0, signal.SIGKILL)
+        assert killed_pid is not None
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads)
+
+        assert violations == [], f"dropped/failed connections: {violations}"
+        assert len(responses) == 6 * 25
+        for doc in responses:
+            assert doc["kind"] in ("analyze", "execute", "error")
+            if doc["kind"] == "error":
+                # the only acceptable error is the typed retryable one
+                assert doc["code"] == "overloaded"
+                assert doc["retryable"] is True
+
+    def test_supervisor_restores_fleet_after_kill(self, hosted):
+        assert _wait(
+            lambda: _stats(hosted)["topology"]["live"] == 2, timeout_s=60
+        )
+        stats = _stats(hosted)
+        restarts = [b["restarts"] for b in stats["backends"]]
+        assert restarts == [1, 0]
+        assert stats["front"]["backend_died"] >= 1
+
+    def test_requests_flow_after_recovery(self, hosted, reference):
+        request = AnalyzeRequest(source=SOURCE, loop="target")
+        with _client(hosted) as client:
+            served = client.call(request)
+        assert served.canonical_text() == reference.serve(request).canonical_text()

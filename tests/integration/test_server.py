@@ -247,9 +247,9 @@ class TestPipelining:
         """A client that pipelines past the queue bound, half-closes its
         write side, and keeps reading must still receive every
         response."""
-        import repro.server.server as server_mod
+        import repro.server.lineserver as lineserver_mod
 
-        monkeypatch.setattr(server_mod, "_MAX_PIPELINED", 2)
+        monkeypatch.setattr(lineserver_mod, "MAX_PIPELINED", 2)
         hosted = ServerThread(
             workers=1, engine_config=EngineConfig(use_disk_cache=False)
         ).start()

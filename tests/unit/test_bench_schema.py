@@ -120,12 +120,21 @@ def test_format_bench_summarizes(smoke_doc):
 
 @pytest.fixture(scope="module")
 def serving_doc():
-    from repro.server import run_serving_bench
+    from repro.server import run_multiproc_bench, run_serving_bench
 
-    return run_serving_bench(
+    doc = run_serving_bench(
         levels=(2, 4), requests_per_level=40, workers=2,
         programs=6, compile_cache_size=2,
     )
+    # v2 docs carry the multi-process A/B alongside the in-process
+    # pools; tiny knobs -- the schema is what's under test here
+    doc["multiproc"] = run_multiproc_bench(
+        backends=2, replicas=2, backend_workers=1,
+        levels=(2,), requests_per_level=16, programs=6,
+        zipf_clients=4, zipf_multiplex=2, zipf_requests=24,
+        hot_rps=4.0,
+    )
+    return doc
 
 
 def test_serving_doc_is_schema_valid(serving_doc):
@@ -160,6 +169,24 @@ def test_serving_checker_rejects_drift(serving_doc):
     broken = json.loads(canonical_json(serving_doc))
     del broken["levels"][0]["pools"]["shared"]
     assert any("pools" in e for e in CHECKER.validate_bench_doc(broken))
+
+
+def test_serving_checker_rejects_multiproc_drift(serving_doc):
+    broken = json.loads(canonical_json(serving_doc))
+    del broken["multiproc"]
+    assert any("multiproc" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(serving_doc))
+    broken["multiproc"]["surprise"] = 1
+    assert any("surprise" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(serving_doc))
+    del broken["multiproc"]["cold"]["mean_speedup"]
+    assert CHECKER.validate_bench_doc(broken)
+    broken = json.loads(canonical_json(serving_doc))
+    del broken["multiproc"]["zipf"]["systems"]["multiproc"]
+    assert any("systems" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(serving_doc))
+    broken["multiproc"]["zipf"]["systems"]["single"]["skew"] = "uniform"
+    assert CHECKER.validate_bench_doc(broken)
 
 
 def test_format_serving_summarizes(serving_doc):
@@ -263,6 +290,18 @@ def test_committed_serving_trajectory_is_valid():
     for level in payload["levels"]:
         for entry in level["pools"].values():
             assert entry["errors"] == 0 and not entry["failures"]
+    # the v2 acceptance: the multi-process A/B is recorded with a
+    # >= 4-backend front tier, a zipf hot-shard run, and no errors
+    multiproc = payload["multiproc"]
+    assert multiproc["backends"] >= 4
+    assert isinstance(multiproc["multiproc_wins"], bool)
+    assert isinstance(multiproc["hot_shard_wins"], bool)
+    assert multiproc["zipf"]["systems"]["multiproc"]["skew"] == "zipf"
+    for level in multiproc["cold"]["levels"]:
+        for entry in level["systems"].values():
+            assert entry["errors"] == 0 and not entry["failures"]
+    for entry in multiproc["zipf"]["systems"].values():
+        assert entry["errors"] == 0 and not entry["failures"]
 
 
 # -- the compile trajectory (BENCH_compile.json) -----------------------------

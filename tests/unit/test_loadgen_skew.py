@@ -1,0 +1,88 @@
+"""Skewed load generation: the zipf sampler and the multiplexed
+closed loop's knobs."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.server import ZipfSampler, build_mix, make_request
+from repro.server.loadgen import MAX_MULTIPLEX, run_load
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(4, s=0)
+
+    def test_deterministic_for_seed(self):
+        a = [ZipfSampler(16, 1.2).sample(random.Random(7)) for _ in range(1)]
+        sampler = ZipfSampler(16, 1.2)
+        stream1 = [sampler.sample(random.Random(7)) for _ in range(1)]
+        rng1, rng2 = random.Random(42), random.Random(42)
+        s1 = [sampler.sample(rng1) for _ in range(500)]
+        s2 = [ZipfSampler(16, 1.2).sample(rng2) for _ in range(500)]
+        assert s1 == s2
+        assert a == stream1
+
+    def test_rank_one_dominates_and_order_is_monotone(self):
+        sampler = ZipfSampler(32, 1.2)
+        rng = random.Random(0)
+        counts = Counter(sampler.sample(rng) for _ in range(20_000))
+        assert counts.most_common(1)[0][0] == 0
+        # expected share of rank 1 at s=1.2 over 32 ranks is ~25%
+        assert counts[0] / 20_000 > 0.2
+        assert counts[0] > counts[1] > counts[4]
+
+    def test_share_sums_to_one_and_matches_rank_weights(self):
+        sampler = ZipfSampler(8, 1.0)
+        total = sum(sampler.share(i) for i in range(8))
+        assert total == pytest.approx(1.0)
+        assert sampler.share(0) == pytest.approx(2 * sampler.share(1))
+
+    def test_samples_cover_only_valid_indices(self):
+        sampler = ZipfSampler(5, 2.0)
+        rng = random.Random(1)
+        assert set(sampler.sample(rng) for _ in range(2000)) <= set(range(5))
+
+
+class TestSkewedRequests:
+    def test_make_request_with_sampler_is_deterministic(self):
+        mix = build_mix(0, programs=8)
+        sampler = ZipfSampler(len(mix), 1.3)
+        first = [
+            make_request(random.Random(9), mix, 0.9, sampler).to_json()
+            for _ in range(1)
+        ]
+        second = [
+            make_request(random.Random(9), mix, 0.9, sampler).to_json()
+            for _ in range(1)
+        ]
+        assert first == second
+
+    def test_skewed_stream_prefers_head_of_mix(self):
+        mix = build_mix(0, programs=16)
+        sampler = ZipfSampler(len(mix), 1.5)
+        rng = random.Random(3)
+        sources = Counter(
+            make_request(rng, mix, 1.0, sampler).source for _ in range(2000)
+        )
+        assert sources.most_common(1)[0][0] == mix[0].source
+
+
+class TestRunLoadValidation:
+    def test_rejects_unknown_skew(self):
+        with pytest.raises(ValueError, match="skew"):
+            run_load("127.0.0.1", 1, skew="pareto")
+
+    def test_rejects_multiplex_out_of_bounds(self):
+        with pytest.raises(ValueError, match="multiplex"):
+            run_load("127.0.0.1", 1, multiplex=0)
+        with pytest.raises(ValueError, match="multiplex"):
+            run_load("127.0.0.1", 1, multiplex=MAX_MULTIPLEX + 1)
+
+    def test_rejects_multiplex_in_open_mode(self):
+        with pytest.raises(ValueError, match="closed"):
+            run_load("127.0.0.1", 1, mode="open", rate=10.0, multiplex=4)

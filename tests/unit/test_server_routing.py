@@ -1,0 +1,181 @@
+"""Process-level routing: the consistent-hash ring promoted from
+threads to backends, and hot-shard detection."""
+
+import hashlib
+
+import pytest
+
+from repro.server import EnginePool, HotShardTracker, Router
+from repro.api import EngineConfig
+
+
+def _digests(count, salt=""):
+    return [
+        hashlib.sha256(f"{salt}{i}".encode()).hexdigest()[:16]
+        for i in range(count)
+    ]
+
+
+class TestRouter:
+    def test_rejects_zero_backends(self):
+        with pytest.raises(ValueError):
+            Router(0)
+
+    def test_primary_matches_thread_pool_sharding(self):
+        """The process-level ring is the thread-level ring promoted one
+        level up: same digest, same width, same owner."""
+        pool = EnginePool(
+            workers=4, engine_config=EngineConfig(use_disk_cache=False)
+        )
+        router = Router(4)
+        for digest in _digests(200):
+            assert router.primary(digest) == pool.shard_for(digest)
+
+    def test_primary_is_deterministic_across_instances(self):
+        a, b = Router(5), Router(5)
+        for digest in _digests(100):
+            assert a.primary(digest) == b.primary(digest)
+
+    def test_successors_enumerate_every_backend_once(self):
+        router = Router(6)
+        for digest in _digests(50):
+            walk = list(router.successors(digest))
+            assert sorted(walk) == list(range(6))
+
+    def test_replicas_deterministic_distinct_primary_first(self):
+        router = Router(8)
+        for digest in _digests(100):
+            replicas = router.replicas(digest, 3)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+            assert replicas[0] == router.primary(digest)
+            assert replicas == router.replicas(digest, 3)  # stable
+
+    def test_replicas_clamped_to_backend_count(self):
+        router = Router(3)
+        assert sorted(router.replicas(_digests(1)[0], 10)) == [0, 1, 2]
+
+    def test_replica_sets_nest_as_width_grows(self):
+        """R replicas are a prefix of R+1 replicas: widening fan-out
+        never reassigns existing replica traffic."""
+        router = Router(8)
+        for digest in _digests(60):
+            assert router.replicas(digest, 4)[:2] == router.replicas(digest, 2)
+
+    def test_route_prefers_primary_when_live(self):
+        router = Router(4)
+        live = frozenset(range(4))
+        for digest in _digests(100):
+            assert router.route(digest, live) == router.primary(digest)
+
+    def test_route_returns_none_with_no_live_backend(self):
+        router = Router(4)
+        assert router.route(_digests(1)[0], frozenset()) is None
+
+    def test_backend_leave_moves_only_its_keys(self):
+        """Bounded key movement: when backend k dies, digests owned by
+        other backends keep their assignment."""
+        router = Router(5)
+        everyone = frozenset(range(5))
+        digests = _digests(400)
+        before = {d: router.route(d, everyone) for d in digests}
+        for dead in range(5):
+            after_set = everyone - {dead}
+            for digest in digests:
+                moved_to = router.route(digest, after_set)
+                if before[digest] != dead:
+                    assert moved_to == before[digest]
+                else:
+                    assert moved_to != dead
+
+    def test_backend_rejoin_restores_exact_assignment(self):
+        router = Router(5)
+        everyone = frozenset(range(5))
+        digests = _digests(200)
+        before = {d: router.route(d, everyone) for d in digests}
+        _ = {d: router.route(d, everyone - {2}) for d in digests}
+        after = {d: router.route(d, everyone) for d in digests}
+        assert before == after
+
+    def test_ring_growth_moves_bounded_fraction(self):
+        """Adding a backend to the ring moves roughly 1/N of the keys
+        (the consistent-hashing contract), never a wholesale reshuffle."""
+        small, large = Router(4), Router(5)
+        digests = _digests(2000)
+        moved = sum(
+            1 for d in digests if small.primary(d) != large.primary(d)
+        )
+        # expectation is 1/5 = 20%; generous headroom for ring variance
+        assert moved / len(digests) < 0.35
+        # every moved key went to the new backend, not between old ones
+        for digest in digests:
+            if small.primary(digest) != large.primary(digest):
+                assert large.primary(digest) == 4
+
+
+class TestHotShardTracker:
+    def make(self, **kwargs):
+        clock = {"now": 0.0}
+        kwargs.setdefault("window_s", 1.0)
+        kwargs.setdefault("hot_rps", 10.0)
+        tracker = HotShardTracker(clock=lambda: clock["now"], **kwargs)
+        return tracker, clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotShardTracker(window_s=0)
+        with pytest.raises(ValueError):
+            HotShardTracker(hot_rps=0)
+
+    def test_cold_digest_is_not_hot(self):
+        tracker, _ = self.make()
+        assert not tracker.is_hot("abc")
+        assert tracker.rate("abc") == 0.0
+
+    def test_sustained_rate_crosses_threshold(self):
+        tracker, clock = self.make()
+        for i in range(20):
+            clock["now"] = i * 0.05  # 20 requests over 1s
+            tracker.observe("hot")
+        assert tracker.rate("hot") >= 10.0
+        assert tracker.is_hot("hot")
+        assert "hot" in tracker.hot_digests()
+
+    def test_rate_decays_after_traffic_stops(self):
+        tracker, clock = self.make()
+        for i in range(20):
+            clock["now"] = i * 0.05
+            tracker.observe("hot")
+        clock["now"] = 3.5  # idle > 2 windows: everything expired
+        assert tracker.rate("hot") == 0.0
+        assert not tracker.is_hot("hot")
+
+    def test_sliding_window_blends_previous_bucket(self):
+        tracker, clock = self.make()
+        for _ in range(10):
+            tracker.observe("d")  # all at t=0, current bucket
+        clock["now"] = 1.5  # halfway into the next window
+        # window slid: previous bucket contributes half its weight
+        assert tracker.rate("d") == pytest.approx(5.0)
+
+    def test_max_tracked_bounds_memory_but_keeps_known_digests(self):
+        tracker, clock = self.make(max_tracked=2)
+        tracker.observe("a")
+        tracker.observe("b")
+        tracker.observe("c")  # over the bound: not tracked
+        tracker.observe("a")  # still tracked: counted
+        assert tracker.rate("a") == pytest.approx(2.0)
+        assert tracker.rate("c") == 0.0
+
+    def test_snapshot_is_json_safe_and_stable(self):
+        tracker, clock = self.make()
+        for i in range(30):
+            clock["now"] = i * 0.02
+            tracker.observe("hot")
+        snapshot = tracker.snapshot()
+        assert set(snapshot) == {
+            "hot_digests", "hot_rps_threshold", "max_rate", "tracked",
+            "window_s",
+        }
+        assert snapshot["hot_digests"] == 1
+        assert snapshot["max_rate"] >= 10.0

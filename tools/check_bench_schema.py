@@ -26,8 +26,9 @@ sys.path.insert(0, str(ROOT / "src"))
 #: The version(s) of the document shape this checker understands.
 KNOWN_VERSIONS = (1,)
 
-#: Known BENCH_serving.json document versions.
-KNOWN_SERVING_VERSIONS = (1,)
+#: Known BENCH_serving.json document versions.  Version 2 added the
+#: multiproc front-tier section and the skew/multiplex loadgen keys.
+KNOWN_SERVING_VERSIONS = (1, 2)
 
 #: Known BENCH_speculation.json document versions.
 KNOWN_SPECULATION_VERSIONS = (1,)
@@ -48,12 +49,34 @@ _SERVING_TOP_KEYS = {
 }
 _SERVING_LEVEL_KEYS = {"clients", "pools", "speedup"}
 _SERVING_POOLS = {"sharded", "shared"}
-_SERVING_POOL_KEYS = {
-    "analyze_fraction", "clients", "coalesced", "completed", "errors",
-    "failures", "latency", "mode", "requests", "shed", "throughput_rps",
-    "wall_s", "warm_hits",
+#: One run_load summary document (version 1 shape).
+_SERVING_SUMMARY_KEYS_V1 = {
+    "analyze_fraction", "clients", "completed", "errors", "failures",
+    "latency", "mode", "requests", "shed", "throughput_rps", "wall_s",
 }
+#: Version 2 added skew plumbing and connection accounting.
+_SERVING_SUMMARY_KEYS_V2 = _SERVING_SUMMARY_KEYS_V1 | {
+    "connections", "skew", "zipf_s",
+}
+#: Pool entries add the server-side cache deltas to the summary.
+_SERVING_POOL_EXTRA_KEYS = {"coalesced", "warm_hits"}
 _SERVING_LATENCY_KEYS = {"max_s", "mean_s", "p50_s", "p95_s", "p99_s"}
+
+# -- the multiproc section (serving version >= 2) ----------------------------
+_MULTIPROC_TOP_KEYS = {
+    "analyze_fraction", "backend_workers", "backends", "cold", "cpu_count",
+    "hot_shard_wins", "multiproc_wins", "programs", "replicas",
+    "requests_per_level", "seed", "single_workers", "zipf",
+}
+_MULTIPROC_COLD_KEYS = {"levels", "mean_speedup"}
+_MULTIPROC_LEVEL_KEYS = {"clients", "speedup", "systems"}
+_MULTIPROC_SYSTEMS = {"multiproc", "single"}
+_MULTIPROC_ZIPF_KEYS = {
+    "clients", "hot_rps", "multiplex", "p50_speedup", "p95_speedup",
+    "requests", "systems", "throughput_speedup", "zipf_s",
+}
+#: The multiproc system's zipf summary carries front-tier counters.
+_MULTIPROC_ZIPF_FRONT_KEYS = {"fanouts", "front_coalesced"}
 
 # -- speculation-trajectory shape (suite == "speculation") -------------------
 _SPECULATION_TOP_KEYS = {
@@ -109,17 +132,111 @@ def _key_errors(what: str, payload: dict, expected: set) -> list:
     return errors
 
 
-def validate_serving_doc(payload: dict) -> list:
-    """Schema problems of one BENCH_serving document (empty = valid)."""
-    errors = _key_errors("document", payload, _SERVING_TOP_KEYS)
+def _validate_load_summary(what: str, entry: dict, summary_keys: set,
+                           extra_keys: set = frozenset()) -> list:
+    """Schema problems of one run_load summary document."""
+    errors = _key_errors(what, entry, summary_keys | extra_keys)
+    if set(entry) != summary_keys | extra_keys:
+        return errors
+    errors.extend(_key_errors(
+        f"{what} latency", entry["latency"], _SERVING_LATENCY_KEYS,
+    ))
+    if not isinstance(entry["throughput_rps"], (int, float)) or \
+            entry["throughput_rps"] < 0:
+        errors.append(f"{what}: 'throughput_rps' must be >= 0")
+    if entry["failures"]:
+        errors.append(
+            f"{what}: transport failures recorded "
+            f"({entry['failures'][:1]}...)"
+        )
+    if "skew" in entry and entry["skew"] not in ("uniform", "zipf"):
+        errors.append(f"{what}: 'skew' must be 'uniform' or 'zipf'")
+    return errors
+
+
+def validate_multiproc_section(payload: dict) -> list:
+    """Schema problems of the multiproc front-tier section (empty =
+    valid)."""
+    errors = _key_errors("multiproc", payload, _MULTIPROC_TOP_KEYS)
     if errors:
         return errors
-    if payload["version"] not in KNOWN_SERVING_VERSIONS:
+    for key, minimum in (("backends", 1), ("backend_workers", 1),
+                         ("replicas", 1), ("single_workers", 1)):
+        if not isinstance(payload[key], int) or payload[key] < minimum:
+            errors.append(f"multiproc: {key!r} must be an integer >= {minimum}")
+    for key in ("multiproc_wins", "hot_shard_wins"):
+        if not isinstance(payload[key], bool):
+            errors.append(f"multiproc: {key!r} must be a boolean")
+    cold = payload["cold"]
+    errors.extend(_key_errors("multiproc cold", cold, _MULTIPROC_COLD_KEYS))
+    if set(cold) == _MULTIPROC_COLD_KEYS:
+        levels = cold["levels"]
+        if not isinstance(levels, list) or not levels:
+            errors.append("multiproc cold: 'levels' must be a non-empty list")
+            levels = []
+        for level in levels:
+            errors.extend(_key_errors(
+                "multiproc level", level, _MULTIPROC_LEVEL_KEYS,
+            ))
+            if set(level) != _MULTIPROC_LEVEL_KEYS:
+                continue
+            what = f"multiproc level clients={level['clients']!r}"
+            if set(level["systems"]) != _MULTIPROC_SYSTEMS:
+                errors.append(
+                    f"{what}: systems cover {sorted(level['systems'])}, "
+                    f"expected exactly {sorted(_MULTIPROC_SYSTEMS)}"
+                )
+                continue
+            for system, entry in level["systems"].items():
+                errors.extend(_validate_load_summary(
+                    f"{what} system {system!r}", entry,
+                    _SERVING_SUMMARY_KEYS_V2,
+                ))
+    zipf = payload["zipf"]
+    errors.extend(_key_errors("multiproc zipf", zipf, _MULTIPROC_ZIPF_KEYS))
+    if set(zipf) == _MULTIPROC_ZIPF_KEYS:
+        if set(zipf["systems"]) != _MULTIPROC_SYSTEMS:
+            errors.append(
+                f"multiproc zipf: systems cover {sorted(zipf['systems'])}, "
+                f"expected exactly {sorted(_MULTIPROC_SYSTEMS)}"
+            )
+        else:
+            for system, entry in zipf["systems"].items():
+                extra = (
+                    _MULTIPROC_ZIPF_FRONT_KEYS if system == "multiproc"
+                    else frozenset()
+                )
+                errors.extend(_validate_load_summary(
+                    f"multiproc zipf system {system!r}", entry,
+                    _SERVING_SUMMARY_KEYS_V2, extra,
+                ))
+                if set(entry) >= _SERVING_SUMMARY_KEYS_V2 and \
+                        entry.get("skew") != "zipf":
+                    errors.append(
+                        f"multiproc zipf system {system!r}: summary must "
+                        "record skew='zipf'"
+                    )
+    return errors
+
+
+def validate_serving_doc(payload: dict) -> list:
+    """Schema problems of one BENCH_serving document (empty = valid)."""
+    version = payload.get("version")
+    if version not in KNOWN_SERVING_VERSIONS:
         return [
             f"document: unsupported serving-bench version "
-            f"{payload['version']!r} (this checker speaks "
+            f"{version!r} (this checker speaks "
             f"{list(KNOWN_SERVING_VERSIONS)})"
         ]
+    top_keys = _SERVING_TOP_KEYS if version == 1 else (
+        _SERVING_TOP_KEYS | {"multiproc"}
+    )
+    summary_keys = (
+        _SERVING_SUMMARY_KEYS_V1 if version == 1 else _SERVING_SUMMARY_KEYS_V2
+    )
+    errors = _key_errors("document", payload, top_keys)
+    if errors:
+        return errors
     if not isinstance(payload["workers"], int) or payload["workers"] < 1:
         errors.append("document: 'workers' must be a positive integer")
     if not isinstance(payload["sharded_wins"], bool):
@@ -145,22 +262,12 @@ def validate_serving_doc(payload: dict) -> list:
             )
             continue
         for discipline, entry in level["pools"].items():
-            pool_what = f"{what} pool {discipline!r}"
-            errors.extend(_key_errors(pool_what, entry, _SERVING_POOL_KEYS))
-            if set(entry) != _SERVING_POOL_KEYS:
-                continue
-            errors.extend(_key_errors(
-                f"{pool_what} latency", entry["latency"],
-                _SERVING_LATENCY_KEYS,
+            errors.extend(_validate_load_summary(
+                f"{what} pool {discipline!r}", entry, summary_keys,
+                _SERVING_POOL_EXTRA_KEYS,
             ))
-            if not isinstance(entry["throughput_rps"], (int, float)) or \
-                    entry["throughput_rps"] < 0:
-                errors.append(f"{pool_what}: 'throughput_rps' must be >= 0")
-            if entry["failures"]:
-                errors.append(
-                    f"{pool_what}: transport failures recorded "
-                    f"({entry['failures'][:1]}...)"
-                )
+    if version >= 2:
+        errors.extend(validate_multiproc_section(payload["multiproc"]))
     return errors
 
 
