@@ -46,8 +46,12 @@ from .protocol import (
     ErrorResponse,
     ExecuteRequest,
     ExecuteResponse,
+    MetricsFrame,
     StatsRequest,
     StatsResponse,
+    SubscribeRequest,
+    UnsubscribeRequest,
+    UnsubscribeResponse,
     canonical_json,
     request_from_json,
     response_from_json,
@@ -70,6 +74,10 @@ __all__ = [
     "ErrorResponse",
     "StatsRequest",
     "StatsResponse",
+    "SubscribeRequest",
+    "UnsubscribeRequest",
+    "MetricsFrame",
+    "UnsubscribeResponse",
     "ArrayPlanSummary",
     "request_from_json",
     "response_from_json",

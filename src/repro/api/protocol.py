@@ -39,6 +39,10 @@ __all__ = [
     "ErrorResponse",
     "StatsRequest",
     "StatsResponse",
+    "SubscribeRequest",
+    "UnsubscribeRequest",
+    "MetricsFrame",
+    "UnsubscribeResponse",
     "request_from_json",
     "response_from_json",
 ]
@@ -68,7 +72,14 @@ __all__ = [
 #: are additive and default-tolerant (a document without them reads as
 #: an untired ``tier1``/``off`` answer), but a v4 reader re-serializing
 #: a v5 document would drop them, so the version moves.
-PROTOCOL_VERSION = 5
+#: v6: live metrics streaming -- a ``subscribe`` verb
+#: (:class:`SubscribeRequest` / :class:`UnsubscribeRequest`) that
+#: streams incremental :class:`MetricsFrame` documents over the same
+#: connection, answered by an :class:`UnsubscribeResponse` ack.  The
+#: frame fields are default-tolerant in the v5 style (absent ``final``
+#: reads as false, absent ``history`` as empty), but a v5 reader would
+#: reject all four new kinds outright, so the version moves.
+PROTOCOL_VERSION = 6
 
 #: Default upper bound on one serialized request document (the serving
 #: layer's admission control rejects larger payloads with a
@@ -121,6 +132,26 @@ def _check_str(payload: dict, field_name: str, what: str) -> str:
         raise ValueError(
             f"{what}: {field_name!r} must be a string "
             f"(got {type(value).__name__})"
+        )
+    return value
+
+
+def _check_number(payload: dict, field_name: str, what: str, default):
+    value = payload.get(field_name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"{what}: {field_name!r} must be a number "
+            f"(got {type(value).__name__})"
+        )
+    return value
+
+
+def _check_count(payload: dict, field_name: str, what: str, default: int) -> int:
+    value = payload.get(field_name, default)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ValueError(
+            f"{what}: {field_name!r} must be a non-negative integer "
+            f"(got {value!r})"
         )
     return value
 
@@ -275,9 +306,83 @@ class StatsRequest:
         return canonical_json(self.to_json())
 
 
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """Open a live metrics stream on this connection (protocol v6).
+
+    The server answers with :class:`MetricsFrame` documents at
+    approximately ``interval_s`` spacing (servers clamp the interval to
+    their supported range) until ``frames`` frames were sent (0 streams
+    until an :class:`UnsubscribeRequest`), the connection closes, or the
+    server shuts down -- whichever comes first; the last frame carries
+    ``final``.  ``history`` asks for up to that many recent ring-buffer
+    samples in the first frame, so a late subscriber sees recent load.
+    One subscription may be active per connection at a time.
+    """
+
+    interval_s: float = 1.0
+    #: total frames to stream; 0 = until unsubscribe
+    frames: int = 0
+    #: recent ring samples to include in the first frame
+    history: int = 0
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "subscribe",
+            "version": self.version,
+            "interval_s": self.interval_s,
+            "frames": self.frames,
+            "history": self.history,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SubscribeRequest":
+        what = "SubscribeRequest"
+        _check_version(payload, what)
+        interval_s = _check_number(payload, "interval_s", what, 1.0)
+        if interval_s <= 0:
+            raise ValueError(f"{what}: 'interval_s' must be > 0 (got {interval_s!r})")
+        return cls(
+            interval_s=interval_s,
+            frames=_check_count(payload, "frames", what, 0),
+            history=_check_count(payload, "history", what, 0),
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+@dataclass(frozen=True)
+class UnsubscribeRequest:
+    """End this connection's active metrics stream (protocol v6).
+
+    The server finishes the stream (one last ``final``
+    :class:`MetricsFrame`), then acknowledges with an
+    :class:`UnsubscribeResponse` -- still in request order, so a client
+    reads frames until ``final`` and then exactly one ack.
+    """
+
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {"kind": "unsubscribe", "version": self.version}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "UnsubscribeRequest":
+        _check_version(payload, "UnsubscribeRequest")
+        return cls()
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
 #: Either request type (what :meth:`repro.api.Engine.serve` accepts,
-#: plus the serving layer's ``stats`` verb).
-Request = Union[AnalyzeRequest, ExecuteRequest, StatsRequest]
+#: plus the serving layer's ``stats`` and streaming verbs).
+Request = Union[
+    AnalyzeRequest, ExecuteRequest, StatsRequest,
+    SubscribeRequest, UnsubscribeRequest,
+]
 
 
 def request_from_json(payload: dict) -> Request:
@@ -289,6 +394,10 @@ def request_from_json(payload: dict) -> Request:
         return ExecuteRequest.from_json(payload)
     if kind == "stats":
         return StatsRequest.from_json(payload)
+    if kind == "subscribe":
+        return SubscribeRequest.from_json(payload)
+    if kind == "unsubscribe":
+        return UnsubscribeRequest.from_json(payload)
     raise ValueError(f"unknown request kind {kind!r}")
 
 
@@ -706,9 +815,90 @@ class StatsResponse:
         return canonical_json(self.to_json())
 
 
+@dataclass(frozen=True)
+class MetricsFrame:
+    """One incremental metrics frame of a live stream (protocol v6).
+
+    ``seq`` counts frames within the subscription, monotone from 0.
+    ``elapsed_s`` is the measured wall time since the previous frame
+    (0 for the first).  ``stream`` is the frame body -- counter deltas,
+    current gauges, sparse latency-bucket deltas and (on the front
+    tier) the hot-shard snapshot; its key set is pinned by the server
+    tests (:mod:`repro.server.stream`), not by the protocol, which only
+    promises a JSON object.  ``history`` is non-empty only on the first
+    frame and only when the subscriber asked for ring-buffer history.
+    Absent ``final``/``history``/``elapsed_s`` fields read as their
+    defaults -- the default-tolerance contract.
+    """
+
+    seq: int
+    stream: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    final: bool = False
+    history: list = field(default_factory=list)
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "metrics",
+            "version": self.version,
+            "seq": self.seq,
+            "elapsed_s": self.elapsed_s,
+            "stream": dict(self.stream),
+            "final": self.final,
+            "history": list(self.history),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "MetricsFrame":
+        what = "MetricsFrame"
+        _check_version(payload, what)
+        return cls(
+            seq=_check_count(payload, "seq", what, 0),
+            stream=dict(_check_obj(payload, "stream", what)),
+            elapsed_s=_check_number(payload, "elapsed_s", what, 0.0),
+            final=bool(payload.get("final", False)),
+            history=list(payload.get("history", [])),
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+@dataclass(frozen=True)
+class UnsubscribeResponse:
+    """Acknowledgement ending a metrics stream (protocol v6).
+
+    Arrives after the stream's ``final`` frame; ``frames`` is the exact
+    number of frames the subscription delivered.
+    """
+
+    frames: int = 0
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "unsubscribed",
+            "version": self.version,
+            "frames": self.frames,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "UnsubscribeResponse":
+        _check_version(payload, "UnsubscribeResponse")
+        return cls(frames=_check_count(payload, "frames", "UnsubscribeResponse", 0))
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
 #: Either response type (what :meth:`repro.api.Engine.serve` returns,
-#: plus the serving layer's ``stats`` and ``error`` documents).
-Response = Union[AnalyzeResponse, ExecuteResponse, StatsResponse, ErrorResponse]
+#: plus the serving layer's ``stats``, ``error`` and streaming
+#: documents).
+Response = Union[
+    AnalyzeResponse, ExecuteResponse, StatsResponse, ErrorResponse,
+    MetricsFrame, UnsubscribeResponse,
+]
 
 
 def response_from_json(payload: dict) -> Response:
@@ -722,4 +912,8 @@ def response_from_json(payload: dict) -> Response:
         return StatsResponse.from_json(payload)
     if kind == "error":
         return ErrorResponse.from_json(payload)
+    if kind == "metrics":
+        return MetricsFrame.from_json(payload)
+    if kind == "unsubscribed":
+        return UnsubscribeResponse.from_json(payload)
     raise ValueError(f"unknown response kind {kind!r}")

@@ -28,8 +28,12 @@ Usage::
     cat prog.loop | repro-eval analyze - --loop L1 # source on stdin
 
     repro-eval serve --port 7070 --workers 4       # network serving
+    repro-eval serve --port 7070 --adaptive-admission  # AIMD budget
     repro-eval loadgen --port 7070 --clients 8 --requests 200
     repro-eval loadgen --bench                     # BENCH_serving.json
+
+    repro-eval top --port 7070                     # live dashboard
+    repro-eval top --port 7070 --once              # one frame, no ANSI
 
 (``python -m repro.evaluation ...`` is equivalent to ``repro-eval ...``.)
 """
@@ -426,6 +430,13 @@ def _serve_main(argv: list[str]) -> int:
         "a shard counts as hot and fans out (default: 32)",
     )
     parser.add_argument(
+        "--adaptive-admission", action="store_true",
+        help="drive the in-flight budget with an AIMD controller: "
+        "sustained worker-queue saturation shrinks it, drained queues "
+        "grow it back (threads topology only; --max-inflight sets the "
+        "base budget)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help="persistent cache location (default: .repro-cache or $REPRO_CACHE_DIR)",
     )
@@ -441,6 +452,11 @@ def _serve_main(argv: list[str]) -> int:
             parser.error(
                 "--queue-depth/--max-inflight configure the threads "
                 "topology; backends use their own defaults"
+            )
+        if args.adaptive_admission:
+            parser.error(
+                "--adaptive-admission configures the threads topology "
+                "(the front tier does not shed; its backends do)"
             )
         if args.backends < 1:
             parser.error("--backends must be >= 1")
@@ -487,11 +503,15 @@ def _serve_main(argv: list[str]) -> int:
             sharding=args.sharding,
             queue_depth=queue_depth,
             max_inflight=max_inflight,
+            adaptive_admission=args.adaptive_admission,
             engine_config=EngineConfig(
                 cache_dir=args.cache_dir, use_disk_cache=not args.no_cache
             ),
         )
-        banner = f"workers={args.workers}, sharding={args.sharding}"
+        banner = (
+            f"workers={args.workers}, sharding={args.sharding}"
+            + (", adaptive admission" if args.adaptive_admission else "")
+        )
 
     async def _run() -> None:
         await server.start()
@@ -534,6 +554,60 @@ def _serve_main(argv: list[str]) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _top_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval top",
+        description="Live terminal dashboard over a running repro-eval "
+        "server (either topology): subscribes to the protocol v6 "
+        "metrics stream and renders request/shed/reroute rates, queue "
+        "depths and window latency per frame.  Ctrl-C unsubscribes "
+        "cleanly.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="server host (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7070,
+        help="server port (default: 7070)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="frame interval (default: 1.0; the server clamps)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=0,
+        help="stop after N frames (default: 0 = run until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--history", type=int, default=32,
+        help="ring samples to request on the first frame (default: 32)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print exactly one frame without terminal control codes "
+        "and exit (headless/CI mode)",
+    )
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be > 0")
+    if args.frames < 0:
+        parser.error("--frames must be >= 0")
+    if args.history < 0:
+        parser.error("--history must be >= 0")
+
+    from ..server import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval_s=args.interval,
+        frames=args.frames,
+        once=args.once,
+        history=args.history,
+    )
 
 
 def _loadgen_main(argv: list[str]) -> int:
@@ -744,6 +818,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "loadgen":
         return _loadgen_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eval",
         description="Regenerate the paper's tables and figures "
@@ -752,14 +828,16 @@ def main(argv: list[str] | None = None) -> int:
         "'analyze' for a machine-readable single-loop analysis, "
         "'bench' to measure the execution backends for real, "
         "'serve' to put the protocol on a TCP port, "
-        "'loadgen' to drive a server under load).",
+        "'loadgen' to drive a server under load, "
+        "'top' for a live metrics dashboard).",
     )
     parser.add_argument(
         "artifacts",
         nargs="+",
         choices=sorted(_TABLES) + sorted(FIGURES) + ["all"],
         help="which artifacts to regenerate (or the "
-        "'batch'/'fuzz'/'analyze'/'bench'/'serve'/'loadgen' subcommands)",
+        "'batch'/'fuzz'/'analyze'/'bench'/'serve'/'loadgen'/'top' "
+        "subcommands)",
     )
     parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
     args = parser.parse_args(argv)

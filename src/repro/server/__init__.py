@@ -17,7 +17,11 @@ heavy analysis back end:
   ``overloaded`` shedding, and in-flight coalescing of identical
   analyze work;
 * :class:`ServerMetrics` (``metrics.py``) -- counters + latency
-  histogram served through the protocol's ``stats`` verb;
+  histogram served through the protocol's ``stats`` verb, plus a
+  bounded ring of recent samples;
+* :class:`Subscription` (``stream.py``) -- the protocol v6
+  ``subscribe`` verb: live incremental metrics frames pushed over the
+  same connection, rendered by ``repro-eval top`` (``top.py``);
 * :class:`ServerClient` (``client.py``) -- a small blocking client;
 * :mod:`repro.server.loadgen` -- open-/closed-loop load generation
   (uniform or zipf-skewed) and the ``BENCH_serving.json`` benchmarks.
@@ -57,7 +61,7 @@ See ``docs/SERVER.md`` for the architecture and wire examples.
 """
 
 from .client import ServerClient
-from .dispatch import Dispatcher
+from .dispatch import AdmissionController, Dispatcher
 from .loadgen import (
     SERVING_VERSION,
     MixItem,
@@ -76,7 +80,9 @@ from .pool import EnginePool, PoolClosed, consistent_ring
 from .proxy import BackendDied, FrontTier
 from .routing import HotShardTracker, Router
 from .server import ReproServer, ServerThread
+from .stream import ResponseStream, Subscription
 from .supervisor import BackendSupervisor, serve_backend_command
+from .top import render_frame, run_top
 
 __all__ = [
     "ReproServer",
@@ -85,7 +91,12 @@ __all__ = [
     "EnginePool",
     "PoolClosed",
     "consistent_ring",
+    "AdmissionController",
     "Dispatcher",
+    "ResponseStream",
+    "Subscription",
+    "render_frame",
+    "run_top",
     "ServerMetrics",
     "FrontTierMetrics",
     "LatencyHistogram",

@@ -16,8 +16,13 @@ import socket
 from typing import Optional
 
 from ..api import (
+    ErrorResponse,
+    MetricsFrame,
     StatsRequest,
     StatsResponse,
+    SubscribeRequest,
+    UnsubscribeRequest,
+    UnsubscribeResponse,
     response_from_json,
     wire_json,
 )
@@ -72,6 +77,57 @@ class ServerClient:
     def stats(self) -> StatsResponse:
         """The server's observability snapshot (the ``stats`` verb)."""
         return self.call(StatsRequest())
+
+    def subscribe(
+        self,
+        interval_s: float = 1.0,
+        frames: int = 0,
+        history: int = 0,
+    ):
+        """Start a protocol v6 metrics stream; yields each
+        :class:`MetricsFrame` through the final one.
+
+        With ``frames=0`` the stream runs until :meth:`unsubscribe` is
+        called (from another thread, or pipelined before iterating).
+        Raises :class:`RuntimeError` if the server answers the
+        subscribe with a typed error.
+        """
+        self.send(SubscribeRequest(
+            interval_s=interval_s, frames=frames, history=history,
+        ))
+        while True:
+            response = self.recv()
+            if isinstance(response, ErrorResponse):
+                raise RuntimeError(
+                    f"subscribe failed: {response.code}: {response.message}"
+                )
+            if not isinstance(response, MetricsFrame):
+                raise RuntimeError(
+                    f"unexpected response kind during stream: "
+                    f"{type(response).__name__}"
+                )
+            yield response
+            if response.final:
+                return
+
+    def unsubscribe(self) -> UnsubscribeResponse:
+        """Stop the connection's active stream: sends the unsubscribe,
+        drains any remaining frames (including the final one), and
+        returns the server's ack with the exact frame count."""
+        self.send(UnsubscribeRequest())
+        while True:
+            response = self.recv()
+            if isinstance(response, UnsubscribeResponse):
+                return response
+            if isinstance(response, ErrorResponse):
+                raise RuntimeError(
+                    f"unsubscribe failed: {response.code}: {response.message}"
+                )
+            if not isinstance(response, MetricsFrame):
+                raise RuntimeError(
+                    f"unexpected response kind during unsubscribe: "
+                    f"{type(response).__name__}"
+                )
 
     def close(self) -> None:
         try:

@@ -17,6 +17,14 @@ executes anything.  For each admitted request it
   :meth:`Dispatcher.submit` *always* resolves to a protocol response,
   never raises.
 
+The in-flight budget is optionally **adaptive**: an
+:class:`AdmissionController` (AIMD, the classic congestion-control
+shape) shrinks the budget multiplicatively while the worker queues stay
+saturated and grows it back additively once they drain, so a sustained
+overload sheds at the door *before* queueing delay poisons every
+latency percentile, and a recovered server re-opens without a restart.
+The server's sampler loop drives it via :meth:`Dispatcher.adapt`.
+
 Futures are :class:`concurrent.futures.Future` so the asyncio server
 (``asyncio.wrap_future``) and plain threaded clients (the load
 generator's in-process mode, the tests) can both consume them.
@@ -34,7 +42,7 @@ from ..api import AnalyzeRequest, ErrorResponse, ExecuteRequest, JsonDiskCache
 from .metrics import ServerMetrics
 from .pool import EnginePool, PoolClosed
 
-__all__ = ["Dispatcher"]
+__all__ = ["AdmissionController", "Dispatcher"]
 
 #: Exception types that mean "your request, not the server, is wrong".
 _BAD_REQUEST_ERRORS = (KeyError, ValueError, TypeError, SyntaxError)
@@ -49,6 +57,105 @@ def _analysis_key(digest: str, request: AnalyzeRequest) -> tuple:
     return (digest, request.loop, options)
 
 
+class AdmissionController:
+    """AIMD policy for the dispatcher's in-flight budget.
+
+    Fed one observation per sampler tick (:meth:`observe`); pure state
+    machine otherwise, deterministic under an injected ``clock``:
+
+    * **multiplicative decrease** -- queue utilization at or above
+      ``high_utilization`` *continuously* for ``sustain_s`` seconds
+      halves the budget (down to ``floor``).  Sustained queueing is the
+      signal, not an instantaneous spike: a burst that drains within
+      the sustain window never shrinks the budget.
+    * **additive increase** -- utilization at or below
+      ``low_utilization`` while the budget is actually binding (sheds
+      since the last tick, or in-flight near the budget) grows the
+      budget one ``step`` (up to ``cap``).  A drained *and* idle server
+      keeps its budget where it is -- there is no pressure to probe.
+    """
+
+    def __init__(
+        self,
+        base_budget: int,
+        floor: Optional[int] = None,
+        cap: Optional[int] = None,
+        step: Optional[int] = None,
+        high_utilization: float = 0.5,
+        low_utilization: float = 0.05,
+        sustain_s: float = 1.0,
+        decrease: float = 0.5,
+        clock=time.monotonic,
+    ):
+        if base_budget < 1:
+            raise ValueError(f"base_budget must be >= 1 (got {base_budget})")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError(f"decrease must be in (0, 1) (got {decrease})")
+        if not 0.0 <= low_utilization < high_utilization:
+            raise ValueError(
+                "need 0 <= low_utilization < high_utilization "
+                f"(got {low_utilization}, {high_utilization})"
+            )
+        if sustain_s < 0:
+            raise ValueError(f"sustain_s must be >= 0 (got {sustain_s})")
+        self.base_budget = base_budget
+        self.floor = max(1, base_budget // 8) if floor is None else max(1, floor)
+        self.cap = base_budget * 4 if cap is None else cap
+        self.step = max(1, base_budget // 8) if step is None else max(1, step)
+        self.high_utilization = high_utilization
+        self.low_utilization = low_utilization
+        self.sustain_s = sustain_s
+        self.decrease = decrease
+        self.budget = min(self.cap, max(self.floor, base_budget))
+        self._clock = clock
+        self._pressure_since: Optional[float] = None
+        self._decreases = 0
+        self._increases = 0
+
+    def observe(
+        self,
+        queue_depth: int,
+        queue_capacity: int,
+        inflight: int,
+        shed_delta: int,
+    ) -> int:
+        """Fold one sampler tick in; returns the (possibly new) budget."""
+        now = self._clock()
+        utilization = (
+            queue_depth / queue_capacity if queue_capacity > 0 else 0.0
+        )
+        if utilization >= self.high_utilization:
+            if self._pressure_since is None:
+                self._pressure_since = now
+            elif now - self._pressure_since >= self.sustain_s:
+                shrunk = max(self.floor, int(self.budget * self.decrease))
+                if shrunk < self.budget:
+                    self.budget = shrunk
+                    self._decreases += 1
+                self._pressure_since = now  # re-arm: shrink again only
+                # after another full sustain window under pressure
+            return self.budget
+        self._pressure_since = None
+        budget_bound = shed_delta > 0 or inflight >= 0.75 * self.budget
+        if utilization <= self.low_utilization and budget_bound:
+            grown = min(self.cap, self.budget + self.step)
+            if grown > self.budget:
+                self.budget = grown
+                self._increases += 1
+        return self.budget
+
+    def snapshot(self) -> dict:
+        """JSON-safe controller state for the stats document."""
+        return {
+            "budget": self.budget,
+            "cap": self.cap,
+            "decreases": self._decreases,
+            "floor": self.floor,
+            "increases": self._increases,
+            "under_pressure": self._pressure_since is not None,
+        }
+
+
 class Dispatcher:
     """Admission control + coalescing between the server and the pool."""
 
@@ -57,12 +164,17 @@ class Dispatcher:
         pool: EnginePool,
         metrics: Optional[ServerMetrics] = None,
         max_inflight: int = 256,
+        controller: Optional[AdmissionController] = None,
     ):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1 (got {max_inflight})")
         self.pool = pool
         self.metrics = metrics or pool.metrics
-        self.max_inflight = max_inflight
+        self.base_max_inflight = max_inflight
+        self.max_inflight = (
+            controller.budget if controller is not None else max_inflight
+        )
+        self._controller = controller
         # reentrant: a pool future that completes before its done-
         # callback is attached runs that callback synchronously on this
         # thread, inside the admission critical section
@@ -70,6 +182,11 @@ class Dispatcher:
         self._inflight = 0
         #: analysis key -> the primary in-flight pool future
         self._inflight_analyze: dict = {}
+        # unlocked counter (single bytecode increment is atomic enough
+        # for a control-loop signal; exactness doesn't matter, staleness
+        # by one tick doesn't either)
+        self._shed_count = 0
+        self._shed_seen = 0
 
     # -- public ---------------------------------------------------------
     def submit(self, request) -> Future:
@@ -92,6 +209,7 @@ class Dispatcher:
         # (_admit re-checks under the lock; this unlocked read can only
         # be momentarily stale)
         if self._inflight >= self.max_inflight:
+            self._shed_count += 1
             self.metrics.shed()
             self._finish(
                 outer, started,
@@ -131,11 +249,43 @@ class Dispatcher:
         with self._lock:
             return self._inflight
 
+    def adapt(self, queue_depth: int, queue_capacity: int) -> int:
+        """One control-loop tick: feed the admission controller the
+        current queue pressure and apply its budget.  No-op (returns
+        the static budget) when the dispatcher was built without a
+        controller.  Called from the server's sampler task.
+        """
+        if self._controller is None:
+            return self.max_inflight
+        shed_total = self._shed_count
+        shed_delta = shed_total - self._shed_seen
+        self._shed_seen = shed_total
+        # read _inflight unlocked for the same reason as the fast-path
+        # shed check: a momentarily stale value only skews one tick
+        budget = self._controller.observe(
+            queue_depth, queue_capacity, self._inflight, shed_delta
+        )
+        self.max_inflight = budget
+        return budget
+
+    def admission_snapshot(self) -> dict:
+        """JSON-safe admission state for the extended stats document."""
+        doc = {
+            "adaptive": self._controller is not None,
+            "base_max_inflight": self.base_max_inflight,
+            "max_inflight": self.max_inflight,
+            "shed_total": self._shed_count,
+        }
+        if self._controller is not None:
+            doc["controller"] = self._controller.snapshot()
+        return doc
+
     # -- internals ------------------------------------------------------
     def _admit(self, digest, request, started, outer) -> Optional[Future]:
         """Budget-check and enqueue (caller holds the lock).  Returns
         the pool-side future, or None when the request was shed."""
         if self._inflight >= self.max_inflight:
+            self._shed_count += 1
             self.metrics.shed()
             self._finish(
                 outer, started,
@@ -150,6 +300,7 @@ class Dispatcher:
         try:
             self.pool.submit(shard, digest, request, inner)
         except queue.Full:
+            self._shed_count += 1
             self.metrics.shed()
             self._finish(
                 outer, started,
@@ -160,6 +311,7 @@ class Dispatcher:
             )
             return None
         except PoolClosed:
+            self._shed_count += 1
             self.metrics.shed()
             self._finish(
                 outer, started,

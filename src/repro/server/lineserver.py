@@ -11,9 +11,12 @@ concurrently -- so the transport lives here once:
   front tier)
 
 both subclass :class:`LineServer` and implement only the *admission*
-half: ``_admit(line, oversized)`` returns an awaitable resolving to a
-response payload, and the lifecycle hooks ``_on_start`` / ``_on_stop``
-own whatever backs the admission (an engine pool, a backend fleet).
+half: ``_admit(line, oversized, context)`` returns an awaitable
+resolving to a response payload (or a
+:class:`~repro.server.stream.ResponseStream` whose frames are written
+as individual lines), and the lifecycle hooks ``_on_start`` /
+``_on_stop`` own whatever backs the admission (an engine pool, a
+backend fleet).
 
 The transport guarantees are the protocol's hard promises and are
 enforced here for every tier: bounded line framing (oversized lines
@@ -30,8 +33,9 @@ import threading
 from typing import Optional
 
 from ..api import wire_json
+from .stream import ResponseStream
 
-__all__ = ["LineServer", "ServerThread"]
+__all__ = ["ConnectionContext", "LineServer", "ServerThread"]
 
 #: Upper bound on responses admitted-but-unwritten per connection.  A
 #: client that pipelines without reading fills this queue, which stops
@@ -100,14 +104,33 @@ class _LineReader:
         return (line, None)
 
 
+class ConnectionContext:
+    """Per-connection admission state.
+
+    Today that is exactly one thing: the connection's active metrics
+    stream, if any (the protocol allows one live ``subscribe`` per
+    connection).  The transport closes the context on teardown so a
+    client that disconnects mid-stream -- or a server shutting down --
+    never leaves a subscription ticking.
+    """
+
+    def __init__(self):
+        self.subscription: Optional[ResponseStream] = None
+
+    def close(self) -> None:
+        if self.subscription is not None:
+            self.subscription.stop()
+
+
 class LineServer:
     """One JSON-lines serving endpoint: listener + per-connection pump.
 
-    Subclasses implement ``_admit(line, oversized)`` (cheap, on the
-    event loop; returns an awaitable resolving to a response document
-    object with ``to_json()``) and the ``_on_start`` / ``_on_stop``
-    lifecycle hooks; ``connection_opened`` / ``connection_closed``
-    metric hooks are optional overrides.
+    Subclasses implement ``_admit(line, oversized, context)`` (cheap,
+    on the event loop; returns an awaitable resolving to a response
+    document object with ``to_json()``, or a
+    :class:`~repro.server.stream.ResponseStream`) and the ``_on_start``
+    / ``_on_stop`` lifecycle hooks; ``connection_opened`` /
+    ``connection_closed`` metric hooks are optional overrides.
     """
 
     def __init__(
@@ -131,7 +154,7 @@ class LineServer:
     async def _on_stop(self) -> None:
         """Tear the backing down; runs after every connection drained."""
 
-    def _admit(self, line, oversized):
+    def _admit(self, line, oversized, context):
         raise NotImplementedError
 
     def _connection_opened(self) -> None:
@@ -187,6 +210,7 @@ class LineServer:
         order: asyncio.Queue = asyncio.Queue(maxsize=MAX_PIPELINED)
         writer_task = asyncio.create_task(self._write_responses(order, writer))
         liner = _LineReader(reader, self.max_request_bytes)
+        context = ConnectionContext()
         stop_wait = asyncio.create_task(self._stop_event.wait())
         try:
             while not self._stop_event.is_set():
@@ -207,9 +231,12 @@ class LineServer:
                 line, oversized = item
                 if line is not None and not line.strip():
                     continue  # blank keepalive line
-                await order.put(self._admit(line, oversized))
+                await order.put(self._admit(line, oversized, context))
         finally:
             stop_wait.cancel()
+            # stop any live stream before the writer drain: the stream
+            # emits its final frame promptly and the writer terminates
+            context.close()
             try:
                 # the writer keeps draining concurrently, so this
                 # terminates even when the pipeline is full; a peer that
@@ -228,15 +255,21 @@ class LineServer:
     async def _write_responses(self, order: asyncio.Queue, writer) -> None:
         """Await pipelined responses in arrival order and write them.
 
-        A response may be a protocol document (``to_json()``) or raw
+        A response may be a protocol document (``to_json()``), raw
         ``bytes`` -- an already-serialized line a proxying tier forwards
-        verbatim, so a front tier is byte-transparent to its backends.
+        verbatim, so a front tier is byte-transparent to its backends --
+        or a :class:`~repro.server.stream.ResponseStream`, whose frames
+        are each written as their own line while the stream occupies its
+        single in-order slot.
         """
         broken = False
         while True:
             pending = await order.get()
             if pending is None:
                 return
+            if isinstance(pending, ResponseStream):
+                broken = await self._write_stream(pending, writer, broken)
+                continue
             response = await pending
             if broken:
                 continue  # keep consuming futures; peer is gone
@@ -248,6 +281,33 @@ class LineServer:
                 await asyncio.wait_for(writer.drain(), DRAIN_TIMEOUT_S)
             except (ConnectionError, OSError, asyncio.TimeoutError):
                 broken = True
+
+    async def _write_stream(self, stream, writer, broken: bool) -> bool:
+        """Drain one response stream, writing each frame as a line.
+
+        Always iterates to exhaustion even on a broken peer -- the
+        stream's cleanup (resolving a pipelined unsubscribe ack) runs in
+        its generator's ``finally`` -- but stops the stream first so
+        that takes one final frame, not the full schedule.  Returns the
+        updated *broken* flag.
+        """
+        if broken:
+            stream.stop()
+        try:
+            async for frame in stream.frames():
+                if broken:
+                    continue
+                try:
+                    writer.write(wire_json(frame.to_json()).encode() + b"\n")
+                    await asyncio.wait_for(writer.drain(), DRAIN_TIMEOUT_S)
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    broken = True
+                    stream.stop()
+        except Exception:
+            # a stream that dies (a failing sample_fn) must not take the
+            # writer loop -- and the rest of the connection -- with it
+            stream.stop()
+        return broken
 
 
 def ready(response):

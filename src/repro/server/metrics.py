@@ -14,10 +14,17 @@ of requests and the reported p50/p95/p99 are each the upper edge of the
 bucket holding that quantile -- a guaranteed upper bound that
 overstates by at most one bucket ratio (~1.55x), which is the right
 trade for capacity planning.
+
+Both registries also keep a bounded ring of recent samples
+(:meth:`ServerMetrics.sample` / :meth:`ServerMetrics.recent_samples`)
+-- the history a late protocol v6 ``subscribe`` stream subscriber sees
+without the server holding unbounded state.
 """
 
 from __future__ import annotations
 
+import collections
+import math
 import threading
 import time
 from typing import Optional
@@ -31,13 +38,16 @@ __all__ = ["FrontTierMetrics", "LatencyHistogram", "ServerMetrics"]
 _BUCKET_EDGES = tuple(1e-5 * (1.55 ** i) for i in range(43))
 
 #: Request verbs the serving layer counts (the protocol's "kind" tags).
-VERBS = ("analyze", "execute", "stats")
+VERBS = ("analyze", "execute", "stats", "subscribe", "unsubscribe")
+
+#: Bounded history of metrics samples kept for late stream subscribers.
+RING_CAPACITY = 256
 
 
 class LatencyHistogram:
     """Fixed-bucket latency accounting with quantile upper bounds."""
 
-    __slots__ = ("counts", "overflow", "total", "sum_s", "max_s")
+    __slots__ = ("counts", "overflow", "total", "sum_s", "max_s", "invalid")
 
     def __init__(self):
         self.counts = [0] * len(_BUCKET_EDGES)
@@ -45,8 +55,15 @@ class LatencyHistogram:
         self.total = 0
         self.sum_s = 0.0
         self.max_s = 0.0
+        self.invalid = 0
 
     def observe(self, seconds: float) -> None:
+        # a NaN/inf duration (a broken clock, a subtraction against a
+        # poisoned timestamp) must not reach sum_s/max_s: NaN propagates
+        # through every later mean and max(0.0, nan) is nan
+        if not isinstance(seconds, (int, float)) or not math.isfinite(seconds):
+            self.invalid += 1
+            return
         seconds = max(0.0, seconds)
         self.total += 1
         self.sum_s += seconds
@@ -77,6 +94,7 @@ class LatencyHistogram:
         mean = (self.sum_s / self.total) if self.total else 0.0
         return {
             "count": self.total,
+            "invalid": self.invalid,
             "mean_s": round(mean, 6),
             "p50_s": round(self.quantile(0.50), 6),
             "p95_s": round(self.quantile(0.95), 6),
@@ -84,11 +102,69 @@ class LatencyHistogram:
             "max_s": round(self.max_s, 6),
         }
 
+    def state(self) -> dict:
+        """Cumulative bucket state for streaming delta computation
+        (:mod:`repro.server.stream`): sparse non-zero counts keyed by
+        the stringified bucket index, plus the raw totals."""
+        return {
+            "counts": {str(i): c for i, c in enumerate(self.counts) if c},
+            "invalid": self.invalid,
+            "max_s": self.max_s,
+            "overflow": self.overflow,
+            "sum_s": self.sum_s,
+            "total": self.total,
+        }
 
-class ServerMetrics:
+
+class _SampleRing:
+    """Shared sampling surface for the two metrics registries: a
+    bounded ring of recent ``(seq, snapshot, gauges, latency state)``
+    samples feeding the protocol v6 metrics stream.  Subclasses provide
+    ``_lock``, ``_latency`` and ``_snapshot_locked()``.
+    """
+
+    def _init_ring(self, ring_capacity: int) -> None:
+        self._ring: collections.deque = collections.deque(
+            maxlen=max(1, ring_capacity)
+        )
+        self._sample_seq = 0
+
+    def sample(self, gauges: Optional[dict] = None,
+               extra: Optional[dict] = None) -> dict:
+        """Take one sample: the full snapshot plus caller-provided
+        gauges (per-worker queue depths, the live admission budget, ...)
+        and opaque extras (the hot-shard snapshot), appended to the
+        bounded ring and returned."""
+        with self._lock:
+            stats = self._snapshot_locked()
+            entry = {
+                "seq": self._sample_seq,
+                "uptime_s": stats["uptime_s"],
+                "stats": stats,
+                "gauges": dict(gauges or {}),
+                "extra": dict(extra or {}),
+                "latency_state": self._latency.state(),
+            }
+            self._sample_seq += 1
+            self._ring.append(entry)
+            return entry
+
+    def recent_samples(self, limit: Optional[int] = None) -> list:
+        """The most recent ring samples, oldest first (at most *limit*
+        when given)."""
+        with self._lock:
+            samples = list(self._ring)
+        if limit is None:
+            return samples
+        if limit <= 0:
+            return []
+        return samples[-limit:]
+
+
+class ServerMetrics(_SampleRing):
     """Thread-safe counters + latency for one serving endpoint."""
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic, ring_capacity: int = RING_CAPACITY):
         self._lock = threading.Lock()
         self._clock = clock
         self._started = clock()
@@ -104,6 +180,7 @@ class ServerMetrics:
         self._speculation_rollbacks = 0
         self._tiers = {"tier0": 0, "tier1": 0}
         self._latency = LatencyHistogram()
+        self._init_ring(ring_capacity)
 
     # -- recording ------------------------------------------------------
     def connection_opened(self) -> None:
@@ -112,7 +189,10 @@ class ServerMetrics:
 
     def connection_closed(self) -> None:
         with self._lock:
-            self._connections -= 1
+            # clamped like the inflight gauge: an unmatched close (a
+            # connection torn down before its open was recorded) must
+            # not drive the gauge negative forever
+            self._connections = max(0, self._connections - 1)
 
     def request_received(self, verb: str) -> None:
         with self._lock:
@@ -168,26 +248,29 @@ class ServerMetrics:
         Key set is fixed (see the module docstring); only values vary.
         """
         with self._lock:
-            return {
-                "coalesced": self._coalesced,
-                "completed": self._completed,
-                "connections": self._connections,
-                "errors": dict(self._errors),
-                "inflight": self._inflight,
-                "latency": self._latency.snapshot(),
-                "requests": dict(self._requests),
-                "shed": self._shed,
-                "speculation": {
-                    "commits": self._speculation_commits,
-                    "rollbacks": self._speculation_rollbacks,
-                },
-                "tiers": dict(self._tiers),
-                "uptime_s": round(self._clock() - self._started, 3),
-                "warm_hits": self._warm_hits,
-            }
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
+        return {
+            "coalesced": self._coalesced,
+            "completed": self._completed,
+            "connections": self._connections,
+            "errors": dict(self._errors),
+            "inflight": self._inflight,
+            "latency": self._latency.snapshot(),
+            "requests": dict(self._requests),
+            "shed": self._shed,
+            "speculation": {
+                "commits": self._speculation_commits,
+                "rollbacks": self._speculation_rollbacks,
+            },
+            "tiers": dict(self._tiers),
+            "uptime_s": round(self._clock() - self._started, 3),
+            "warm_hits": self._warm_hits,
+        }
 
 
-class FrontTierMetrics:
+class FrontTierMetrics(_SampleRing):
     """Thread-safe counters + latency for the multi-process front tier.
 
     Same design rules as :class:`ServerMetrics` (one lock, schema-stable
@@ -197,7 +280,7 @@ class FrontTierMetrics:
     and surface through the aggregated topology stats instead.
     """
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic, ring_capacity: int = RING_CAPACITY):
         self._lock = threading.Lock()
         self._clock = clock
         self._started = clock()
@@ -211,6 +294,7 @@ class FrontTierMetrics:
         self._inflight = 0
         self._connections = 0
         self._latency = LatencyHistogram()
+        self._init_ring(ring_capacity)
 
     # -- recording ------------------------------------------------------
     def connection_opened(self) -> None:
@@ -219,7 +303,8 @@ class FrontTierMetrics:
 
     def connection_closed(self) -> None:
         with self._lock:
-            self._connections -= 1
+            # same clamp as ServerMetrics: never negative
+            self._connections = max(0, self._connections - 1)
 
     def request_received(self, verb: str) -> None:
         with self._lock:
@@ -267,16 +352,19 @@ class FrontTierMetrics:
         """Front-tier half of the topology stats document.  Key set is
         fixed; only values vary."""
         with self._lock:
-            return {
-                "backend_died": self._backend_died,
-                "coalesced": self._coalesced,
-                "completed": self._completed,
-                "connections": self._connections,
-                "errors": dict(self._errors),
-                "fanouts": self._fanouts,
-                "inflight": self._inflight,
-                "latency": self._latency.snapshot(),
-                "requests": dict(self._requests),
-                "rerouted": self._rerouted,
-                "uptime_s": round(self._clock() - self._started, 3),
-            }
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
+        return {
+            "backend_died": self._backend_died,
+            "coalesced": self._coalesced,
+            "completed": self._completed,
+            "connections": self._connections,
+            "errors": dict(self._errors),
+            "fanouts": self._fanouts,
+            "inflight": self._inflight,
+            "latency": self._latency.snapshot(),
+            "requests": dict(self._requests),
+            "rerouted": self._rerouted,
+            "uptime_s": round(self._clock() - self._started, 3),
+        }

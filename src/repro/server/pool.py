@@ -126,6 +126,8 @@ class EnginePool:
                 f"sharding must be 'digest' or 'shared' (got {sharding!r})"
             )
         self.sharding = sharding
+        self.queue_depth = queue_depth  # per-worker capacity (for
+        # utilization math in the adaptive-admission control loop)
         self.metrics = metrics or ServerMetrics()
         config = engine_config or EngineConfig()
         if sharding == "shared":

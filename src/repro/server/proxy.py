@@ -58,6 +58,7 @@ from ..api.cache import JsonDiskCache
 from .lineserver import LineServer, ready
 from .metrics import FrontTierMetrics
 from .routing import HotShardTracker, Router
+from .stream import Subscription
 from .supervisor import BackendSupervisor, serve_backend_command
 
 __all__ = ["BackendDied", "FrontTier"]
@@ -229,11 +230,18 @@ class FrontTier(LineServer):
         max_request_bytes: int = MAX_REQUEST_BYTES,
         startup_timeout_s: float = 120.0,
         supervisor: Optional[BackendSupervisor] = None,
+        sample_interval_s: float = 0.5,
     ):
         super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
         if backends < 1:
             raise ValueError(f"backends must be >= 1 (got {backends})")
+        if sample_interval_s <= 0:
+            raise ValueError(
+                f"sample_interval_s must be > 0 (got {sample_interval_s})"
+            )
         self.backends = backends
+        self.sample_interval_s = sample_interval_s
+        self._sampler_task: Optional[asyncio.Task] = None
         self.replicas = max(1, min(replicas, backends))
         self.metrics = FrontTierMetrics()
         self.router = Router(backends, vnodes=vnodes)
@@ -296,8 +304,16 @@ class FrontTier(LineServer):
                 f"{self.startup_timeout_s:.0f}s "
                 f"({[s.to_json() for s in self.supervisor.statuses()]})"
             )
+        self._sampler_task = asyncio.ensure_future(self._sample_loop())
 
     async def _on_stop(self) -> None:
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
         for link in self._links:
             for conn in link.down():
                 await conn.close()
@@ -309,8 +325,33 @@ class FrontTier(LineServer):
     def _connection_closed(self) -> None:
         self.metrics.connection_closed()
 
+    # -- sampling --------------------------------------------------------
+    def _backend_inflight(self) -> list:
+        """Requests in flight per backend slot, over its open pipelined
+        connections (0 for a dead slot)."""
+        return [
+            sum(c.inflight for c in link.conns if not c.closed)
+            for link in self._links
+        ]
+
+    def _stream_sample(self) -> dict:
+        """One metrics ring sample with the proxy tier's gauges and the
+        hot-shard snapshot attached."""
+        return self.metrics.sample(
+            gauges={
+                "backend_inflight": self._backend_inflight(),
+                "backends_live": len(self._live_set()),
+            },
+            extra={"hot_shards": self.tracker.snapshot()},
+        )
+
+    async def _sample_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.sample_interval_s)
+            self._stream_sample()
+
     # -- admission -------------------------------------------------------
-    def _admit(self, line, oversized):
+    def _admit(self, line, oversized, context):
         if oversized:
             self.metrics.error("too_large")
             return ready(ErrorResponse(
@@ -338,6 +379,12 @@ class FrontTier(LineServer):
         if kind == "stats":
             self.metrics.request_received("stats")
             return asyncio.ensure_future(self._topology_stats())
+        if kind == "subscribe":
+            self.metrics.request_received("subscribe")
+            return self._subscribe(payload, context)
+        if kind == "unsubscribe":
+            self.metrics.request_received("unsubscribe")
+            return self._unsubscribe(context)
         if kind not in ("analyze", "execute"):
             self.metrics.error("unknown_verb")
             return ready(ErrorResponse(
@@ -353,6 +400,44 @@ class FrontTier(LineServer):
             return ready(ErrorResponse(
                 "bad_request", str(exc.args[0] if exc.args else exc)))
         return asyncio.ensure_future(self._handle(kind, payload, bytes(line)))
+
+    # -- streaming -------------------------------------------------------
+    def _subscribe(self, payload, context):
+        """Start this connection's metrics stream over the *front
+        tier's* registry (backend engine stats stay poll-only via
+        ``stats``; the stream's gauges carry per-backend in-flight and
+        the live count, its ``hot_shards`` the tracker snapshot)."""
+        try:
+            request = request_from_json(payload)
+        except Exception as exc:  # noqa: BLE001 -- typed response, never a drop
+            self.metrics.error("bad_request")
+            return ready(ErrorResponse(
+                "bad_request", str(exc.args[0] if exc.args else exc)))
+        active = context.subscription
+        if active is not None and not active.finished:
+            self.metrics.error("bad_request")
+            return ready(ErrorResponse(
+                "bad_request",
+                "a metrics stream is already active on this connection"))
+        subscription = Subscription(
+            self._stream_sample,
+            "multiproc",
+            interval_s=request.interval_s,
+            frames=request.frames,
+            history=request.history,
+            recent_fn=self.metrics.recent_samples,
+        )
+        context.subscription = subscription
+        return subscription
+
+    def _unsubscribe(self, context):
+        subscription = context.subscription
+        if subscription is None:
+            self.metrics.error("bad_request")
+            return ready(ErrorResponse(
+                "bad_request", "no metrics stream on this connection"))
+        subscription.stop()
+        return subscription.ack()
 
     # -- request handling -------------------------------------------------
     async def _handle(self, kind: str, payload: dict, raw: bytes):
@@ -507,6 +592,7 @@ class FrontTier(LineServer):
             backends_doc.append(doc)
         front = self.metrics.snapshot()
         front["hot_shards"] = self.tracker.snapshot()
+        front["backend_inflight"] = self._backend_inflight()
         return StatsResponse(stats={
             "backends": backends_doc,
             "front": front,

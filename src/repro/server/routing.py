@@ -143,27 +143,44 @@ class HotShardTracker:
         if digest in self._current or len(self._current) < self.max_tracked:
             self._current[digest] = self._current.get(digest, 0) + count
 
-    def rate(self, digest: str) -> float:
-        """The digest's estimated requests/second over the sliding
-        window ending now."""
-        now = self._clock()
-        self._rotate(now)
+    def _previous_weight(self, now: float) -> float:
+        """How much of the sliding window still overlaps the previous
+        bucket (caller already rotated to *now*)."""
         into_window = (now - self._window_start) / self.window_s
-        previous_weight = max(0.0, 1.0 - into_window)
+        return max(0.0, 1.0 - into_window)
+
+    def _blended_rate(self, digest: str, previous_weight: float) -> float:
         blended = (
             self._previous.get(digest, 0) * previous_weight
             + self._current.get(digest, 0)
         )
         return blended / self.window_s
 
+    def rate(self, digest: str) -> float:
+        """The digest's estimated requests/second over the sliding
+        window ending now."""
+        now = self._clock()
+        self._rotate(now)
+        return self._blended_rate(digest, self._previous_weight(now))
+
     def is_hot(self, digest: str) -> bool:
         return self.rate(digest) >= self.hot_rps
 
     def hot_digests(self) -> Dict[str, float]:
-        """Every currently-hot digest with its estimated rate."""
+        """Every currently-hot digest with its estimated rate.
+
+        One clock read and one rotation for the whole snapshot: every
+        rate is computed from the same window state, so digests with
+        equal counts report equal rates even when the call straddles a
+        window boundary (re-reading the clock per digest could rotate
+        mid-iteration and mix pre- and post-rotation rates).
+        """
+        now = self._clock()
+        self._rotate(now)
+        previous_weight = self._previous_weight(now)
         result = {}
         for digest in set(self._previous) | set(self._current):
-            rate = self.rate(digest)
+            rate = self._blended_rate(digest, previous_weight)
             if rate >= self.hot_rps:
                 result[digest] = rate
         return result

@@ -37,16 +37,25 @@ from ..api import (
     StatsResponse,
     request_from_json,
 )
-from .dispatch import Dispatcher
+from .dispatch import AdmissionController, Dispatcher
 from .lineserver import LineServer, ServerThread, ready
 from .metrics import ServerMetrics
 from .pool import EnginePool
+from .stream import Subscription
 
 __all__ = ["ReproServer", "ServerThread"]
 
 
 class ReproServer(LineServer):
-    """One serving endpoint: listener + dispatcher + engine pool."""
+    """One serving endpoint: listener + dispatcher + engine pool.
+
+    With ``adaptive_admission=True`` the dispatcher's in-flight budget
+    is driven by an AIMD :class:`AdmissionController` fed from the
+    sampler task (which also fills the metrics ring that backs protocol
+    v6 ``subscribe`` streams): sustained worker-queue saturation shrinks
+    the budget so overload is shed at the door, drained queues grow it
+    back.
+    """
 
     def __init__(
         self,
@@ -58,8 +67,15 @@ class ReproServer(LineServer):
         max_inflight: int = 256,
         sharding: str = "digest",
         max_request_bytes: int = MAX_REQUEST_BYTES,
+        adaptive_admission: bool = False,
+        sample_interval_s: float = 0.5,
     ):
         super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
+        if sample_interval_s <= 0:
+            raise ValueError(
+                f"sample_interval_s must be > 0 (got {sample_interval_s})"
+            )
+        self.sample_interval_s = sample_interval_s
         self.metrics = ServerMetrics()
         self.pool = EnginePool(
             workers=workers,
@@ -68,18 +84,52 @@ class ReproServer(LineServer):
             sharding=sharding,
             metrics=self.metrics,
         )
-        self.dispatcher = Dispatcher(
-            self.pool, metrics=self.metrics, max_inflight=max_inflight
+        controller = (
+            AdmissionController(max_inflight) if adaptive_admission else None
         )
+        self.dispatcher = Dispatcher(
+            self.pool, metrics=self.metrics, max_inflight=max_inflight,
+            controller=controller,
+        )
+        self._sampler_task: Optional[asyncio.Task] = None
 
     # -- lifecycle hooks -------------------------------------------------
     async def _on_start(self) -> None:
         self.pool.start()
+        self._sampler_task = asyncio.ensure_future(self._sample_loop())
 
     async def _on_stop(self) -> None:
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
         # pool queues are empty by now (handlers awaited their futures);
         # drain=True also covers requests admitted but unawaited
         await asyncio.get_running_loop().run_in_executor(None, self.pool.stop)
+
+    # -- sampling / control loop -----------------------------------------
+    def _queue_depths(self) -> list:
+        return [self.pool.queue_size(i) for i in range(self.pool.workers)]
+
+    def _stream_sample(self) -> dict:
+        """One metrics ring sample with this tier's gauges attached."""
+        return self.metrics.sample(gauges={
+            "max_inflight": self.dispatcher.max_inflight,
+            "queue_depth": self._queue_depths(),
+        })
+
+    async def _sample_loop(self) -> None:
+        """Fill the metrics ring and tick the admission control loop."""
+        while True:
+            await asyncio.sleep(self.sample_interval_s)
+            sample = self._stream_sample()
+            depths = sample["gauges"]["queue_depth"]
+            self.dispatcher.adapt(
+                sum(depths), self.pool.workers * self.pool.queue_depth
+            )
 
     def _connection_opened(self) -> None:
         self.metrics.connection_opened()
@@ -88,9 +138,10 @@ class ReproServer(LineServer):
         self.metrics.connection_closed()
 
     # -- admission -------------------------------------------------------
-    def _admit(self, line, oversized):
+    def _admit(self, line, oversized, context):
         """Cheap per-request validation and routing; returns an
-        awaitable resolving to a response document."""
+        awaitable resolving to a response document (or a frame stream
+        for ``subscribe``)."""
         if oversized:
             self.metrics.error("too_large")
             return ready(ErrorResponse(
@@ -117,7 +168,18 @@ class ReproServer(LineServer):
         kind = payload.get("kind")
         if kind == "stats":
             self.metrics.request_received("stats")
-            return ready(StatsResponse(stats=self.metrics.snapshot()))
+            stats = self.metrics.snapshot()
+            # live admission + queue state ride along (extension keys;
+            # the registry's own key set stays schema-stable)
+            stats["admission"] = self.dispatcher.admission_snapshot()
+            stats["queue_depths"] = self._queue_depths()
+            return ready(StatsResponse(stats=stats))
+        if kind == "subscribe":
+            self.metrics.request_received("subscribe")
+            return self._subscribe(payload, context)
+        if kind == "unsubscribe":
+            self.metrics.request_received("unsubscribe")
+            return self._unsubscribe(context)
         if kind not in ("analyze", "execute"):
             self.metrics.error("unknown_verb")
             return ready(ErrorResponse(
@@ -137,3 +199,42 @@ class ReproServer(LineServer):
             self.metrics.error("internal")
             return ready(ErrorResponse(
                 "internal", f"{type(exc).__name__}: {exc}"))
+
+    # -- streaming -------------------------------------------------------
+    def _subscribe(self, payload, context):
+        """Start this connection's metrics stream (one live stream per
+        connection; re-subscribing is fine once the previous finished)."""
+        try:
+            request = request_from_json(payload)
+        except Exception as exc:  # noqa: BLE001 -- typed response, never a drop
+            self.metrics.error("bad_request")
+            return ready(ErrorResponse(
+                "bad_request", str(exc.args[0] if exc.args else exc)))
+        active = context.subscription
+        if active is not None and not active.finished:
+            self.metrics.error("bad_request")
+            return ready(ErrorResponse(
+                "bad_request",
+                "a metrics stream is already active on this connection"))
+        subscription = Subscription(
+            self._stream_sample,
+            "threads",
+            interval_s=request.interval_s,
+            frames=request.frames,
+            history=request.history,
+            recent_fn=self.metrics.recent_samples,
+        )
+        context.subscription = subscription
+        return subscription
+
+    def _unsubscribe(self, context):
+        """Stop the connection's stream; the ack (with the exact frame
+        count) resolves once the final frame is out, which keeps the
+        in-order response contract: frames..., final frame, ack."""
+        subscription = context.subscription
+        if subscription is None:
+            self.metrics.error("bad_request")
+            return ready(ErrorResponse(
+                "bad_request", "no metrics stream on this connection"))
+        subscription.stop()
+        return subscription.ack()

@@ -200,6 +200,38 @@ class TestTopologyStats:
             assert "requests" in backend["stats"]
         assert "hot_shards" in stats["front"]
         assert stats["front"]["requests"]["stats"] >= 1
+        # v6: live per-backend in-flight levels ride along
+        inflight = stats["front"]["backend_inflight"]
+        assert len(inflight) == 2
+        assert all(isinstance(n, int) and n >= 0 for n in inflight)
+
+
+class TestStreaming:
+    def test_subscribe_streams_multiproc_frames(self, hosted):
+        """The same v6 subscribe verb works against the front tier; its
+        frames carry the fleet-shaped gauges and hot-shard snapshot."""
+        with _client(hosted) as client:
+            frames = list(client.subscribe(interval_s=0.05, frames=2))
+            assert [f.seq for f in frames] == [0, 1]
+            assert frames[-1].final
+            for frame in frames:
+                assert frame.stream["topology"] == "multiproc"
+                hot = frame.stream["hot_shards"]
+                assert isinstance(hot, dict) and "hot_digests" in hot
+                gauges = frame.stream["gauges"]
+                assert len(gauges["backend_inflight"]) == 2
+                assert gauges["backends_live"] == 2
+            # the connection serves ordinary requests after the stream
+            served = client.call(AnalyzeRequest(source=SOURCE, loop="target"))
+            assert served.to_json()["kind"] == "analyze"
+
+    def test_unsubscribe_acks_on_front_tier(self, hosted):
+        with _client(hosted) as client:
+            stream = client.subscribe(interval_s=0.05)
+            first = next(stream)
+            assert first.seq == 0 and not first.final
+            ack = client.unsubscribe()
+            assert ack.frames >= 1
 
 
 class TestHotShardFanOut:

@@ -287,9 +287,162 @@ class TestStatsVerb:
         assert isinstance(response, StatsResponse)
         stats = response.stats
         assert set(stats["latency"]) == {
-            "count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s",
+            "count", "invalid", "mean_s", "p50_s", "p95_s", "p99_s", "max_s",
         }
         assert stats["completed"] >= 0
+
+    def test_stats_document_carries_admission_state(self, hosted):
+        """The v6 stats doc exposes the admission budget and the live
+        per-worker queue depths alongside the counters."""
+        with _client(hosted) as client:
+            stats = client.stats().stats
+        admission = stats["admission"]
+        assert admission["adaptive"] is False  # static server by default
+        assert admission["max_inflight"] == admission["base_max_inflight"]
+        assert admission["shed_total"] >= 0
+        assert "controller" not in admission
+        depths = stats["queue_depths"]
+        assert len(depths) == 3  # one per worker
+        assert all(isinstance(d, int) and d >= 0 for d in depths)
+
+
+class TestStreaming:
+    """The protocol v6 ``subscribe`` verb over a real socket."""
+
+    STREAM_KEYS = {
+        "counters", "gauges", "hot_shards", "latency", "topology",
+        "uptime_s",
+    }
+
+    def test_fixed_frame_stream_then_connection_reusable(self, hosted):
+        with _client(hosted) as client:
+            frames = list(client.subscribe(interval_s=0.05, frames=3))
+            assert [f.seq for f in frames] == [0, 1, 2]
+            assert [f.final for f in frames] == [False, False, True]
+            for frame in frames:
+                assert set(frame.stream) == self.STREAM_KEYS
+                assert frame.stream["topology"] == "threads"
+                assert frame.stream["hot_shards"] is None
+                assert "inflight" in frame.stream["gauges"]
+                assert "connections" in frame.stream["gauges"]
+            # elapsed_s is the gap since the previous frame: zero on the
+            # first (no predecessor), roughly the interval afterwards
+            assert frames[0].elapsed_s == 0.0
+            assert all(f.elapsed_s > 0.0 for f in frames[1:])
+            # the same connection serves ordinary requests afterwards
+            response = client.call(AnalyzeRequest(source=SOURCE, loop="target"))
+            assert not isinstance(response, ErrorResponse)
+
+    def test_unsubscribe_acks_with_exact_frame_count(self, hosted):
+        with _client(hosted) as client:
+            stream = client.subscribe(interval_s=0.05)
+            seen = [next(stream), next(stream)]
+            assert not seen[-1].final
+            ack = client.unsubscribe()
+            assert ack.frames >= len(seen)
+            # stream slot released: a fresh subscribe works
+            refreshed = list(client.subscribe(interval_s=0.05, frames=1))
+            assert len(refreshed) == 1 and refreshed[0].final
+
+    def test_duplicate_subscribe_is_rejected_in_order(self, hosted):
+        from repro.api import (
+            MetricsFrame,
+            SubscribeRequest,
+            UnsubscribeRequest,
+            UnsubscribeResponse,
+        )
+
+        with _client(hosted) as client:
+            client.send(SubscribeRequest(interval_s=0.05))
+            client.send(SubscribeRequest(interval_s=0.05))  # while active
+            client.send(UnsubscribeRequest())
+            # responses arrive in request order: the stream's frames
+            # (ending in a final one), then the duplicate's error, then
+            # the ack
+            response = client.recv()
+            while isinstance(response, MetricsFrame) and not response.final:
+                response = client.recv()
+            assert isinstance(response, MetricsFrame) and response.final
+            error = client.recv()
+            assert isinstance(error, ErrorResponse)
+            assert error.code == "bad_request"
+            assert "already active" in error.message
+            ack = client.recv()
+            assert isinstance(ack, UnsubscribeResponse)
+
+    def test_unsubscribe_without_stream_is_bad_request(self, hosted):
+        from repro.api import UnsubscribeRequest
+
+        with _client(hosted) as client:
+            response = client.call(UnsubscribeRequest())
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "bad_request"
+
+    def test_late_subscriber_receives_ring_history(self):
+        import time
+
+        hosted = ServerThread(
+            workers=1,
+            engine_config=EngineConfig(use_disk_cache=False),
+            sample_interval_s=0.05,
+        ).start()
+        try:
+            host, port = hosted.address
+            time.sleep(0.4)  # let the sampler fill the ring
+            with ServerClient(host, port) as client:
+                frames = list(client.subscribe(frames=1, history=4))
+            first = frames[0]
+            assert 1 <= len(first.history) <= 4
+            for entry in first.history:
+                assert {"seq", "uptime_s", "completed", "shed"} <= set(entry)
+            assert [h["seq"] for h in first.history] == \
+                sorted(h["seq"] for h in first.history)
+        finally:
+            hosted.stop()
+
+    def test_run_top_once_renders_headless(self, hosted):
+        import io
+
+        from repro.server import run_top
+
+        host, port = hosted.address
+        out = io.StringIO()
+        code = run_top(host, port, interval_s=0.05, once=True,
+                       history=4, out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert f"repro-eval top -- {host}:{port}" in text
+        assert "topology=threads" in text
+        assert "(final)" in text  # --once requests exactly one frame
+        assert "\x1b" not in text  # headless: no ANSI control codes
+
+    def test_run_top_reports_connection_failure(self):
+        import io
+
+        from repro.server import run_top
+
+        # nothing listens on this port (we never started a server there)
+        assert run_top("127.0.0.1", 1, once=True, out=io.StringIO()) == 1
+
+    def test_adaptive_server_reports_controller_in_stats(self):
+        hosted = ServerThread(
+            workers=1,
+            engine_config=EngineConfig(use_disk_cache=False),
+            max_inflight=8,
+            adaptive_admission=True,
+        ).start()
+        try:
+            host, port = hosted.address
+            with ServerClient(host, port) as client:
+                admission = client.stats().stats["admission"]
+            assert admission["adaptive"] is True
+            assert admission["base_max_inflight"] == 8
+            controller = admission["controller"]
+            assert controller["budget"] == admission["max_inflight"]
+            assert controller["floor"] >= 1
+            assert controller["cap"] == 32
+        finally:
+            hosted.stop()
 
 
 class TestOverload:

@@ -205,3 +205,67 @@ def test_tiering_request_option_roundtrips():
     assert payload["options"] == {"tiering": False}
     again = request_from_json(payload)
     assert again.options == {"tiering": False}
+
+
+def test_v6_subscribe_roundtrip_and_dispatch():
+    from repro.api import SubscribeRequest, UnsubscribeRequest
+
+    sub = SubscribeRequest(interval_s=0.25, frames=5, history=16)
+    unsub = UnsubscribeRequest()
+    for req in (sub, unsub):
+        text = req.canonical_text()
+        again = request_from_json(json.loads(text))
+        assert type(again) is type(req)
+        assert again == req
+        assert again.canonical_text() == text
+    payload = json.loads(sub.canonical_text())
+    assert payload["kind"] == "subscribe"
+    assert payload["version"] == PROTOCOL_VERSION
+
+
+def test_v6_subscribe_fields_default_tolerant():
+    from repro.api import SubscribeRequest
+
+    bare = request_from_json(
+        {"kind": "subscribe", "version": PROTOCOL_VERSION}
+    )
+    assert bare == SubscribeRequest()
+    assert bare.interval_s == 1.0
+    assert bare.frames == 0 and bare.history == 0
+    with pytest.raises(ValueError, match="interval_s"):
+        request_from_json({
+            "kind": "subscribe", "version": PROTOCOL_VERSION,
+            "interval_s": 0,
+        })
+    with pytest.raises(ValueError, match="frames"):
+        request_from_json({
+            "kind": "subscribe", "version": PROTOCOL_VERSION, "frames": -1,
+        })
+
+
+def test_v6_metrics_frame_roundtrip_and_defaults():
+    from repro.api import MetricsFrame, UnsubscribeResponse
+
+    frame = MetricsFrame(
+        seq=3,
+        stream={"counters": {"completed": 7}, "topology": "threads"},
+        elapsed_s=0.5,
+        final=True,
+        history=[{"seq": 0, "shed": 1}],
+    )
+    text = frame.canonical_text()
+    again = response_from_json(json.loads(text))
+    assert type(again) is MetricsFrame
+    assert again == frame
+    assert again.canonical_text() == text
+    # absent optional fields read as their v5-style defaults
+    slim = response_from_json(
+        {"kind": "metrics", "version": PROTOCOL_VERSION, "seq": 0}
+    )
+    assert slim.final is False
+    assert slim.history == [] and slim.stream == {}
+    assert slim.elapsed_s == 0.0
+    ack = response_from_json(
+        {"kind": "unsubscribed", "version": PROTOCOL_VERSION}
+    )
+    assert ack == UnsubscribeResponse(frames=0)

@@ -5,24 +5,27 @@ so its key set must be exact and stable; the histogram's percentiles
 are upper bounds of log-spaced buckets.
 """
 
+import math
 import threading
 
 from repro.api import ERROR_CODES
-from repro.server import LatencyHistogram, ServerMetrics
+from repro.server import FrontTierMetrics, LatencyHistogram, ServerMetrics
 
 SNAPSHOT_KEYS = {
     "coalesced", "completed", "connections", "errors", "inflight",
     "latency", "requests", "shed", "speculation", "tiers", "uptime_s",
     "warm_hits",
 }
-LATENCY_KEYS = {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"}
+LATENCY_KEYS = {"count", "invalid", "mean_s", "p50_s", "p95_s", "p99_s",
+                "max_s"}
+VERB_KEYS = {"analyze", "execute", "stats", "subscribe", "unsubscribe"}
 
 
 class TestLatencyHistogram:
     def test_empty_is_all_zero(self):
         snap = LatencyHistogram().snapshot()
         assert snap == {
-            "count": 0, "mean_s": 0.0, "p50_s": 0.0,
+            "count": 0, "invalid": 0, "mean_s": 0.0, "p50_s": 0.0,
             "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0,
         }
 
@@ -53,13 +56,41 @@ class TestLatencyHistogram:
         hist.observe(-1.0)
         assert hist.snapshot()["max_s"] == 0.0
 
+    def test_non_finite_durations_rejected(self):
+        # regression: a single NaN used to poison sum_s (every later
+        # mean became NaN) and inf pinned max_s forever
+        hist = LatencyHistogram()
+        hist.observe(0.002)
+        for poison in (float("nan"), float("inf"), float("-inf"), None, "x"):
+            hist.observe(poison)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["invalid"] == 5
+        assert math.isfinite(snap["mean_s"]) and snap["mean_s"] > 0
+        assert snap["max_s"] == 0.002
+        # the histogram keeps working after the bad samples
+        hist.observe(0.004)
+        assert hist.snapshot()["count"] == 2
+        assert math.isfinite(hist.snapshot()["mean_s"])
+
+    def test_state_is_sparse_and_cumulative(self):
+        hist = LatencyHistogram()
+        hist.observe(0.003)
+        hist.observe(0.003)
+        hist.observe(float("nan"))
+        state = hist.state()
+        assert state["total"] == 2
+        assert state["invalid"] == 1
+        assert sum(state["counts"].values()) == 2
+        assert len(state["counts"]) == 1  # sparse: only hit buckets
+
 
 class TestServerMetrics:
     def test_snapshot_schema_is_exact(self):
         snap = ServerMetrics().snapshot()
         assert set(snap) == SNAPSHOT_KEYS
         assert set(snap["latency"]) == LATENCY_KEYS
-        assert set(snap["requests"]) == {"analyze", "execute", "stats"}
+        assert set(snap["requests"]) == VERB_KEYS
         assert set(snap["errors"]) == ERROR_CODES
         assert snap["speculation"] == {"commits": 0, "rollbacks": 0}
         assert snap["tiers"] == {"tier0": 0, "tier1": 0}
@@ -113,6 +144,27 @@ class TestServerMetrics:
         assert sum(snap["requests"].values()) == 0
         assert sum(snap["errors"].values()) == 0
 
+    def test_connections_gauge_never_underflows(self):
+        # regression: an unmatched close (teardown racing the open
+        # accounting) used to drive the gauge to -1 forever
+        metrics = ServerMetrics()
+        metrics.connection_closed()
+        assert metrics.snapshot()["connections"] == 0
+        metrics.connection_opened()
+        metrics.connection_closed()
+        metrics.connection_closed()
+        assert metrics.snapshot()["connections"] == 0
+        metrics.connection_opened()  # next open still counts from zero
+        assert metrics.snapshot()["connections"] == 1
+
+    def test_front_tier_connections_gauge_never_underflows(self):
+        metrics = FrontTierMetrics()
+        metrics.connection_closed()
+        metrics.connection_closed()
+        assert metrics.snapshot()["connections"] == 0
+        metrics.connection_opened()
+        assert metrics.snapshot()["connections"] == 1
+
     def test_thread_safety_of_counters(self):
         metrics = ServerMetrics()
 
@@ -132,3 +184,33 @@ class TestServerMetrics:
         assert snap["completed"] == 4000
         assert snap["inflight"] == 0
         assert snap["latency"]["count"] == 4000
+
+
+class TestSampleRing:
+    def test_sample_shape_and_sequence(self):
+        metrics = ServerMetrics()
+        first = metrics.sample(gauges={"queue_depth": [0, 1]})
+        second = metrics.sample(extra={"hot_shards": {"hot_digests": 0}})
+        assert set(first) == {
+            "seq", "uptime_s", "stats", "gauges", "extra", "latency_state",
+        }
+        assert first["seq"] == 0 and second["seq"] == 1
+        assert first["gauges"] == {"queue_depth": [0, 1]}
+        assert second["extra"] == {"hot_shards": {"hot_digests": 0}}
+        assert set(first["stats"]) == SNAPSHOT_KEYS
+
+    def test_ring_is_bounded_and_keeps_newest(self):
+        metrics = ServerMetrics(ring_capacity=4)
+        for _ in range(10):
+            metrics.sample()
+        samples = metrics.recent_samples()
+        assert [s["seq"] for s in samples] == [6, 7, 8, 9]
+        assert [s["seq"] for s in metrics.recent_samples(limit=2)] == [8, 9]
+        assert metrics.recent_samples(limit=0) == []
+
+    def test_front_tier_ring_too(self):
+        metrics = FrontTierMetrics(ring_capacity=2)
+        metrics.sample()
+        metrics.sample()
+        metrics.sample()
+        assert [s["seq"] for s in metrics.recent_samples()] == [1, 2]

@@ -167,6 +167,32 @@ class TestHotShardTracker:
         assert tracker.rate("a") == pytest.approx(2.0)
         assert tracker.rate("c") == 0.0
 
+    def test_hot_digests_snapshot_is_internally_consistent(self):
+        # regression: hot_digests used to re-read the clock (and
+        # potentially re-rotate) per digest, so two digests with equal
+        # counts could report different rates -- or straddle a window
+        # rotation mid-iteration -- within one snapshot
+        ticks = {"now": 0.0, "advance": 0.0}
+
+        def clock():
+            value = ticks["now"]
+            ticks["now"] += ticks["advance"]
+            return value
+
+        tracker = HotShardTracker(window_s=1.0, hot_rps=0.5, clock=clock)
+        for _ in range(10):
+            tracker.observe("a")
+            tracker.observe("b")
+        # move 0.2s into the next window: both digests sit in the
+        # previous bucket at weight 0.8 -> 8 rps each
+        ticks["now"] = 1.2
+        # from here every clock read advances time by half a second;
+        # a per-digest re-read would blend different weights per digest
+        ticks["advance"] = 0.5
+        rates = tracker.hot_digests()
+        assert set(rates) == {"a", "b"}
+        assert rates["a"] == rates["b"] == pytest.approx(8.0)
+
     def test_snapshot_is_json_safe_and_stable(self):
         tracker, clock = self.make()
         for i in range(30):

@@ -1,0 +1,172 @@
+"""The streaming layer's pure pieces and the Subscription pacing.
+
+Frame bodies are pure functions of two ring samples, so they are pinned
+here without a socket; the Subscription's pacing/stop/ack behavior runs
+on a private event loop with zero-interval stand-ins.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import MetricsFrame, UnsubscribeResponse
+from repro.server import ServerMetrics
+from repro.server.stream import (
+    MAX_INTERVAL_S,
+    MIN_INTERVAL_S,
+    Subscription,
+    build_stream_body,
+    clamp_interval,
+    history_entry,
+)
+
+STREAM_KEYS = {
+    "counters", "gauges", "hot_shards", "latency", "topology", "uptime_s",
+}
+
+
+def _samples():
+    metrics = ServerMetrics()
+    metrics.request_received("analyze")
+    metrics.request_admitted()
+    before = metrics.sample(gauges={"queue_depth": [0]})
+    metrics.request_completed(0.003)
+    metrics.request_received("execute")
+    metrics.shed()
+    after = metrics.sample(gauges={"queue_depth": [2]})
+    return before, after
+
+
+class TestFrameBody:
+    def test_clamp_interval(self):
+        assert clamp_interval(0.0) == MIN_INTERVAL_S
+        assert clamp_interval(1e9) == MAX_INTERVAL_S
+        assert clamp_interval(0.25) == 0.25
+
+    def test_schema_and_counter_deltas(self):
+        before, after = _samples()
+        body = build_stream_body(before, after, "threads")
+        assert set(body) == STREAM_KEYS
+        assert body["topology"] == "threads"
+        assert body["hot_shards"] is None  # threads tier: key present
+        assert body["counters"]["completed"] == 1
+        assert body["counters"]["shed"] == 1
+        assert body["counters"]["requests"]["execute"] == 1
+        assert body["counters"]["requests"]["analyze"] == 0
+        assert body["counters"]["errors"]["overloaded"] == 1
+        # gauges are levels, not deltas
+        assert body["gauges"]["inflight"] == 0
+        assert body["gauges"]["queue_depth"] == [2]
+        assert "inflight" not in body["counters"]
+
+    def test_latency_deltas_are_sparse(self):
+        before, after = _samples()
+        latency = build_stream_body(before, after, "threads")["latency"]
+        assert latency["count"] == 1
+        assert sum(latency["buckets"].values()) == 1
+        assert latency["invalid"] == 0
+        assert latency["sum_s"] == pytest.approx(0.003)
+
+    def test_self_diff_is_all_zero(self):
+        _, sample = _samples()
+        body = build_stream_body(sample, sample, "threads")
+        assert body["counters"]["completed"] == 0
+        assert body["latency"]["count"] == 0
+        assert body["latency"]["buckets"] == {}
+
+    def test_hot_shards_pass_through(self):
+        metrics = ServerMetrics()
+        sample = metrics.sample(extra={"hot_shards": {"hot_digests": 2}})
+        body = build_stream_body(sample, sample, "multiproc")
+        assert body["hot_shards"] == {"hot_digests": 2}
+
+    def test_history_entry_is_compact(self):
+        _, sample = _samples()
+        entry = history_entry(sample)
+        assert set(entry) == {
+            "completed", "errors", "gauges", "inflight", "seq", "shed",
+            "uptime_s",
+        }
+        assert entry["shed"] == 1
+        assert entry["errors"] == 1
+
+
+def _run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+async def _collect(subscription):
+    frames = []
+    async for frame in subscription.frames():
+        frames.append(frame)
+    return frames
+
+
+class TestSubscription:
+    def test_frame_budget_and_seq(self):
+        async def scenario():
+            metrics = ServerMetrics()
+            subscription = Subscription(
+                metrics.sample, "threads", interval_s=0.0, frames=3,
+            )
+            frames = await _collect(subscription)
+            return subscription, frames
+
+        subscription, frames = _run(scenario())
+        assert [f.seq for f in frames] == [0, 1, 2]
+        assert [f.final for f in frames] == [False, False, True]
+        assert all(isinstance(f, MetricsFrame) for f in frames)
+        assert subscription.finished
+        ack = subscription.ack().result()
+        assert ack == UnsubscribeResponse(frames=3)
+
+    def test_first_frame_is_immediate_with_history(self):
+        async def scenario():
+            metrics = ServerMetrics()
+            for _ in range(5):
+                metrics.sample()
+            subscription = Subscription(
+                metrics.sample, "threads", frames=1, history=3,
+                recent_fn=metrics.recent_samples,
+            )
+            return await _collect(subscription)
+
+        frames = _run(scenario())
+        assert len(frames) == 1
+        first = frames[0]
+        assert first.final and first.elapsed_s == 0.0
+        assert len(first.history) == 3
+        # the stream's own first sample (seq 5) is the newest entry
+        assert [h["seq"] for h in first.history] == [3, 4, 5]
+        # first frame deltas are zero by construction
+        assert first.stream["counters"]["completed"] == 0
+
+    def test_stop_ends_stream_with_final_frame(self):
+        async def scenario():
+            metrics = ServerMetrics()
+            subscription = Subscription(
+                metrics.sample, "threads", interval_s=60.0,
+            )
+            collector = asyncio.ensure_future(_collect(subscription))
+            await asyncio.sleep(0.05)  # first frame emitted, now pacing
+            subscription.stop()
+            frames = await asyncio.wait_for(collector, timeout=5)
+            ack = await asyncio.wait_for(subscription.ack(), timeout=5)
+            return frames, ack
+
+        frames, ack = _run(scenario())
+        # the 60s interval did not delay shutdown: stop() woke it
+        assert frames[-1].final
+        assert ack.frames == len(frames)
+
+    def test_interval_is_clamped(self):
+        async def scenario():
+            return Subscription(ServerMetrics().sample, "threads",
+                                interval_s=1e9)
+
+        subscription = _run(scenario())
+        assert subscription.interval_s == MAX_INTERVAL_S
