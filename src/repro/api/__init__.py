@@ -50,6 +50,8 @@ from .protocol import (
     StatsRequest,
     StatsResponse,
     SubscribeRequest,
+    TraceRequest,
+    TraceResponse,
     UnsubscribeRequest,
     UnsubscribeResponse,
     canonical_json,
@@ -78,6 +80,8 @@ __all__ = [
     "UnsubscribeRequest",
     "MetricsFrame",
     "UnsubscribeResponse",
+    "TraceRequest",
+    "TraceResponse",
     "ArrayPlanSummary",
     "request_from_json",
     "response_from_json",

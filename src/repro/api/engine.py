@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -107,6 +108,33 @@ class EngineConfig:
 
     def analyzer_knobs(self) -> dict:
         return {name: getattr(self, name) for name in ANALYZER_KNOBS}
+
+
+class _NullSpan:
+    """No-op span so traced and untraced calls share one code path."""
+
+    __slots__ = ()
+
+    def set(self, key, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def _span(tracer, name: str, phases: bool = False):
+    """One tracer span when a tracer is attached, a no-op otherwise.
+
+    *tracer* is duck-typed (``.span(name, phases=...)`` yielding an
+    object with ``.set``) so the engine stays import-independent of the
+    serving layer's :mod:`repro.server.tracing`.
+    """
+    if tracer is None:
+        yield _NULL_SPAN
+    else:
+        with tracer.span(name, phases=phases) as span:
+            yield span
 
 
 def _knob_text(knobs: dict) -> str:
@@ -213,6 +241,12 @@ class CompiledProgram:
             self._plans[key] = plan
         return plan
 
+    def plan_cached(self, loop: str, **options) -> bool:
+        """Whether :meth:`plan` for these arguments is already memoized
+        (an analysis-cache probe; never computes anything)."""
+        knobs = self._knobs(options)
+        return (loop, tuple(sorted(knobs.items()))) in self._plans
+
     def analyze(self, loop: str, **options) -> AnalyzeResponse:
         """Plan *loop* and summarize the plan as an
         :class:`AnalyzeResponse` (consulting/feeding the engine's disk
@@ -222,7 +256,9 @@ class CompiledProgram:
         if disk is not None:
             hit = disk.load(self.digest, loop, knob_text)
             if hit is not None:
+                self.engine.record_analysis_cache(hit=True)
                 return hit
+        self.engine.record_analysis_cache(hit=self.plan_cached(loop, **options))
         response = AnalyzeResponse.from_plan(
             self.plan(loop, **options), self.digest
         )
@@ -348,6 +384,19 @@ class Engine:
             if self.config.use_disk_cache
             else None
         )
+        #: analysis-cache outcomes (disk hit or warm plan memo = hit);
+        #: plain ints mutated under the GIL, read by the stats verb
+        self.analysis_hits = 0
+        self.analysis_misses = 0
+
+    def record_analysis_cache(self, hit: bool) -> None:
+        if hit:
+            self.analysis_hits += 1
+        else:
+            self.analysis_misses += 1
+
+    def analysis_cache_counts(self) -> dict:
+        return {"hits": self.analysis_hits, "misses": self.analysis_misses}
 
     # -- compilation ----------------------------------------------------
     def compile(
@@ -401,39 +450,64 @@ class Engine:
 
     # -- protocol service -----------------------------------------------
     def analyze(
-        self, request: AnalyzeRequest, digest: Optional[str] = None
+        self,
+        request: AnalyzeRequest,
+        digest: Optional[str] = None,
+        tracer=None,
     ) -> AnalyzeResponse:
-        return self.compile(request.source, digest=digest).analyze(
-            request.loop, **request.options
-        )
+        with _span(tracer, "compile", phases=True) as span:
+            response = self.compile(request.source, digest=digest).analyze(
+                request.loop, **request.options
+            )
+            span.set("cached", response.cached)
+            span.set("tier_used", response.tier_used)
+        return response
 
     def execute(
-        self, request: ExecuteRequest, digest: Optional[str] = None
+        self,
+        request: ExecuteRequest,
+        digest: Optional[str] = None,
+        tracer=None,
     ) -> ExecuteResponse:
-        compiled = self.compile(request.source, digest=digest)
-        plan = compiled.plan(request.loop, **request.options)
-        report = compiled.execute(
-            request.loop,
-            request.params,
-            request.arrays,
-            plan=plan,
-            exact_strategy=request.exact_strategy,
-            backend=request.backend,
-            jobs=request.jobs,
-            chunk=request.chunk,
-        )
+        with _span(tracer, "compile", phases=True) as span:
+            compiled = self.compile(request.source, digest=digest)
+            warm = compiled.plan_cached(request.loop, **request.options)
+            self.record_analysis_cache(hit=warm)
+            plan = compiled.plan(request.loop, **request.options)
+            span.set("cached", warm)
+            span.set("tier_used", plan.tier_used)
+        with _span(tracer, "execute") as span:
+            report = compiled.execute(
+                request.loop,
+                request.params,
+                request.arrays,
+                plan=plan,
+                exact_strategy=request.exact_strategy,
+                backend=request.backend,
+                jobs=request.jobs,
+                chunk=request.chunk,
+            )
+            span.set("backend_used", report.backend_used)
+            span.set("jobs", report.jobs)
+            span.set("chunks", report.chunks)
+            span.set("parallel", report.parallel)
+            if report.used_speculation or report.speculation_commits:
+                span.set("speculation_commits", report.speculation_commits)
+                span.set("speculation_rollbacks", report.speculation_rollbacks)
         return ExecuteResponse.from_report(
             report, plan.classification(), compiled.digest
         )
 
-    def serve(self, request, digest: Optional[str] = None):
+    def serve(self, request, digest: Optional[str] = None, tracer=None):
         """Dispatch one request of either kind.  *digest*, when given,
         must be the source digest of *request* (trusted fast path for
-        the serving pool, which already routed by it)."""
+        the serving pool, which already routed by it).  *tracer*, when
+        given, records compile/execute spans (duck-typed -- see
+        :func:`_span`)."""
         if isinstance(request, AnalyzeRequest):
-            return self.analyze(request, digest=digest)
+            return self.analyze(request, digest=digest, tracer=tracer)
         if isinstance(request, ExecuteRequest):
-            return self.execute(request, digest=digest)
+            return self.execute(request, digest=digest, tracer=tracer)
         raise TypeError(f"not a protocol request: {request!r}")
 
     # -- concurrency ----------------------------------------------------

@@ -43,6 +43,8 @@ __all__ = [
     "UnsubscribeRequest",
     "MetricsFrame",
     "UnsubscribeResponse",
+    "TraceRequest",
+    "TraceResponse",
     "request_from_json",
     "response_from_json",
 ]
@@ -79,7 +81,15 @@ __all__ = [
 #: frame fields are default-tolerant in the v5 style (absent ``final``
 #: reads as false, absent ``history`` as empty), but a v5 reader would
 #: reject all four new kinds outright, so the version moves.
-PROTOCOL_VERSION = 6
+#: v7: distributed tracing -- AnalyzeRequest/ExecuteRequest carry an
+#: optional ``trace`` context (``trace_id`` / ``parent_span_id`` /
+#: ``sampled``) minted at whichever tier accepts the request, and a
+#: ``trace`` verb (:class:`TraceRequest` / :class:`TraceResponse`)
+#: fetches stored traces by id or recency.  The ``trace`` field is
+#: additive and default-tolerant (absent reads as untraced), but a v6
+#: reader re-serializing a v7 request would drop it and would reject
+#: the new verb, so the version moves.
+PROTOCOL_VERSION = 7
 
 #: Default upper bound on one serialized request document (the serving
 #: layer's admission control rejects larger payloads with a
@@ -171,18 +181,36 @@ def _check_obj(payload: dict, field_name: str, what: str) -> dict:
 # -- requests ----------------------------------------------------------------
 
 
+def _check_trace(payload: dict, what: str) -> Optional[dict]:
+    """The additive v7 trace context: absent/null reads as untraced;
+    anything else must be a JSON object (shape is the tracing layer's
+    concern, not the protocol's)."""
+    trace = payload.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, dict):
+        raise ValueError(
+            f"{what}: 'trace' must be a JSON object or null "
+            f"(got {type(trace).__name__})"
+        )
+    return dict(trace)
+
+
 @dataclass(frozen=True)
 class AnalyzeRequest:
     """Compile *source* and plan the loop labelled *loop*.
 
     *options* may override the engine's analyzer knobs per request
     (``use_monotonicity``, ``use_reshaping``, ``use_civagg``,
-    ``interprocedural``, ``size_cap``, ``work_cap``).
+    ``interprocedural``, ``size_cap``, ``work_cap``).  ``trace`` is the
+    optional v7 trace context (``trace_id`` / ``parent_span_id`` /
+    ``sampled``) propagated by a tracing-aware caller.
     """
 
     source: str
     loop: str
     options: dict = field(default_factory=dict)
+    trace: Optional[dict] = None
     version: int = PROTOCOL_VERSION
 
     def to_json(self) -> dict:
@@ -192,6 +220,7 @@ class AnalyzeRequest:
             "source": self.source,
             "loop": self.loop,
             "options": dict(self.options),
+            "trace": dict(self.trace) if self.trace is not None else None,
         }
 
     @classmethod
@@ -201,6 +230,7 @@ class AnalyzeRequest:
             source=_check_str(payload, "source", "AnalyzeRequest"),
             loop=_check_str(payload, "loop", "AnalyzeRequest"),
             options=dict(_check_obj(payload, "options", "AnalyzeRequest")),
+            trace=_check_trace(payload, "AnalyzeRequest"),
         )
 
     def canonical_text(self) -> str:
@@ -216,6 +246,7 @@ class ExecuteRequest:
     ``jobs`` / ``chunk`` select the real execution backend (``None``
     defers to the serving engine's configured defaults); ``chunk`` is a
     ``{"policy": "static"|"dynamic", "size": int|null}`` document.
+    ``trace`` is the optional v7 trace context.
     """
 
     source: str
@@ -233,6 +264,8 @@ class ExecuteRequest:
     #: chunk-scheduler spec document (None = engine default)
     chunk: Optional[dict] = None
     options: dict = field(default_factory=dict)
+    #: optional v7 trace context
+    trace: Optional[dict] = None
     version: int = PROTOCOL_VERSION
 
     def to_json(self) -> dict:
@@ -248,6 +281,7 @@ class ExecuteRequest:
             "jobs": self.jobs,
             "chunk": dict(self.chunk) if self.chunk is not None else None,
             "options": dict(self.options),
+            "trace": dict(self.trace) if self.trace is not None else None,
         }
 
     @classmethod
@@ -278,6 +312,7 @@ class ExecuteRequest:
             jobs=payload.get("jobs"),
             chunk=dict(chunk) if chunk is not None else None,
             options=dict(_check_obj(payload, "options", what)),
+            trace=_check_trace(payload, what),
         )
 
     def canonical_text(self) -> str:
@@ -377,11 +412,60 @@ class UnsubscribeRequest:
         return canonical_json(self.to_json())
 
 
+@dataclass(frozen=True)
+class TraceRequest:
+    """Fetch stored traces from a serving tier (protocol v7).
+
+    ``trace_id`` fetches one trace by id; when absent the server
+    returns up to ``limit`` recent traces (newest first), optionally
+    filtered to one root ``status`` (``ok`` / ``error``).
+    """
+
+    trace_id: Optional[str] = None
+    limit: int = 10
+    status: Optional[str] = None
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "trace",
+            "version": self.version,
+            "trace_id": self.trace_id,
+            "limit": self.limit,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TraceRequest":
+        what = "TraceRequest"
+        _check_version(payload, what)
+        trace_id = payload.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ValueError(
+                f"{what}: 'trace_id' must be a string or null "
+                f"(got {type(trace_id).__name__})"
+            )
+        status = payload.get("status")
+        if status is not None and not isinstance(status, str):
+            raise ValueError(
+                f"{what}: 'status' must be a string or null "
+                f"(got {type(status).__name__})"
+            )
+        return cls(
+            trace_id=trace_id,
+            limit=_check_count(payload, "limit", what, 10),
+            status=status,
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
 #: Either request type (what :meth:`repro.api.Engine.serve` accepts,
-#: plus the serving layer's ``stats`` and streaming verbs).
+#: plus the serving layer's ``stats``, streaming and ``trace`` verbs).
 Request = Union[
     AnalyzeRequest, ExecuteRequest, StatsRequest,
-    SubscribeRequest, UnsubscribeRequest,
+    SubscribeRequest, UnsubscribeRequest, TraceRequest,
 ]
 
 
@@ -398,6 +482,8 @@ def request_from_json(payload: dict) -> Request:
         return SubscribeRequest.from_json(payload)
     if kind == "unsubscribe":
         return UnsubscribeRequest.from_json(payload)
+    if kind == "trace":
+        return TraceRequest.from_json(payload)
     raise ValueError(f"unknown request kind {kind!r}")
 
 
@@ -816,6 +902,49 @@ class StatsResponse:
 
 
 @dataclass(frozen=True)
+class TraceResponse:
+    """Stored traces answering a :class:`TraceRequest` (protocol v7).
+
+    ``traces`` is a list of trace documents as built by
+    :class:`repro.server.tracing.RequestTrace` (span lists with ids,
+    wall-clock timestamps and attributes); ``store`` is the serving
+    tier's :meth:`repro.server.tracing.TraceStore.snapshot` counters.
+    Their key sets are pinned by the tracing layer and its tests, not
+    here -- the protocol only promises a list and an object.
+    """
+
+    traces: list = field(default_factory=list)
+    store: dict = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "trace",
+            "version": self.version,
+            "traces": list(self.traces),
+            "store": dict(self.store),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TraceResponse":
+        what = "TraceResponse"
+        _check_version(payload, what)
+        traces = payload.get("traces", [])
+        if not isinstance(traces, list):
+            raise ValueError(
+                f"{what}: 'traces' must be a list "
+                f"(got {type(traces).__name__})"
+            )
+        return cls(
+            traces=list(traces),
+            store=dict(_check_obj(payload, "store", what)),
+        )
+
+    def canonical_text(self) -> str:
+        return canonical_json(self.to_json())
+
+
+@dataclass(frozen=True)
 class MetricsFrame:
     """One incremental metrics frame of a live stream (protocol v6).
 
@@ -897,7 +1026,7 @@ class UnsubscribeResponse:
 #: documents).
 Response = Union[
     AnalyzeResponse, ExecuteResponse, StatsResponse, ErrorResponse,
-    MetricsFrame, UnsubscribeResponse,
+    MetricsFrame, UnsubscribeResponse, TraceResponse,
 ]
 
 
@@ -916,4 +1045,6 @@ def response_from_json(payload: dict) -> Response:
         return MetricsFrame.from_json(payload)
     if kind == "unsubscribed":
         return UnsubscribeResponse.from_json(payload)
+    if kind == "trace":
+        return TraceResponse.from_json(payload)
     raise ValueError(f"unknown response kind {kind!r}")

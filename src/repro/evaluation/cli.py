@@ -35,6 +35,11 @@ Usage::
     repro-eval top --port 7070                     # live dashboard
     repro-eval top --port 7070 --once              # one frame, no ANSI
 
+    repro-eval serve --port 7070 --trace-sample 0.05  # sampled tracing
+    repro-eval loadgen --port 7070 --trace         # force-sample all
+    repro-eval trace --port 7070                   # recent traces
+    repro-eval trace <trace-id> --port 7070        # one waterfall
+
 (``python -m repro.evaluation ...`` is equivalent to ``repro-eval ...``.)
 """
 
@@ -437,6 +442,12 @@ def _serve_main(argv: list[str]) -> int:
         "base budget)",
     )
     parser.add_argument(
+        "--trace-sample", type=float, default=0.0, metavar="P",
+        help="head-sample this fraction of requests for guaranteed "
+        "trace retention with compile-phase attribution (default: 0; "
+        "errors and the slow tail are always kept regardless)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help="persistent cache location (default: .repro-cache or $REPRO_CACHE_DIR)",
     )
@@ -472,6 +483,8 @@ def _serve_main(argv: list[str]) -> int:
         parser.error("--queue-depth must be >= 1")
     if max_inflight < 1:
         parser.error("--max-inflight must be >= 1")
+    if not 0.0 <= args.trace_sample <= 1.0:
+        parser.error("--trace-sample must be within [0, 1]")
 
     import asyncio
     import signal
@@ -490,6 +503,7 @@ def _serve_main(argv: list[str]) -> int:
             cache_dir=args.cache_dir,
             use_disk_cache=not args.no_cache,
             hot_rps=args.hot_rps,
+            trace_sample=args.trace_sample,
         )
         banner = (
             f"topology=multiproc, backends={args.backends}, "
@@ -504,6 +518,7 @@ def _serve_main(argv: list[str]) -> int:
             queue_depth=queue_depth,
             max_inflight=max_inflight,
             adaptive_admission=args.adaptive_admission,
+            trace_sample=args.trace_sample,
             engine_config=EngineConfig(
                 cache_dir=args.cache_dir, use_disk_cache=not args.no_cache
             ),
@@ -610,6 +625,56 @@ def _top_main(argv: list[str]) -> int:
     )
 
 
+def _trace_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval trace",
+        description="Fetch stored request traces from a running "
+        "repro-eval server (either topology) and render them: a "
+        "waterfall for one trace id, or a newest-first table of the "
+        "kept traces.  Plain text, no terminal control codes.",
+    )
+    parser.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace id to render as a waterfall (default: list the "
+        "most recent kept traces)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="server host (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7070,
+        help="server port (default: 7070)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=10,
+        help="how many recent traces to list (default: 10)",
+    )
+    parser.add_argument(
+        "--status", choices=("ok", "error"), default=None,
+        help="restrict the listing to one final status",
+    )
+    parser.add_argument(
+        "--waterfall", action="store_true",
+        help="expand every listed trace as a waterfall, not just the "
+        "summary table",
+    )
+    args = parser.parse_args(argv)
+    if args.limit < 1:
+        parser.error("--limit must be >= 1")
+
+    from ..server import run_trace
+
+    return run_trace(
+        args.host,
+        args.port,
+        trace_id=args.trace_id,
+        limit=args.limit,
+        status=args.status,
+        waterfall=args.waterfall,
+    )
+
+
 def _loadgen_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-eval loadgen",
@@ -666,6 +731,12 @@ def _loadgen_main(argv: list[str]) -> int:
         help="logical closed-loop clients per connection (sliding-"
         "window pipelining); thousands of clients cost clients/M "
         "sockets (default: 1)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="attach a force-sampled trace context to every request; "
+        "the summary's 'slowest' entries then carry trace ids "
+        "resolvable with 'repro-eval trace <id>'",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -738,6 +809,11 @@ def _loadgen_main(argv: list[str]) -> int:
                 "--bench runs its own uniform and zipf sections; drop "
                 "--skew/--multiplex"
             )
+        if args.trace:
+            parser.error(
+                "--bench measures steady-state capacity; per-request "
+                "trace forcing would distort it -- drop --trace"
+            )
         try:
             levels = tuple(
                 int(piece) for piece in args.levels.split(",") if piece.strip()
@@ -785,6 +861,7 @@ def _loadgen_main(argv: list[str]) -> int:
         skew=args.skew,
         zipf_s=args.zipf_s,
         multiplex=args.multiplex,
+        force_trace=args.trace,
     )
     if args.json:
         print(canonical_json(summary))
@@ -799,6 +876,13 @@ def _loadgen_main(argv: list[str]) -> int:
             f"latency: p50 {latency['p50_s']}s  p95 {latency['p95_s']}s  "
             f"p99 {latency['p99_s']}s  max {latency['max_s']}s"
         )
+        for slow in summary["slowest"]:
+            trace_tail = (
+                f"  trace {slow['trace_id']}" if slow["trace_id"] else ""
+            )
+            print(
+                f"slowest: {slow['latency_s']}s  {slow['verb']}{trace_tail}"
+            )
         for failure in summary["failures"]:
             print(f"transport failure: {failure}")
     return 0 if summary["errors"] == 0 and not summary["failures"] else 1
@@ -820,6 +904,8 @@ def main(argv: list[str] | None = None) -> int:
         return _loadgen_main(argv[1:])
     if argv and argv[0] == "top":
         return _top_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eval",
         description="Regenerate the paper's tables and figures "
@@ -829,15 +915,16 @@ def main(argv: list[str] | None = None) -> int:
         "'bench' to measure the execution backends for real, "
         "'serve' to put the protocol on a TCP port, "
         "'loadgen' to drive a server under load, "
-        "'top' for a live metrics dashboard).",
+        "'top' for a live metrics dashboard, "
+        "'trace' to render stored request traces).",
     )
     parser.add_argument(
         "artifacts",
         nargs="+",
         choices=sorted(_TABLES) + sorted(FIGURES) + ["all"],
         help="which artifacts to regenerate (or the "
-        "'batch'/'fuzz'/'analyze'/'bench'/'serve'/'loadgen'/'top' "
-        "subcommands)",
+        "'batch'/'fuzz'/'analyze'/'bench'/'serve'/'loadgen'/'top'/"
+        "'trace' subcommands)",
     )
     parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
     args = parser.parse_args(argv)

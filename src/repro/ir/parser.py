@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import profiling as _profiling
 from .ast import (
     ArrayDecl,
     ArrayRead,
@@ -420,7 +421,8 @@ def _reads_same_element(expr: IRExpr, array: str, index: IRExpr) -> bool:
 
 def parse_program(source: str) -> Program:
     """Parse a full program from concrete syntax."""
-    return _Parser(tokenize(source)).parse_program()
+    with _profiling.timer("ir.parse"):
+        return _Parser(tokenize(source)).parse_program()
 
 
 def parse_expression(source: str) -> IRExpr:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import profiling as _profiling
 from ..symbolic import ArrayRef, BoolExpr, Expr, sym
 from ..usr import (
     EMPTY,
@@ -772,7 +773,8 @@ def summarize_loop(
         if name in exposed and name in assigned:
             scalar_deps.add(name)
 
-    body = summarizer.summarize_region(body_stmts, body_scalars, civ_entry)
+    with _profiling.timer("usr.build"):
+        body = summarizer.summarize_region(body_stmts, body_scalars, civ_entry)
 
     # CIV aggregation refinement (Section 3.3): rewrite gated intervals
     # ending at the iteration's total increment into ungated intervals
@@ -790,8 +792,9 @@ def summarize_loop(
                 monotone.add(info.prefix_array)
 
     summaries: dict[str, LoopSummaries] = {}
-    for name, summary in body.arrays.items():
-        summaries[name] = aggregate_loop(index, lower, upper, summary)
+    with _profiling.timer("usr.build"):
+        for name, summary in body.arrays.items():
+            summaries[name] = aggregate_loop(index, lower, upper, summary)
 
     reductions: dict[str, ReductionInfo] = {}
     for arr in body.reduction_arrays:

@@ -22,14 +22,20 @@ Design constraints, in priority order:
   depth tracking), so a recursive kernel's total can never exceed the
   wall time it actually occupied.
 
-The profiler is process-global and explicitly not thread-aware: it
-exists to answer "where does a cold ``analyze`` spend its time", which
-is a single-threaded question here.
+The collected totals are process-global, but the per-name nesting
+depth that decides "outermost activation" is **per-thread**: the
+serving tier enables collection while several pool workers run the
+same kernels concurrently, and a shared depth map would let one
+thread's exit clobber another's nesting state -- after which that
+timer silently never records again.  Each thread is its own
+activation stack; concurrent accumulation into the shared totals
+remains racy-but-monotone, which is acceptable for attribution.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -51,6 +57,15 @@ __all__ = [
 _F = TypeVar("_F", bound=Callable)
 
 
+class _LocalDepth(threading.local):
+    """Per-thread per-name activation depth: each thread nests
+    independently, so one thread's timer exit can never corrupt
+    another's outermost-activation bookkeeping."""
+
+    def __init__(self) -> None:
+        self.d: dict[str, int] = {}
+
+
 class _State:
     """Mutable profiler state; a class (not a dict) so the hot-path
     check compiles to one LOAD_ATTR on an identity-stable object."""
@@ -62,7 +77,7 @@ class _State:
         self.counts: dict[str, int] = {}
         self.times: dict[str, float] = {}
         self.calls: dict[str, int] = {}
-        self.depth: dict[str, int] = {}
+        self.depth = _LocalDepth()
 
 
 _state = _State()
@@ -107,11 +122,13 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all collected data (leaves the enabled flag alone)."""
+    """Drop all collected data (leaves the enabled flag alone).  Only
+    the calling thread's nesting depth is cleared -- other threads may
+    be mid-activation, and their depth is their own live state."""
     _state.counts.clear()
     _state.times.clear()
     _state.calls.clear()
-    _state.depth.clear()
+    _state.depth.d.clear()
 
 
 def snapshot() -> ProfileSnapshot:
@@ -137,15 +154,16 @@ def timer(name: str) -> Iterator[None]:
         return
     st = _state
     st.calls[name] = st.calls.get(name, 0) + 1
-    depth = st.depth.get(name, 0)
-    st.depth[name] = depth + 1
+    depths = st.depth.d
+    depth = depths.get(name, 0)
+    depths[name] = depth + 1
     t0 = perf_counter()
     try:
         yield
     finally:
         if depth == 0:
             st.times[name] = st.times.get(name, 0.0) + perf_counter() - t0
-        st.depth[name] = depth
+        depths[name] = depth
 
 
 def timed(name: str) -> Callable[[_F], _F]:
@@ -159,8 +177,9 @@ def timed(name: str) -> Callable[[_F], _F]:
             if not st.enabled:
                 return fn(*args, **kwargs)
             st.calls[name] = st.calls.get(name, 0) + 1
-            depth = st.depth.get(name, 0)
-            st.depth[name] = depth + 1
+            depths = st.depth.d
+            depth = depths.get(name, 0)
+            depths[name] = depth + 1
             t0 = perf_counter()
             try:
                 return fn(*args, **kwargs)
@@ -169,7 +188,7 @@ def timed(name: str) -> Callable[[_F], _F]:
                     st.times[name] = st.times.get(name, 0.0) + (
                         perf_counter() - t0
                     )
-                st.depth[name] = depth
+                depths[name] = depth
 
         wrapper.__wrapped__ = fn
         return wrapper  # type: ignore[return-value]

@@ -22,6 +22,11 @@ heavy analysis back end:
 * :class:`Subscription` (``stream.py``) -- the protocol v6
   ``subscribe`` verb: live incremental metrics frames pushed over the
   same connection, rendered by ``repro-eval top`` (``top.py``);
+* :class:`RequestTrace` / :class:`TraceStore` (``tracing.py``) -- the
+  protocol v7 per-request distributed tracing: spans at every layer,
+  tail-based retention (errors and the slow tail always kept), served
+  by the ``trace`` verb and rendered as a waterfall by ``repro-eval
+  trace`` (``traceview.py``);
 * :class:`ServerClient` (``client.py``) -- a small blocking client;
 * :mod:`repro.server.loadgen` -- open-/closed-loop load generation
   (uniform or zipf-skewed) and the ``BENCH_serving.json`` benchmarks.
@@ -83,6 +88,8 @@ from .server import ReproServer, ServerThread
 from .stream import ResponseStream, Subscription
 from .supervisor import BackendSupervisor, serve_backend_command
 from .top import render_frame, run_top
+from .tracing import RequestTrace, Span, TraceContext, TraceStore
+from .traceview import render_recent, render_waterfall, run_trace
 
 __all__ = [
     "ReproServer",
@@ -97,6 +104,13 @@ __all__ = [
     "Subscription",
     "render_frame",
     "run_top",
+    "RequestTrace",
+    "Span",
+    "TraceContext",
+    "TraceStore",
+    "render_recent",
+    "render_waterfall",
+    "run_trace",
     "ServerMetrics",
     "FrontTierMetrics",
     "LatencyHistogram",

@@ -21,6 +21,8 @@ from ..api import (
     StatsRequest,
     StatsResponse,
     SubscribeRequest,
+    TraceRequest,
+    TraceResponse,
     UnsubscribeRequest,
     UnsubscribeResponse,
     response_from_json,
@@ -77,6 +79,18 @@ class ServerClient:
     def stats(self) -> StatsResponse:
         """The server's observability snapshot (the ``stats`` verb)."""
         return self.call(StatsRequest())
+
+    def trace(
+        self,
+        trace_id: Optional[str] = None,
+        limit: int = 10,
+        status: Optional[str] = None,
+    ) -> TraceResponse:
+        """Fetch one trace by id, or the most recent kept traces (the
+        protocol v7 ``trace`` verb)."""
+        return self.call(
+            TraceRequest(trace_id=trace_id, limit=limit, status=status)
+        )
 
     def subscribe(
         self,

@@ -189,10 +189,14 @@ class Dispatcher:
         self._shed_seen = 0
 
     # -- public ---------------------------------------------------------
-    def submit(self, request) -> Future:
+    def submit(self, request, trace=None) -> Future:
         """Admit one analyze/execute request.  The returned future
         always resolves to a protocol response document (a result
-        response or a typed :class:`ErrorResponse`)."""
+        response or a typed :class:`ErrorResponse`).  *trace*, when
+        given, is the request's :class:`~repro.server.tracing.
+        RequestTrace`: the dispatcher records queue-wait/coalesce-join
+        spans on it and finishes its root span when the response
+        resolves."""
         started = time.monotonic()
         self.metrics.request_admitted()
         outer: Future = Future()
@@ -201,7 +205,7 @@ class Dispatcher:
                 outer, started,
                 ErrorResponse("bad_request",
                               f"not a servable request: {type(request).__name__}"),
-                code="bad_request", timed=False,
+                code="bad_request", timed=False, trace=trace,
             )
             return outer
         # shed BEFORE hashing: under overload the reject path must be
@@ -216,7 +220,7 @@ class Dispatcher:
                 ErrorResponse("overloaded",
                               f"server at max in-flight ({self.max_inflight}); "
                               "retry later", retryable=True),
-                timed=False,
+                timed=False, trace=trace,
             )
             return outer
         digest = JsonDiskCache.digest(request.source)
@@ -229,11 +233,18 @@ class Dispatcher:
                     # ride the in-flight computation: no budget charge,
                     # no queue slot -- this request adds zero work
                     self.metrics.coalesced()
+                    join_span = (
+                        trace.start_span("coalesce_join")
+                        if trace is not None else None
+                    )
                     primary.add_done_callback(
-                        lambda inner: self._finish_from(outer, started, inner)
+                        lambda inner: self._finish_from(
+                            outer, started, inner,
+                            trace=trace, join_span=join_span,
+                        )
                     )
                     return outer
-                inner = self._admit(digest, request, started, outer)
+                inner = self._admit(digest, request, started, outer, trace)
                 if inner is not None:
                     self._inflight_analyze[key] = inner
                     inner.add_done_callback(
@@ -242,7 +253,7 @@ class Dispatcher:
             return outer
 
         with self._lock:
-            self._admit(digest, request, started, outer)
+            self._admit(digest, request, started, outer, trace)
         return outer
 
     def inflight(self) -> int:
@@ -281,7 +292,7 @@ class Dispatcher:
         return doc
 
     # -- internals ------------------------------------------------------
-    def _admit(self, digest, request, started, outer) -> Optional[Future]:
+    def _admit(self, digest, request, started, outer, trace=None) -> Optional[Future]:
         """Budget-check and enqueue (caller holds the lock).  Returns
         the pool-side future, or None when the request was shed."""
         if self._inflight >= self.max_inflight:
@@ -292,13 +303,20 @@ class Dispatcher:
                 ErrorResponse("overloaded",
                               f"server at max in-flight ({self.max_inflight}); "
                               "retry later", retryable=True),
-                timed=False,
+                timed=False, trace=trace,
             )
             return None
         shard = self.pool.shard_for(digest)
         inner: Future = Future()
+        queue_span = (
+            trace.start_span("queue_wait", shard=shard)
+            if trace is not None else None
+        )
         try:
-            self.pool.submit(shard, digest, request, inner)
+            self.pool.submit(
+                shard, digest, request, inner,
+                trace=trace, queue_span=queue_span,
+            )
         except queue.Full:
             self._shed_count += 1
             self.metrics.shed()
@@ -307,7 +325,7 @@ class Dispatcher:
                 ErrorResponse("overloaded",
                               f"worker {shard} queue full; retry later",
                               retryable=True),
-                timed=False,
+                timed=False, trace=trace,
             )
             return None
         except PoolClosed:
@@ -317,12 +335,14 @@ class Dispatcher:
                 outer, started,
                 ErrorResponse("overloaded", "server shutting down",
                               retryable=True),
-                timed=False,
+                timed=False, trace=trace,
             )
             return None
         self._inflight += 1
         inner.add_done_callback(
-            lambda done: self._finish_from(outer, started, done, charged=True)
+            lambda done: self._finish_from(
+                outer, started, done, charged=True, trace=trace,
+            )
         )
         return inner
 
@@ -330,11 +350,16 @@ class Dispatcher:
         with self._lock:
             self._inflight_analyze.pop(key, None)
 
-    def _finish_from(self, outer, started, inner, charged=False) -> None:
+    def _finish_from(
+        self, outer, started, inner,
+        charged=False, trace=None, join_span=None,
+    ) -> None:
         """Resolve *outer* from the completed pool future *inner*."""
         if charged:
             with self._lock:
                 self._inflight -= 1
+        if trace is not None and join_span is not None:
+            trace.end_span(join_span)
         try:
             response = inner.result()
             code = None
@@ -351,11 +376,11 @@ class Dispatcher:
             response = ErrorResponse(
                 "internal", f"{type(exc).__name__}: {exc}")
             code = "internal"
-        self._finish(outer, started, response, code=code)
+        self._finish(outer, started, response, code=code, trace=trace)
 
     def _finish(
         self, outer, started, response,
-        code: Optional[str] = None, timed: bool = True,
+        code: Optional[str] = None, timed: bool = True, trace=None,
     ) -> None:
         if code is not None:
             self.metrics.error(code)
@@ -366,6 +391,13 @@ class Dispatcher:
         self.metrics.request_completed(
             time.monotonic() - started if timed else None
         )
+        if trace is not None:
+            # the tail-based keep/drop decision happens here, where the
+            # outcome is known
+            if isinstance(response, ErrorResponse):
+                trace.finish(status="error", error_code=response.code)
+            else:
+                trace.finish(status="ok")
         # the consumer may have cancelled the wrapped future (connection
         # torn down mid-flight); the response is then simply dropped
         if outer.set_running_or_notify_cancel():

@@ -49,9 +49,11 @@ from ..fuzz.generator import GeneratorConfig
 from .client import ServerClient
 from .lineserver import MAX_PIPELINED
 from .server import ServerThread
+from .tracing import mint_trace_id
 
 __all__ = [
     "SERVING_VERSION",
+    "SLOWEST_K",
     "MixItem",
     "ZipfSampler",
     "build_mix",
@@ -69,7 +71,13 @@ __all__ = [
 #: Version 2: per-run summaries gain skew/zipf_s/connections, and the
 #: document gains the "multiproc" section (front tier vs single
 #: process, cold and zipf-skewed).
-SERVING_VERSION = 2
+#: Version 3: per-run summaries gain "slowest" -- the top-K slowest
+#: served requests with verb and trace id, so a tail outlier in a
+#: report is one ``repro-eval trace <id>`` away from its waterfall.
+SERVING_VERSION = 3
+
+#: How many of the slowest served requests each summary reports.
+SLOWEST_K = 5
 
 #: Ceiling on logical clients per multiplexed connection: half the
 #: server's per-connection pipelining bound, so a connection's whole
@@ -168,25 +176,35 @@ class ZipfSampler:
 
 
 def make_request(rng: random.Random, mix: list, analyze_fraction: float,
-                 sampler: Optional[ZipfSampler] = None):
+                 sampler: Optional[ZipfSampler] = None,
+                 force_trace: bool = False):
     """Draw one request from the mix (analyze or execute), uniformly or
-    through a skew *sampler*."""
+    through a skew *sampler*.  With *force_trace* every request carries
+    a client-minted, force-sampled trace context, so the server keeps
+    its trace (with compile-phase attribution) regardless of its
+    sampling configuration."""
     index = sampler.sample(rng) if sampler is not None else rng.randrange(len(mix))
     item = mix[index]
+    trace = (
+        {"trace_id": mint_trace_id(), "sampled": True} if force_trace else None
+    )
     if rng.random() < analyze_fraction:
         return AnalyzeRequest(
-            source=item.source, loop=item.loop, options=item.options
+            source=item.source, loop=item.loop, options=item.options,
+            trace=trace,
         )
     return ExecuteRequest(
         source=item.source, loop=item.loop,
         params=item.params, arrays=item.arrays, options=item.options,
+        trace=trace,
     )
 
 
 class _ClientStats:
     """Per-client tallies, merged after the run."""
 
-    __slots__ = ("latencies", "completed", "errors", "shed", "failures")
+    __slots__ = ("latencies", "completed", "errors", "shed", "failures",
+                 "slowest")
 
     def __init__(self):
         self.latencies: list = []
@@ -194,8 +212,10 @@ class _ClientStats:
         self.errors = 0
         self.shed = 0
         self.failures: list = []  # transport-level problems (bug territory)
+        self.slowest: list = []  # (latency_s, verb, trace_id), top-K only
 
-    def record(self, response, latency_s: float) -> None:
+    def record(self, response, latency_s: float, verb: str = "?",
+               trace_id: Optional[str] = None) -> None:
         if isinstance(response, ErrorResponse):
             self.errors += 1
             if response.code == "overloaded":
@@ -207,19 +227,35 @@ class _ClientStats:
             # served requests count toward latency and throughput
             self.completed += 1
             self.latencies.append(latency_s)
+            self.slowest.append((latency_s, verb, trace_id))
+            if len(self.slowest) > SLOWEST_K:
+                self.slowest.sort(key=lambda entry: -entry[0])
+                del self.slowest[SLOWEST_K:]
+
+
+def _request_meta(request) -> tuple:
+    """(verb, trace_id) of an outgoing request, for the slowest table."""
+    verb = "analyze" if isinstance(request, AnalyzeRequest) else "execute"
+    trace = getattr(request, "trace", None)
+    return verb, trace.get("trace_id") if trace else None
 
 
 def _closed_loop(host, port, count, seed, mix, analyze_fraction, timeout,
-                 sampler=None):
+                 sampler=None, force_trace=False):
     stats = _ClientStats()
     rng = random.Random(seed)
     try:
         with ServerClient(host, port, timeout=timeout) as client:
             for _ in range(count):
-                request = make_request(rng, mix, analyze_fraction, sampler)
+                request = make_request(
+                    rng, mix, analyze_fraction, sampler, force_trace
+                )
+                verb, trace_id = _request_meta(request)
                 started = time.monotonic()
                 response = client.call(request)
-                stats.record(response, time.monotonic() - started)
+                stats.record(
+                    response, time.monotonic() - started, verb, trace_id
+                )
     except (ConnectionError, OSError, ValueError) as exc:
         # ValueError: the peer is not speaking the protocol (wrong
         # port, version-skewed response) -- a transport-level failure
@@ -229,7 +265,7 @@ def _closed_loop(host, port, count, seed, mix, analyze_fraction, timeout,
 
 
 def _multiplexed_loop(host, port, count, seed, mix, analyze_fraction, timeout,
-                      window, sampler=None):
+                      window, sampler=None, force_trace=False):
     """*window* logical closed-loop clients sharing one pipelined
     connection: keep exactly *window* requests in flight, replacing each
     response with the next send.  Responses arrive in request order, so
@@ -244,12 +280,17 @@ def _multiplexed_loop(host, port, count, seed, mix, analyze_fraction, timeout,
             sent = received = 0
             while received < count:
                 while sent < count and len(sent_at) < window:
-                    request = make_request(rng, mix, analyze_fraction, sampler)
-                    sent_at.append(time.monotonic())
+                    request = make_request(
+                        rng, mix, analyze_fraction, sampler, force_trace
+                    )
+                    sent_at.append((time.monotonic(), *_request_meta(request)))
                     client.send(request)
                     sent += 1
                 response = client.recv()
-                stats.record(response, time.monotonic() - sent_at.popleft())
+                started, verb, trace_id = sent_at.popleft()
+                stats.record(
+                    response, time.monotonic() - started, verb, trace_id
+                )
                 received += 1
     except (ConnectionError, OSError, ValueError) as exc:
         stats.failures.append(f"{type(exc).__name__}: {exc}")
@@ -257,7 +298,7 @@ def _multiplexed_loop(host, port, count, seed, mix, analyze_fraction, timeout,
 
 
 def _open_loop(host, port, count, seed, mix, analyze_fraction, timeout, interval_s,
-               sampler=None):
+               sampler=None, force_trace=False):
     """One connection, sends on a fixed schedule, receives concurrently.
     Responses arrive in request order, so latency correlation is a
     FIFO of send timestamps."""
@@ -281,8 +322,10 @@ def _open_loop(host, port, count, seed, mix, analyze_fraction, timeout, interval
                 delay = next_at - time.monotonic()
                 if delay > 0:
                     time.sleep(delay)
-                request = make_request(rng, mix, analyze_fraction, sampler)
-                sent_at.append(time.monotonic())
+                request = make_request(
+                    rng, mix, analyze_fraction, sampler, force_trace
+                )
+                sent_at.append((time.monotonic(), *_request_meta(request)))
                 client.send(request)
                 sent_total[0] += 1
                 next_at += interval_s
@@ -299,7 +342,8 @@ def _open_loop(host, port, count, seed, mix, analyze_fraction, timeout, interval
             if sender_done.is_set() and send_error and received >= sent_total[0]:
                 break  # sender failed; every completed send is answered
             response = client.recv()
-            stats.record(response, time.monotonic() - sent_at.popleft())
+            started, verb, trace_id = sent_at.popleft()
+            stats.record(response, time.monotonic() - started, verb, trace_id)
             received += 1
     except (ConnectionError, OSError, ValueError) as exc:
         stats.failures.append(f"{type(exc).__name__}: {exc}")
@@ -332,6 +376,7 @@ def run_load(
     skew: str = "uniform",
     zipf_s: float = 1.1,
     multiplex: int = 1,
+    force_trace: bool = False,
 ) -> dict:
     """Drive *requests* total requests from *clients* concurrent
     logical clients and summarize throughput and latency.
@@ -341,8 +386,11 @@ def run_load(
     instead of uniformly (seeded -- the stream is deterministic).
     ``multiplex=M`` packs up to M closed-loop clients onto each
     connection (sliding-window pipelining), so thousands of simulated
-    clients cost ``clients / M`` threads and sockets.  The summary
-    document is JSON-safe and schema-stable.
+    clients cost ``clients / M`` threads and sockets.
+    ``force_trace=True`` attaches a force-sampled trace context to
+    every request; the summary's ``slowest`` entries then carry trace
+    ids resolvable with ``repro-eval trace``.  The summary document is
+    JSON-safe and schema-stable.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1 (got {clients})")
@@ -386,17 +434,17 @@ def run_load(
                 interval_s = len(lanes) / rate
                 results[index] = _open_loop(
                     host, port, count, client_seed, mix, analyze_fraction,
-                    timeout, interval_s, sampler,
+                    timeout, interval_s, sampler, force_trace,
                 )
             elif window > 1:
                 results[index] = _multiplexed_loop(
                     host, port, count, client_seed, mix, analyze_fraction,
-                    timeout, window, sampler,
+                    timeout, window, sampler, force_trace,
                 )
             else:
                 results[index] = _closed_loop(
                     host, port, count, client_seed, mix, analyze_fraction,
-                    timeout, sampler,
+                    timeout, sampler, force_trace,
                 )
         except Exception as exc:  # noqa: BLE001 -- a dead thread must still report
             stats = _ClientStats()
@@ -419,6 +467,10 @@ def run_load(
     errors = sum(s.errors for s in results)
     shed = sum(s.shed for s in results)
     failures = [f for s in results for f in s.failures]
+    slowest = sorted(
+        (entry for s in results for entry in s.slowest),
+        key=lambda entry: -entry[0],
+    )[:SLOWEST_K]
     answered = len(latencies)  # == completed: served requests only
     return {
         "analyze_fraction": analyze_fraction,
@@ -438,6 +490,14 @@ def run_load(
         "requests": requests,
         "shed": shed,
         "skew": skew,
+        "slowest": [
+            {
+                "latency_s": round(latency, 6),
+                "trace_id": trace_id,
+                "verb": verb,
+            }
+            for latency, verb, trace_id in slowest
+        ],
         "throughput_rps": round(answered / wall_s, 3) if wall_s > 0 else 0.0,
         "wall_s": round(wall_s, 6),
         "zipf_s": zipf_s if skew == "zipf" else None,

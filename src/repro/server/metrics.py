@@ -10,10 +10,12 @@ present, so ``stats`` responses diff cleanly across time and versions.
 
 Latency percentiles come from a fixed logarithmic bucket ladder rather
 than a reservoir of raw samples: memory stays constant under millions
-of requests and the reported p50/p95/p99 are each the upper edge of the
-bucket holding that quantile -- a guaranteed upper bound that
-overstates by at most one bucket ratio (~1.55x), which is the right
-trade for capacity planning.
+of requests.  The reported p50/p95/p99 interpolate log-linearly within
+the bucket holding that quantile (assuming ranks spread uniformly in
+log-space across the bucket, the natural prior for a geometric ladder),
+so the estimate sits inside the winning bucket instead of pinning to
+its upper edge -- worst-case error is one bucket ratio (~1.55x), versus
+the systematic upper-edge overstatement the old report carried.
 
 Both registries also keep a bounded ring of recent samples
 (:meth:`ServerMetrics.sample` / :meth:`ServerMetrics.recent_samples`)
@@ -35,10 +37,23 @@ __all__ = ["FrontTierMetrics", "LatencyHistogram", "ServerMetrics"]
 
 #: Histogram bucket upper bounds in seconds: 43 log-spaced edges from
 #: 10us to ~1000s (ratio ~1.55), plus a catch-all overflow bucket.
-_BUCKET_EDGES = tuple(1e-5 * (1.55 ** i) for i in range(43))
+_BUCKET_RATIO = 1.55
+_BUCKET_EDGES = tuple(1e-5 * (_BUCKET_RATIO ** i) for i in range(43))
+
+
+def _interpolate_bucket(index: int, rank_in_bucket: float, count: int) -> float:
+    """Log-linear position of a rank within bucket *index* of the
+    ladder: ranks are assumed uniform in log-space between the bucket's
+    edges (bucket 0's lower edge extends the geometric ladder one step
+    down).  Shared by the cumulative histogram and the streaming
+    dashboard's windowed quantiles."""
+    hi = _BUCKET_EDGES[index]
+    lo = _BUCKET_EDGES[index - 1] if index > 0 else hi / _BUCKET_RATIO
+    frac = min(1.0, max(0.0, rank_in_bucket / count)) if count else 1.0
+    return lo * (hi / lo) ** frac
 
 #: Request verbs the serving layer counts (the protocol's "kind" tags).
-VERBS = ("analyze", "execute", "stats", "subscribe", "unsubscribe")
+VERBS = ("analyze", "execute", "stats", "subscribe", "trace", "unsubscribe")
 
 #: Bounded history of metrics samples kept for late stream subscribers.
 RING_CAPACITY = 256
@@ -78,16 +93,19 @@ class LatencyHistogram:
         self.overflow += 1
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket containing quantile *q* (0 when the
-        histogram is empty)."""
+        """Quantile *q* estimated by log-linear interpolation within the
+        bucket containing it (0 when the histogram is empty).  Never
+        exceeds the observed maximum, never leaves the winning bucket."""
         if self.total == 0:
             return 0.0
         rank = q * self.total
         seen = 0
         for i, edge in enumerate(_BUCKET_EDGES):
-            seen += self.counts[i]
-            if seen >= rank:
-                return edge
+            count = self.counts[i]
+            if count and seen + count >= rank:
+                value = _interpolate_bucket(i, rank - seen, count)
+                return min(value, self.max_s) if self.max_s > 0 else value
+            seen += count
         return self.max_s
 
     def snapshot(self) -> dict:

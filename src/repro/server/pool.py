@@ -81,16 +81,24 @@ class _Worker:
             if item is None:
                 self.inbox.task_done()
                 return
-            digest, request, future = item
+            digest, request, future, trace, queue_span = item
             try:
+                if trace is not None and queue_span is not None:
+                    trace.end_span(queue_span)
                 # the cache-locality signal: is the compiled program
                 # actually resident right now (not merely seen once and
                 # since evicted)?
-                if digest and self.engine.holds(digest):
+                warm = bool(digest) and self.engine.holds(digest)
+                if warm:
                     self.pool.metrics.warm_hit()
+                if trace is not None:
+                    trace.root.set("worker", self.index)
+                    trace.root.set("warm", warm)
                 if not future.set_running_or_notify_cancel():
                     continue
-                result = self.engine.serve(request, digest=digest or None)
+                result = self.engine.serve(
+                    request, digest=digest or None, tracer=trace
+                )
             except BaseException as exc:  # delivered, never swallowed
                 future.set_exception(exc)
             else:
@@ -228,12 +236,26 @@ class EnginePool:
     def queue_size(self, shard: int) -> int:
         return self._workers[shard].inbox.qsize()
 
+    def analysis_cache_counts(self) -> list:
+        """Per-worker engine analysis-cache outcomes (``shared``
+        sharding reports the one engine once per worker, mirroring the
+        per-worker queue-depth listing)."""
+        return [w.engine.analysis_cache_counts() for w in self._workers]
+
     # -- submission ------------------------------------------------------
-    def submit(self, shard: int, digest: str, request, future) -> None:
+    def submit(
+        self, shard: int, digest: str, request, future,
+        trace=None, queue_span=None,
+    ) -> None:
         """Enqueue one request on *shard*.  Raises :class:`queue.Full`
         when the shard's inbox is at depth (the caller sheds) and
-        :class:`PoolClosed` after shutdown began."""
+        :class:`PoolClosed` after shutdown began.  *trace* (a
+        :class:`~repro.server.tracing.RequestTrace`) rides along to the
+        worker, which closes *queue_span* on dequeue and hands the
+        trace to the engine for compile/execute spans."""
         with self._lock:
             if self._closed:
                 raise PoolClosed("pool shut down")
-            self._workers[shard].inbox.put_nowait((digest, request, future))
+            self._workers[shard].inbox.put_nowait(
+                (digest, request, future, trace, queue_span)
+            )

@@ -28,10 +28,11 @@ Design rules, in routing order:
 * **front-tier coalescing** -- identical concurrent analyzes collapse
   into one backend round-trip *before* fan-out, the same
   single-flight the backend dispatcher runs, applied fleet-wide;
-* **byte transparency** -- request lines are forwarded verbatim and
-  response lines returned verbatim, so a client cannot tell one
-  backend from the fleet (tested literally: byte-equivalence against a
-  direct single-process server).
+* **byte transparency** -- response lines are returned verbatim, so a
+  client cannot tell one backend from the fleet (tested literally:
+  byte-equivalence against a direct single-process server); request
+  lines are re-serialized only to inject the per-hop trace context
+  (protocol v7), which default-tolerant backends ignore semantically.
 
 The ``stats`` verb is answered by the front tier itself with a
 topology-aware document: the front's own counters, the supervisor's
@@ -44,6 +45,7 @@ from __future__ import annotations
 import asyncio
 import collections
 import json
+import random
 import time
 from typing import Deque, Dict, List, Optional
 
@@ -52,7 +54,10 @@ from ..api import (
     PROTOCOL_VERSION,
     ErrorResponse,
     StatsResponse,
+    TraceRequest,
+    TraceResponse,
     request_from_json,
+    wire_json,
 )
 from ..api.cache import JsonDiskCache
 from .lineserver import LineServer, ready
@@ -60,6 +65,7 @@ from .metrics import FrontTierMetrics
 from .routing import HotShardTracker, Router
 from .stream import Subscription
 from .supervisor import BackendSupervisor, serve_backend_command
+from .tracing import RequestTrace, TraceContext, TraceStore
 
 __all__ = ["BackendDied", "FrontTier"]
 
@@ -87,6 +93,26 @@ def _died_error() -> ErrorResponse:
         "backend process died mid-request; safe to retry",
         retryable=True,
     )
+
+
+def _response_status(response) -> tuple:
+    """(status, error_code) for a handler's return value: a raw backend
+    response line, a typed :class:`ErrorResponse`, or ``None`` (the
+    handler raised)."""
+    if response is None:
+        return "error", "internal"
+    if isinstance(response, ErrorResponse):
+        return "error", response.code
+    if isinstance(response, (bytes, bytearray)) and (
+        b'"kind": "error"' in response or b'"kind":"error"' in response
+    ):
+        try:
+            doc = json.loads(response)
+            if isinstance(doc, dict) and doc.get("kind") == "error":
+                return "error", doc.get("code", "internal")
+        except ValueError:
+            pass
+    return "ok", None
 
 
 class _BackendConn:
@@ -231,6 +257,8 @@ class FrontTier(LineServer):
         startup_timeout_s: float = 120.0,
         supervisor: Optional[BackendSupervisor] = None,
         sample_interval_s: float = 0.5,
+        trace_sample: float = 0.0,
+        trace_store: Optional[TraceStore] = None,
     ):
         super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
         if backends < 1:
@@ -239,8 +267,18 @@ class FrontTier(LineServer):
             raise ValueError(
                 f"sample_interval_s must be > 0 (got {sample_interval_s})"
             )
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1] (got {trace_sample})"
+            )
         self.backends = backends
         self.sample_interval_s = sample_interval_s
+        #: head-sampling probability at the front door; a sampled flag
+        #: propagates to the backends over the wire, so one decision
+        #: covers the whole distributed request
+        self.trace_sample = trace_sample
+        self.trace_store = trace_store if trace_store is not None else TraceStore()
+        self._trace_rng = random.Random()
         self._sampler_task: Optional[asyncio.Task] = None
         self.replicas = max(1, min(replicas, backends))
         self.metrics = FrontTierMetrics()
@@ -385,6 +423,15 @@ class FrontTier(LineServer):
         if kind == "unsubscribe":
             self.metrics.request_received("unsubscribe")
             return self._unsubscribe(context)
+        if kind == "trace":
+            self.metrics.request_received("trace")
+            try:
+                request = request_from_json(payload)
+            except Exception as exc:  # noqa: BLE001 -- typed response, never a drop
+                self.metrics.error("bad_request")
+                return ready(ErrorResponse(
+                    "bad_request", str(exc.args[0] if exc.args else exc)))
+            return asyncio.ensure_future(self._trace_fetch(request))
         if kind not in ("analyze", "execute"):
             self.metrics.error("unknown_verb")
             return ready(ErrorResponse(
@@ -399,7 +446,75 @@ class FrontTier(LineServer):
             self.metrics.error("bad_request")
             return ready(ErrorResponse(
                 "bad_request", str(exc.args[0] if exc.args else exc)))
-        return asyncio.ensure_future(self._handle(kind, payload, bytes(line)))
+        trace = self._start_trace(kind, payload)
+        return asyncio.ensure_future(self._handle(kind, payload, trace))
+
+    # -- tracing ---------------------------------------------------------
+    def _start_trace(self, kind: str, payload: dict) -> RequestTrace:
+        """Adopt the client's wire trace context (or mint a fresh one)
+        at the front door and apply head sampling; the sampled flag
+        rides the injected per-hop context down to the backends."""
+        context = TraceContext.from_wire(payload.get("trace"))
+        trace = RequestTrace.adopt(
+            context, store=self.trace_store, verb=kind, tier="front",
+        )
+        if (not trace.sampled and self.trace_sample > 0.0
+                and self._trace_rng.random() < self.trace_sample):
+            trace.sampled = True
+        return trace
+
+    async def _trace_fetch(self, request: TraceRequest) -> TraceResponse:
+        """Answer ``trace`` from the front store, stitching in the child
+        spans each live backend recorded for the same trace id."""
+        if request.trace_id:
+            doc = self.trace_store.get(request.trace_id)
+            traces = [doc] if doc is not None else []
+        else:
+            traces = self.trace_store.recent(
+                limit=request.limit, status=request.status
+            )
+        stitched = []
+        for doc in traces:
+            children = await self._backend_spans(doc["trace_id"])
+            if children:
+                have = {span["span_id"] for span in doc["spans"]}
+                fresh = [s for s in children if s["span_id"] not in have]
+                if fresh:
+                    self.trace_store.extend(doc["trace_id"], fresh)
+                    updated = self.trace_store.get(doc["trace_id"])
+                    if updated is not None:
+                        doc = updated
+            stitched.append(doc)
+        return TraceResponse(
+            traces=stitched, store=self.trace_store.snapshot()
+        )
+
+    async def _backend_spans(self, trace_id: str) -> list:
+        """Every live backend's spans for one trace id (best effort:
+        dead/slow backends and evicted traces just contribute none)."""
+        fetch_line = wire_json(
+            TraceRequest(trace_id=trace_id).to_json()
+        ).encode()
+
+        async def one(index: int) -> list:
+            try:
+                line = await asyncio.wait_for(
+                    self._forward(index, fetch_line), STATS_TIMEOUT_S
+                )
+                doc = json.loads(line)
+                if doc.get("kind") == "trace":
+                    spans = []
+                    for trace_doc in doc.get("traces", []):
+                        spans.extend(trace_doc.get("spans", []))
+                    return spans
+            except (BackendDied, asyncio.TimeoutError, ValueError):
+                pass
+            return []
+
+        gathered = await asyncio.gather(
+            *(one(i) for i in sorted(self._live_set()))
+        )
+        return [span for spans in gathered for span in spans]
 
     # -- streaming -------------------------------------------------------
     def _subscribe(self, payload, context):
@@ -440,21 +555,25 @@ class FrontTier(LineServer):
         return subscription.ack()
 
     # -- request handling -------------------------------------------------
-    async def _handle(self, kind: str, payload: dict, raw: bytes):
+    async def _handle(self, kind: str, payload: dict, trace: RequestTrace):
         started = time.monotonic()
         self.metrics.request_admitted()
+        response = None
         try:
             digest = JsonDiskCache.digest(payload["source"])
             self.tracker.observe(digest)
             if kind == "analyze":
-                response = await self._handle_analyze(digest, payload, raw)
+                response = await self._handle_analyze(digest, payload, trace)
             else:
-                response = await self._handle_execute(digest, raw)
+                response = await self._handle_execute(digest, payload, trace)
             return response
         finally:
             self.metrics.request_completed(time.monotonic() - started)
+            status, code = _response_status(response)
+            trace.finish(status=status, error_code=code)
 
-    async def _handle_analyze(self, digest: str, payload: dict, raw: bytes):
+    async def _handle_analyze(self, digest: str, payload: dict,
+                              trace: RequestTrace):
         # fleet-wide single-flight: concurrent identical analyzes ride
         # one backend round-trip (same key the backend dispatcher uses)
         options = payload.get("options") or {}
@@ -466,8 +585,14 @@ class FrontTier(LineServer):
         leader = self._inflight_analyses.get(key)
         if leader is not None:
             self.metrics.coalesced()
-            return await asyncio.shield(leader)
-        future = asyncio.ensure_future(self._route_analyze(digest, raw))
+            join_span = trace.start_span("coalesce_join")
+            try:
+                return await asyncio.shield(leader)
+            finally:
+                trace.end_span(join_span)
+        future = asyncio.ensure_future(
+            self._route_analyze(digest, payload, trace)
+        )
         self._inflight_analyses[key] = future
         try:
             return await asyncio.shield(future)
@@ -475,17 +600,37 @@ class FrontTier(LineServer):
             if self._inflight_analyses.get(key) is future:
                 del self._inflight_analyses[key]
 
-    async def _route_analyze(self, digest: str, raw: bytes):
+    def _route_span(self, trace: RequestTrace, digest: str, target,
+                    hot: bool, fanout=None) -> None:
+        """Record the routing decision as an (instant) span: the ring
+        primary, the chosen target (or fan-out set) and whether the
+        hot-shard path fired."""
+        primary = self.router.primary(digest)
+        span = trace.start_span(
+            "route", primary=primary, hot=hot,
+            rerouted=bool(target is not None and target != primary),
+        )
+        if target is not None:
+            span.set("target", target)
+        if fanout is not None:
+            span.set("fanout", list(fanout))
+        trace.end_span(span)
+
+    async def _route_analyze(self, digest: str, payload: dict,
+                             trace: RequestTrace):
         if self.replicas > 1 and self.tracker.is_hot(digest):
             live = self._live_set()
             targets = [b for b in self.router.replicas(digest, self.replicas)
                        if b in live]
             if len(targets) > 1:
                 self.metrics.fanout()
-                return await self._race(targets, raw)
-        return await self._forward_routed(digest, raw)
+                self._route_span(trace, digest, None, hot=True,
+                                 fanout=targets)
+                return await self._race(targets, payload, trace)
+        return await self._forward_routed(digest, payload, trace)
 
-    async def _handle_execute(self, digest: str, raw: bytes):
+    async def _handle_execute(self, digest: str, payload: dict,
+                              trace: RequestTrace):
         # executes mutate nothing shared (engines are deterministic and
         # caches content-addressed), so a hot digest's executes rotate
         # across its replica set instead of pinning the primary
@@ -497,13 +642,17 @@ class FrontTier(LineServer):
                 self.metrics.fanout()
                 self._rotation += 1
                 index = targets[self._rotation % len(targets)]
+                self._route_span(trace, digest, index, hot=True)
                 try:
-                    return await self._forward(index, raw)
+                    return await self._forward(
+                        index, None, trace=trace, payload=payload
+                    )
                 except BackendDied:
                     pass  # fall through to the ring walk
-        return await self._forward_routed(digest, raw)
+        return await self._forward_routed(digest, payload, trace)
 
-    async def _forward_routed(self, digest: str, raw: bytes):
+    async def _forward_routed(self, digest: str, payload: dict,
+                              trace: RequestTrace):
         """Walk the digest's ring successors until a live backend
         answers; each hop only happens when the previous owner died."""
         tried = set()
@@ -516,18 +665,27 @@ class FrontTier(LineServer):
                     "overloaded", "no live backend", retryable=True)
             if index != self.router.primary(digest):
                 self.metrics.rerouted()
+            self._route_span(trace, digest, index, hot=False)
             tried.add(index)
             try:
-                return await self._forward(index, raw)
+                return await self._forward(
+                    index, None, trace=trace, payload=payload
+                )
             except BackendDied:
                 continue
 
-    async def _race(self, targets: List[int], raw: bytes):
+    async def _race(self, targets: List[int], payload: dict,
+                    trace: RequestTrace):
         """Any-replica-wins: forward to every live replica, return the
         first successful response (the cache-warm replica answers in
         microseconds while a cold one compiles).  Falls back to the
         first typed error when no replica succeeds."""
-        tasks = [asyncio.ensure_future(self._forward(i, raw)) for i in targets]
+        tasks = [
+            asyncio.ensure_future(
+                self._forward(i, None, trace=trace, payload=payload)
+            )
+            for i in targets
+        ]
         first_error = None
         pending = set(tasks)
         try:
@@ -558,9 +716,33 @@ class FrontTier(LineServer):
                 # forward tasks just stop being awaited
                 task.add_done_callback(lambda t: t.exception())
 
-    async def _forward(self, index: int, raw: bytes) -> bytes:
-        conn = await self._links[index].acquire()
-        return await conn.send(raw)
+    async def _forward(self, index: int, raw: Optional[bytes],
+                       trace: Optional[RequestTrace] = None,
+                       payload: Optional[dict] = None) -> bytes:
+        """One backend round-trip.  With a trace, the request is
+        re-serialized per attempt with this hop's child context
+        injected, and the RPC becomes a ``backend_rpc`` span whose
+        error status survives the backend's death (the retryable-error
+        span the SIGKILL tests pin)."""
+        if trace is None or payload is None:
+            conn = await self._links[index].acquire()
+            return await conn.send(raw)
+        span = trace.start_span("backend_rpc", backend=index)
+        doc = dict(payload)
+        doc["trace"] = trace.child_context(span.span_id).to_wire()
+        try:
+            conn = await self._links[index].acquire()
+            line = await conn.send(wire_json(doc).encode())
+        except BackendDied:
+            span.set("error", "backend_died")
+            span.set("retryable", True)
+            trace.end_span(span, status="error")
+            raise
+        status, code = _response_status(line)
+        if code is not None:
+            span.set("error_code", code)
+        trace.end_span(span, status=status)
+        return line
 
     # -- topology stats ----------------------------------------------------
     async def _topology_stats(self) -> StatsResponse:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 from typing import Optional
 
 from ..api import (
@@ -35,6 +36,7 @@ from ..api import (
     EngineConfig,
     ErrorResponse,
     StatsResponse,
+    TraceResponse,
     request_from_json,
 )
 from .dispatch import AdmissionController, Dispatcher
@@ -42,6 +44,7 @@ from .lineserver import LineServer, ServerThread, ready
 from .metrics import ServerMetrics
 from .pool import EnginePool
 from .stream import Subscription
+from .tracing import RequestTrace, TraceContext, TraceStore
 
 __all__ = ["ReproServer", "ServerThread"]
 
@@ -69,13 +72,26 @@ class ReproServer(LineServer):
         max_request_bytes: int = MAX_REQUEST_BYTES,
         adaptive_admission: bool = False,
         sample_interval_s: float = 0.5,
+        trace_sample: float = 0.0,
+        trace_store: Optional[TraceStore] = None,
     ):
         super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
         if sample_interval_s <= 0:
             raise ValueError(
                 f"sample_interval_s must be > 0 (got {sample_interval_s})"
             )
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1] (got {trace_sample})"
+            )
         self.sample_interval_s = sample_interval_s
+        #: head-sampling probability: a request arriving without a wire
+        #: trace context (or with an unsampled one) is force-sampled at
+        #: this rate, which turns on phase attribution and guaranteed
+        #: retention for it
+        self.trace_sample = trace_sample
+        self.trace_store = trace_store if trace_store is not None else TraceStore()
+        self._trace_rng = random.Random()
         self.metrics = ServerMetrics()
         self.pool = EnginePool(
             workers=workers,
@@ -173,6 +189,8 @@ class ReproServer(LineServer):
             # the registry's own key set stays schema-stable)
             stats["admission"] = self.dispatcher.admission_snapshot()
             stats["queue_depths"] = self._queue_depths()
+            stats["analysis_cache"] = self.pool.analysis_cache_counts()
+            stats["trace_store"] = self.trace_store.snapshot()
             return ready(StatsResponse(stats=stats))
         if kind == "subscribe":
             self.metrics.request_received("subscribe")
@@ -180,6 +198,15 @@ class ReproServer(LineServer):
         if kind == "unsubscribe":
             self.metrics.request_received("unsubscribe")
             return self._unsubscribe(context)
+        if kind == "trace":
+            self.metrics.request_received("trace")
+            try:
+                request = request_from_json(payload)
+            except Exception as exc:  # noqa: BLE001 -- typed response, never a drop
+                self.metrics.error("bad_request")
+                return ready(ErrorResponse(
+                    "bad_request", str(exc.args[0] if exc.args else exc)))
+            return ready(self._trace_response(request))
         if kind not in ("analyze", "execute"):
             self.metrics.error("unknown_verb")
             return ready(ErrorResponse(
@@ -193,12 +220,39 @@ class ReproServer(LineServer):
             self.metrics.error("bad_request")
             return ready(ErrorResponse(
                 "bad_request", str(exc.args[0] if exc.args else exc)))
+        trace = self._start_trace(kind, request)
         try:
-            return asyncio.wrap_future(self.dispatcher.submit(request))
+            return asyncio.wrap_future(
+                self.dispatcher.submit(request, trace=trace)
+            )
         except Exception as exc:  # noqa: BLE001 -- the contract: never drop the connection
             self.metrics.error("internal")
+            trace.finish(status="error", error_code="internal")
             return ready(ErrorResponse(
                 "internal", f"{type(exc).__name__}: {exc}"))
+
+    # -- tracing ---------------------------------------------------------
+    def _start_trace(self, kind: str, request) -> RequestTrace:
+        """Adopt the request's wire trace context (or mint a fresh one)
+        and apply head sampling."""
+        context = TraceContext.from_wire(getattr(request, "trace", None))
+        trace = RequestTrace.adopt(
+            context, store=self.trace_store, verb=kind, tier="threads",
+        )
+        if (not trace.sampled and self.trace_sample > 0.0
+                and self._trace_rng.random() < self.trace_sample):
+            trace.sampled = True
+        return trace
+
+    def _trace_response(self, request) -> TraceResponse:
+        if request.trace_id:
+            doc = self.trace_store.get(request.trace_id)
+            traces = [doc] if doc is not None else []
+        else:
+            traces = self.trace_store.recent(
+                limit=request.limit, status=request.status
+            )
+        return TraceResponse(traces=traces, store=self.trace_store.snapshot())
 
     # -- streaming -------------------------------------------------------
     def _subscribe(self, payload, context):

@@ -49,10 +49,16 @@ def serve_backend_command(
     sharding: str = "digest",
     cache_dir: Optional[str] = None,
     use_disk_cache: bool = True,
+    trace_sample: float = 0.0,
 ) -> Callable[[int], List[str]]:
     """The production command factory: one single-process
     ``repro-eval serve`` per backend, ephemeral port, inherited
-    environment."""
+    environment.
+
+    ``trace_sample`` head-samples at the *backend* door; it is normally
+    left at 0 because the front tier's own sampling decision propagates
+    to the backends in the wire trace context.
+    """
     def command(index: int) -> List[str]:
         argv = [
             sys.executable, "-m", "repro.evaluation", "serve",
@@ -63,6 +69,8 @@ def serve_backend_command(
             argv += ["--cache-dir", cache_dir]
         if not use_disk_cache:
             argv.append("--no-cache")
+        if trace_sample > 0.0:
+            argv += ["--trace-sample", str(trace_sample)]
         return argv
 
     return command

@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..api.protocol import MetricsFrame
 from .client import ServerClient
-from .metrics import _BUCKET_EDGES
+from .metrics import _BUCKET_EDGES, _interpolate_bucket
 
 __all__ = ["render_frame", "run_top"]
 
@@ -41,20 +41,22 @@ def _rate(delta: float, elapsed_s: float) -> float:
 
 
 def _window_quantile(buckets: dict, q: float) -> float:
-    """Quantile upper bound over one frame's sparse bucket deltas (the
-    same bucket-edge semantics the cumulative histogram reports)."""
+    """Quantile over one frame's sparse bucket deltas, log-linearly
+    interpolated within the winning bucket (the same estimator the
+    cumulative histogram reports)."""
     total = sum(buckets.values())
     if total <= 0:
         return 0.0
     rank = q * total
     seen = 0
     for index in sorted(buckets, key=int):
-        seen += buckets[index]
-        if seen >= rank:
+        count = buckets[index]
+        if count and seen + count >= rank:
             i = int(index)
             if 0 <= i < len(_BUCKET_EDGES):
-                return _BUCKET_EDGES[i]
+                return _interpolate_bucket(i, rank - seen, count)
             return _BUCKET_EDGES[-1]
+        seen += count
     return _BUCKET_EDGES[-1]
 
 

@@ -1,0 +1,194 @@
+"""``repro-eval trace``: waterfall rendering of stored request traces.
+
+Fetches trace documents from a running server (either topology) over
+the protocol v7 ``trace`` verb and renders each as a waterfall: one
+line per span, indented by tree depth, with a bar positioned on the
+root span's timeline.  On the multiproc topology the front tier has
+already stitched each backend's child spans under the corresponding
+``backend_rpc`` span, so the cross-process request reads as one tree.
+
+Pure rendering (:func:`render_waterfall`, :func:`render_recent`) is
+separated from the I/O (:func:`run_trace`) in the same style as
+:mod:`repro.server.top`, so tests pin the output against synthetic
+documents and ``repro-eval trace`` works headless in CI (plain text,
+no terminal control codes, exit code 0/1).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+__all__ = ["render_recent", "render_waterfall", "run_trace"]
+
+#: Width of the waterfall timeline, in characters.
+_TIMELINE_WIDTH = 40
+#: Width of the indented span-name column.
+_NAME_WIDTH = 26
+
+
+def _fmt_s(seconds: float) -> str:
+    """Human latency: us/ms/s with 3 significant-ish digits."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    """Compact ``k=v`` attribute tail; phase attribution renders as its
+    own bracketed list so a compile span's breakdown reads at a
+    glance."""
+    parts = []
+    for key in sorted(attrs):
+        if key == "phases":
+            continue
+        parts.append(f"{key}={attrs[key]}")
+    phases = attrs.get("phases")
+    if isinstance(phases, dict) and phases:
+        inner = ",".join(
+            f"{name}={_fmt_s(value)}" for name, value in sorted(phases.items())
+        )
+        parts.append(f"phases[{inner}]")
+    return " ".join(parts)
+
+
+def render_waterfall(doc: dict, width: int = _TIMELINE_WIDTH) -> str:
+    """One trace document as a plain-text waterfall (no ANSI)."""
+    spans = list(doc.get("spans", []))
+    header = (
+        f"trace {doc.get('trace_id', '?')}  status={doc.get('status', '?')}"
+        f"  sampled={bool(doc.get('sampled'))}"
+        f"  duration={_fmt_s(doc.get('duration_s', 0.0))}"
+        f"  spans={len(spans)}"
+        + (f"  kept={doc['keep']}" if "keep" in doc else "")
+        + (f"  truncated=+{doc['spans_truncated']}"
+           if doc.get("spans_truncated") else "")
+    )
+    if not spans:
+        return header + "\n  (no spans)"
+    by_id = {span["span_id"]: span for span in spans}
+    children: dict = {}
+    roots = []
+    for span in spans:
+        parent = span.get("parent_span_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    for kids in children.values():
+        kids.sort(key=lambda span: span["start_s"])
+    roots.sort(key=lambda span: span["start_s"])
+
+    base = min(span["start_s"] for span in spans)
+    end = max(span.get("end_s", span["start_s"]) for span in spans)
+    total = max(end - base, 1e-9)
+    lines = [header]
+
+    def emit(span: dict, depth: int) -> None:
+        offset = int(width * (span["start_s"] - base) / total)
+        offset = max(0, min(offset, width - 1))
+        length = int(round(width * span.get("duration_s", 0.0) / total))
+        length = max(1, min(length, width - offset))
+        bar = " " * offset + "#" * length
+        name = ("  " * depth + span.get("name", "?"))[:_NAME_WIDTH]
+        status = span.get("status", "ok")
+        tail = _fmt_attrs(span.get("attrs", {}))
+        lines.append(
+            f"  {name:<{_NAME_WIDTH}} |{bar:<{width}}| "
+            f"{_fmt_s(span.get('duration_s', 0.0)):>7} "
+            f"{status}{('  ' + tail) if tail else ''}"
+        )
+        for kid in children.get(span["span_id"], []):
+            emit(kid, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_recent(traces: list, store: Optional[dict] = None) -> str:
+    """The most-recent-traces table (``repro-eval trace`` without an
+    id): one line per kept trace, newest first."""
+    lines = []
+    if store:
+        lines.append(
+            f"trace store: {store.get('traces', 0)}/{store.get('max_traces', 0)}"
+            f" trace(s), {store.get('spans', 0)}/{store.get('max_spans', 0)}"
+            f" span(s), offered={store.get('offered', 0)}"
+            f" kept={store.get('kept', 0)}"
+            f" sampled_out={store.get('sampled_out', 0)}"
+            f" evicted={store.get('evicted', 0)}"
+        )
+    header = (
+        f"{'trace_id':<32} {'status':<6} {'keep':<13} {'dur':>8} "
+        f"{'spans':>5} verb"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for doc in traces:
+        root_attrs = {}
+        for span in doc.get("spans", []):
+            if span.get("span_id") == doc.get("root_span_id"):
+                root_attrs = span.get("attrs", {})
+                break
+        lines.append(
+            f"{doc.get('trace_id', '?'):<32} {doc.get('status', '?'):<6} "
+            f"{doc.get('keep', '?'):<13} "
+            f"{_fmt_s(doc.get('duration_s', 0.0)):>8} "
+            f"{len(doc.get('spans', [])):>5} {root_attrs.get('verb', '?')}"
+        )
+    if not traces:
+        lines.append("(no traces kept)")
+    return "\n".join(lines)
+
+
+def run_trace(
+    host: str,
+    port: int,
+    trace_id: Optional[str] = None,
+    limit: int = 10,
+    status: Optional[str] = None,
+    waterfall: bool = False,
+    out=None,
+) -> int:
+    """Fetch and render traces from a running server.  With *trace_id*
+    renders that trace's waterfall (exit 1 if it is not in the store);
+    without, lists the most recent kept traces (add *waterfall* to
+    expand each).  Returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    from .client import ServerClient  # local: keeps render pure-importable
+
+    client = None
+    try:
+        client = ServerClient(host, port)
+        response = client.trace(trace_id=trace_id, limit=limit, status=status)
+        if hasattr(response, "code"):  # typed ErrorResponse
+            print(
+                f"repro-eval trace: {response.code}: {response.message}",
+                file=sys.stderr,
+            )
+            return 1
+        traces = response.traces
+        if trace_id is not None:
+            if not traces:
+                print(
+                    f"repro-eval trace: trace {trace_id!r} not found "
+                    f"(evicted, sampled out, or never seen)",
+                    file=sys.stderr,
+                )
+                return 1
+            out.write(render_waterfall(traces[0]) + "\n")
+            return 0
+        out.write(render_recent(traces, response.store) + "\n")
+        if waterfall:
+            for doc in traces:
+                out.write("\n" + render_waterfall(doc) + "\n")
+        return 0
+    except (ConnectionError, OSError, RuntimeError, ValueError) as exc:
+        print(f"repro-eval trace: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if client is not None:
+            client.close()

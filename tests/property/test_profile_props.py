@@ -100,6 +100,45 @@ class TestTimers:
         assert snap.times["a"] <= wall + 1e-9
         assert snap.times["b"] <= wall + 1e-9
 
+    def test_concurrent_timers_never_leak_depth(self):
+        """Two threads inside the same timer must not corrupt each
+        other's outermost-activation bookkeeping: with a shared depth
+        map, the interleaving enter(A) enter(B) exit(A) exit(B) left
+        the depth stuck at 1 and the timer silently dead forever --
+        the serving tier hits exactly this when phase attribution
+        enables the profiler while several pool workers compile."""
+        import threading
+
+        a_inside = threading.Event()
+        b_inside = threading.Event()
+        a_exited = threading.Event()
+
+        def first():  # enters at depth 0, exits while B is inside
+            with prof.timer("shared"):
+                a_inside.set()
+                b_inside.wait(timeout=5)
+            a_exited.set()
+
+        def second():  # enters at depth 1, exits last
+            a_inside.wait(timeout=5)
+            with prof.timer("shared"):
+                b_inside.set()
+                a_exited.wait(timeout=5)
+
+        with prof.profiling():
+            threads = [threading.Thread(target=first),
+                       threading.Thread(target=second)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            before = prof.snapshot().times.get("shared", 0.0)
+            with prof.timer("shared"):
+                pass
+            snap = prof.snapshot()
+        # a later solo activation still records as outermost
+        assert snap.times["shared"] > before
+
     def test_timer_depth_recovers_after_exception(self):
         @prof.timed("boom")
         def boom():

@@ -1,0 +1,145 @@
+"""Property tests of the trace store's retention invariants.
+
+Under *any* sequence of offered traces -- arbitrary statuses,
+durations, span counts and sampling flags, with a deterministic rng
+driving the probabilistic class -- the store must (1) never exceed its
+trace-count or span-count caps, (2) keep its internal span accounting
+exact, and (3) evict strictly lowest-retention-class first, so an
+error trace is never displaced by anything of a lower class that
+arrived later.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.server.tracing import KEEP_PRIORITY, TraceStore
+
+# -- generators ---------------------------------------------------------------
+
+statuses = st.sampled_from(["ok", "error"])
+durations = st.sampled_from([0.001, 0.01, 0.3, 1.0])  # straddles slow_s
+span_counts = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def trace_docs(draw, index):
+    status = draw(statuses)
+    duration = draw(durations)
+    spans = draw(span_counts)
+    return {
+        "trace_id": f"trace-{index}-{draw(st.integers(0, 2))}",
+        "root_span_id": f"trace-{index}-root",
+        "status": status,
+        "sampled": draw(st.booleans()),
+        "start_s": float(index),
+        "duration_s": duration,
+        "spans": [
+            {"span_id": f"trace-{index}-s{i}", "parent_span_id": None,
+             "name": "request", "start_s": float(index),
+             "end_s": float(index) + duration, "duration_s": duration,
+             "status": status, "attrs": {}}
+            for i in range(spans)
+        ],
+    }
+
+
+@st.composite
+def offer_sequences(draw):
+    count = draw(st.integers(min_value=1, max_value=60))
+    return [draw(trace_docs(i)) for i in range(count)]
+
+
+caps = st.tuples(
+    st.integers(min_value=1, max_value=8),     # max_traces
+    st.integers(min_value=1, max_value=40),    # max_spans
+)
+
+
+def _store(max_traces, max_spans, seed):
+    return TraceStore(
+        max_traces=max_traces, max_spans=max_spans,
+        keep_probability=0.5, rng=random.Random(seed),
+    )
+
+
+@given(sequence=offer_sequences(), bounds=caps,
+       seed=st.integers(min_value=0, max_value=9))
+@settings(max_examples=150, deadline=None)
+def test_store_never_exceeds_its_caps(sequence, bounds, seed):
+    max_traces, max_spans = bounds
+    store = _store(max_traces, max_spans, seed)
+    for doc in sequence:
+        store.offer(doc)
+        assert len(store) <= max_traces
+        assert store.span_total <= max_spans
+    # the span accounting is exact, not merely bounded
+    kept = [store.get(d["trace_id"]) for d in sequence]
+    kept_ids = {d["trace_id"]: d for d in kept if d is not None}
+    assert store.span_total == sum(
+        len(d["spans"]) for d in kept_ids.values()
+    )
+    snap = store.snapshot()
+    assert snap["offered"] == len(sequence)
+    assert snap["kept"] + snap["sampled_out"] == snap["offered"]
+
+
+@given(sequence=offer_sequences(), bounds=caps,
+       seed=st.integers(min_value=0, max_value=9))
+@settings(max_examples=150, deadline=None)
+def test_eviction_never_prefers_a_higher_class_victim(sequence, bounds, seed):
+    """Whenever a kept trace later disappears, every trace still in the
+    store that predates the eviction... is hard to observe directly, so
+    we check the observable consequence: after any offer, the minimum
+    retention class in the store is never *above* the class of a trace
+    that was evicted to admit it -- equivalently, an error trace can
+    only be displaced when the store holds nothing but errors."""
+    max_traces, max_spans = bounds
+    store = _store(max_traces, max_spans, seed)
+    admitted_errors = []
+    for doc in sequence:
+        before = {tid for tid in admitted_errors if store.get(tid)}
+        kept = store.offer(doc)
+        new_class = store.classify(doc)
+        if kept and new_class == "error":
+            admitted_errors.append(doc["trace_id"])
+        # an error trace may only be evicted by another error trace
+        for tid in before:
+            if store.get(tid) is None and tid != doc["trace_id"]:
+                assert new_class == "error", (
+                    f"error trace {tid} displaced by a {new_class} trace"
+                )
+
+
+@given(seed=st.integers(min_value=0, max_value=999))
+@settings(max_examples=50, deadline=None)
+def test_extend_respects_the_span_cap(seed):
+    rng = random.Random(seed)
+    store = TraceStore(max_traces=8, max_spans=16,
+                       keep_probability=1.0, rng=random.Random(seed))
+    base = {
+        "trace_id": "t", "root_span_id": "t-root", "status": "error",
+        "sampled": False, "start_s": 0.0, "duration_s": 0.0,
+        "spans": [{"span_id": "t-root", "parent_span_id": None,
+                   "name": "request", "start_s": 0.0, "end_s": 0.0,
+                   "duration_s": 0.0, "status": "error", "attrs": {}}],
+    }
+    store.offer(base)
+    for round_index in range(6):
+        extra = [
+            {"span_id": f"g{round_index}-{i}", "parent_span_id": "t-root",
+             "name": "stitched", "start_s": 0.0, "end_s": 0.0,
+             "duration_s": 0.0, "status": "ok", "attrs": {}}
+            for i in range(rng.randint(0, 10))
+        ]
+        store.extend("t", extra)
+        assert store.span_total <= 16
+        doc = store.get("t")
+        if doc is not None:
+            assert len(doc["spans"]) <= 16
+
+
+def test_priority_table_is_total_and_ordered():
+    assert set(KEEP_PRIORITY) == {"probabilistic", "sampled", "slow", "error"}
+    assert sorted(KEEP_PRIORITY.values()) == [0, 1, 2, 3]
+    assert KEEP_PRIORITY["error"] == max(KEEP_PRIORITY.values())

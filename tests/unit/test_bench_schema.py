@@ -189,6 +189,39 @@ def test_serving_checker_rejects_multiproc_drift(serving_doc):
     assert CHECKER.validate_bench_doc(broken)
 
 
+def test_serving_v3_summaries_carry_slowest_tables(serving_doc):
+    # every per-level pool summary (and the zipf A/B summaries) is a
+    # v3 run_load document: the slowest table rides along
+    for level in serving_doc["levels"]:
+        for pool in level["pools"].values():
+            assert isinstance(pool["slowest"], list)
+            for entry in pool["slowest"]:
+                assert set(entry) == {"latency_s", "trace_id", "verb"}
+
+
+def test_serving_checker_rejects_slowest_drift(serving_doc):
+    broken = json.loads(canonical_json(serving_doc))
+    broken["levels"][0]["pools"]["sharded"]["slowest"] = "not-a-list"
+    assert any("slowest" in e for e in CHECKER.validate_bench_doc(broken))
+    broken = json.loads(canonical_json(serving_doc))
+    slowest = broken["levels"][0]["pools"]["sharded"]["slowest"]
+    if slowest:
+        slowest[0]["surprise"] = 1
+        assert any("slowest" in e for e in CHECKER.validate_bench_doc(broken))
+    # a v3 summary without the table at all is schema drift
+    broken = json.loads(canonical_json(serving_doc))
+    del broken["levels"][0]["pools"]["shared"]["slowest"]
+    assert CHECKER.validate_bench_doc(broken)
+
+
+def test_serving_checker_still_accepts_v2_documents(serving_doc):
+    # the committed BENCH_serving.json predates v3; the checker keeps
+    # validating old trajectory points by their own version's key set
+    assert 2 in CHECKER.KNOWN_SERVING_VERSIONS
+    assert CHECKER._SERVING_SUMMARY_KEYS_V3 - CHECKER._SERVING_SUMMARY_KEYS_V2 \
+        == {"slowest"}
+
+
 def test_format_serving_summarizes(serving_doc):
     from repro.server import format_serving
 

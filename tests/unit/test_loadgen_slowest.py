@@ -1,0 +1,93 @@
+"""The loadgen's v3 summary additions: the slowest-requests table and
+the client-minted force-sampled trace context.
+
+``--trace`` exists so an operator can correlate a slow loadgen request
+with its server-side trace: every request carries a fresh trace id,
+the summary names the top-K slowest with their verbs and trace ids,
+and those ids are exactly what ``repro-eval trace <id>`` accepts.
+"""
+
+import random
+
+import pytest
+
+from repro.api import AnalyzeRequest, EngineConfig, ExecuteRequest
+from repro.server import ServerThread, build_mix, make_request
+from repro.server.loadgen import SERVING_VERSION, SLOWEST_K, run_load
+
+
+@pytest.fixture(scope="module")
+def hosted():
+    thread = ServerThread(
+        workers=2, engine_config=EngineConfig(use_disk_cache=False)
+    ).start()
+    yield thread
+    thread.stop()
+
+
+class TestForceTrace:
+    def test_untraced_by_default(self):
+        mix = build_mix(seed=5, programs=3)
+        rng = random.Random(5)
+        for _ in range(8):
+            assert make_request(rng, mix, analyze_fraction=0.5).trace is None
+
+    def test_force_trace_mints_fresh_sampled_contexts(self):
+        mix = build_mix(seed=5, programs=3)
+        rng = random.Random(5)
+        seen = set()
+        for _ in range(8):
+            request = make_request(
+                rng, mix, analyze_fraction=0.5, force_trace=True
+            )
+            assert isinstance(request, (AnalyzeRequest, ExecuteRequest))
+            trace = request.trace
+            assert trace["sampled"] is True
+            assert len(trace["trace_id"]) == 32
+            seen.add(trace["trace_id"])
+        assert len(seen) == 8  # one trace per request, never reused
+
+
+class TestSlowestSummary:
+    def test_version_three_summary_carries_slowest(self, hosted):
+        host, port = hosted.address
+        summary = run_load(
+            host, port, clients=2, requests=12, seed=3, timeout=60.0,
+        )
+        assert SERVING_VERSION == 3
+        slowest = summary["slowest"]
+        assert 1 <= len(slowest) <= SLOWEST_K
+        assert all(set(e) == {"latency_s", "trace_id", "verb"}
+                   for e in slowest)
+        latencies = [e["latency_s"] for e in slowest]
+        assert latencies == sorted(latencies, reverse=True)
+        assert latencies[0] == summary["latency"]["max_s"]
+        assert all(e["verb"] in ("analyze", "execute") for e in slowest)
+        # untraced runs still report the table, with null trace ids
+        assert all(e["trace_id"] is None for e in slowest)
+
+    def test_forced_trace_ids_surface_in_slowest(self, hosted):
+        host, port = hosted.address
+        summary = run_load(
+            host, port, clients=2, requests=12, seed=4, timeout=60.0,
+            force_trace=True,
+        )
+        for entry in summary["slowest"]:
+            assert isinstance(entry["trace_id"], str)
+            assert len(entry["trace_id"]) == 32
+
+    def test_multiplexed_and_open_modes_report_slowest(self, hosted):
+        host, port = hosted.address
+        multiplexed = run_load(
+            host, port, clients=4, requests=12, seed=5, timeout=60.0,
+            multiplex=2, force_trace=True,
+        )
+        assert len(multiplexed["slowest"]) >= 1
+        open_loop = run_load(
+            host, port, clients=2, requests=10, seed=6, timeout=60.0,
+            mode="open", rate=200.0, force_trace=True,
+        )
+        assert len(open_loop["slowest"]) >= 1
+        for summary in (multiplexed, open_loop):
+            for entry in summary["slowest"]:
+                assert len(entry["trace_id"]) == 32

@@ -2,14 +2,17 @@
 
 The stats snapshot is a wire document (served via the ``stats`` verb),
 so its key set must be exact and stable; the histogram's percentiles
-are upper bounds of log-spaced buckets.
+interpolate log-linearly inside log-spaced buckets, so every estimate
+lands within one bucket ratio of the exact nearest-rank quantile.
 """
 
 import math
+import random
 import threading
 
 from repro.api import ERROR_CODES
 from repro.server import FrontTierMetrics, LatencyHistogram, ServerMetrics
+from repro.server.metrics import _BUCKET_RATIO
 
 SNAPSHOT_KEYS = {
     "coalesced", "completed", "connections", "errors", "inflight",
@@ -18,7 +21,8 @@ SNAPSHOT_KEYS = {
 }
 LATENCY_KEYS = {"count", "invalid", "mean_s", "p50_s", "p95_s", "p99_s",
                 "max_s"}
-VERB_KEYS = {"analyze", "execute", "stats", "subscribe", "unsubscribe"}
+VERB_KEYS = {"analyze", "execute", "stats", "subscribe", "trace",
+             "unsubscribe"}
 
 
 class TestLatencyHistogram:
@@ -29,16 +33,16 @@ class TestLatencyHistogram:
             "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0,
         }
 
-    def test_quantiles_are_upper_bounds(self):
+    def test_quantiles_stay_within_one_bucket_of_a_point_mass(self):
         hist = LatencyHistogram()
         for _ in range(100):
             hist.observe(0.003)
         snap = hist.snapshot()
         assert snap["count"] == 100
-        # the bucket edge containing the sample bounds it from above,
-        # within one bucket ratio (~1.55)
-        assert 0.003 <= snap["p50_s"] <= 0.003 * 1.6
+        # every quantile interpolates inside the one occupied bucket
+        assert 0.003 / _BUCKET_RATIO <= snap["p50_s"] <= 0.003 * _BUCKET_RATIO
         assert snap["p50_s"] <= snap["p95_s"] <= snap["p99_s"]
+        assert snap["p99_s"] <= snap["max_s"]  # clamped to the observed max
         assert abs(snap["max_s"] - 0.003) < 1e-9
         assert abs(snap["mean_s"] - 0.003) < 1e-9
 
@@ -47,8 +51,8 @@ class TestLatencyHistogram:
         for i in range(1, 101):
             hist.observe(i / 1000.0)  # 1ms .. 100ms
         snap = hist.snapshot()
-        assert 0.050 <= snap["p50_s"] <= 0.100
-        assert snap["p95_s"] >= 0.095 * 0.9
+        assert 0.050 / _BUCKET_RATIO <= snap["p50_s"] <= 0.100
+        assert snap["p95_s"] >= 0.095 / _BUCKET_RATIO
         assert snap["p50_s"] < snap["p95_s"] <= snap["p99_s"]
 
     def test_negative_clamped(self):
@@ -83,6 +87,60 @@ class TestLatencyHistogram:
         assert state["invalid"] == 1
         assert sum(state["counts"].values()) == 2
         assert len(state["counts"]) == 1  # sparse: only hit buckets
+
+
+class TestQuantileInterpolation:
+    """The log-linear estimate is bounded against the exact
+    nearest-rank quantile of the raw samples: it never errs by more
+    than one bucket ratio in either direction (the histogram only
+    knows the bucket, interpolation just places the rank inside it),
+    and never exceeds the observed maximum."""
+
+    QS = (0.50, 0.90, 0.95, 0.99)
+
+    @staticmethod
+    def _exact(samples, q):
+        ordered = sorted(samples)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def _assert_bounded(self, samples):
+        hist = LatencyHistogram()
+        for value in samples:
+            hist.observe(value)
+        for q in self.QS:
+            exact = self._exact(samples, q)
+            estimate = hist.quantile(q)
+            assert estimate <= max(samples) + 1e-12
+            assert exact / _BUCKET_RATIO <= estimate <= exact * _BUCKET_RATIO, (
+                f"q={q}: estimate {estimate} vs exact {exact}"
+            )
+
+    def test_uniform_spread(self):
+        self._assert_bounded([i / 1000.0 for i in range(1, 501)])
+
+    def test_log_spread(self):
+        rng = random.Random(7)
+        self._assert_bounded(
+            [10 ** rng.uniform(-4.5, 0.5) for _ in range(1000)]
+        )
+
+    def test_heavy_tail(self):
+        rng = random.Random(11)
+        self._assert_bounded(
+            [0.002 + rng.paretovariate(1.5) / 1000.0 for _ in range(800)]
+        )
+
+    def test_bimodal(self):
+        self._assert_bounded([0.001] * 400 + [0.2] * 100)
+
+    def test_estimates_are_monotone_in_q(self):
+        rng = random.Random(3)
+        hist = LatencyHistogram()
+        for _ in range(300):
+            hist.observe(rng.uniform(0.0005, 0.5))
+        values = [hist.quantile(q / 100.0) for q in range(1, 100)]
+        assert values == sorted(values)
 
 
 class TestServerMetrics:

@@ -3,6 +3,7 @@ synthetic frames (no socket, no terminal)."""
 
 from repro.api import MetricsFrame
 from repro.server import render_frame
+from repro.server.metrics import _BUCKET_EDGES
 from repro.server.top import _bar, _fmt_s, _window_quantile
 
 
@@ -49,9 +50,12 @@ class TestHelpers:
 
     def test_window_quantile_over_sparse_deltas(self):
         assert _window_quantile({}, 0.5) == 0.0
-        # all mass in one bucket: every quantile is its edge
+        # all mass in one bucket: estimates interpolate within the
+        # bucket (monotone in q, never past the bucket's upper edge)
         p50 = _window_quantile({"10": 5}, 0.5)
-        assert p50 == _window_quantile({"10": 5}, 0.99) > 0
+        p99 = _window_quantile({"10": 5}, 0.99)
+        assert 0 < p50 <= p99 <= _BUCKET_EDGES[10]
+        assert p50 > _BUCKET_EDGES[9]
         # mass split: p95 lands in the upper bucket
         assert _window_quantile({"10": 90, "20": 10}, 0.95) > \
             _window_quantile({"10": 90, "20": 10}, 0.50)

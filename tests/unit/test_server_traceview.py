@@ -1,0 +1,159 @@
+"""The waterfall renderer: pure text, pinned against synthetic trace
+documents.
+
+``repro-eval trace`` runs headless in CI, so the renderer emits plain
+text only (no ANSI control codes), tree depth is shown by indentation,
+orphaned spans (a parent outside the document) degrade to extra roots
+rather than vanishing, and the bar geometry stays inside the timeline.
+"""
+
+import io
+
+from repro.server import render_recent, render_waterfall
+from repro.server.traceview import _fmt_attrs, _fmt_s
+
+
+def _span(span_id, parent, name, start, end, status="ok", attrs=None):
+    return {
+        "span_id": span_id, "parent_span_id": parent, "name": name,
+        "start_s": start, "end_s": end, "duration_s": max(0.0, end - start),
+        "status": status, "attrs": attrs or {},
+    }
+
+
+def _trace():
+    return {
+        "trace_id": "t" * 32,
+        "root_span_id": "root",
+        "status": "ok",
+        "sampled": True,
+        "start_s": 100.0,
+        "duration_s": 0.4,
+        "keep": "sampled",
+        "spans": [
+            _span("root", None, "request", 100.0, 100.4,
+                  attrs={"verb": "execute", "tier": "threads"}),
+            _span("q", "root", "queue_wait", 100.0, 100.05),
+            _span("c", "root", "compile", 100.05, 100.25,
+                  attrs={"cached": False,
+                         "phases": {"summarize": 0.08, "cascade": 0.05}}),
+            _span("e", "root", "execute", 100.25, 100.4,
+                  attrs={"backend_used": "thread", "chunks": 4}),
+        ],
+    }
+
+
+class TestFormatting:
+    def test_latency_units(self):
+        assert _fmt_s(0.000012) == "12us"
+        assert _fmt_s(0.0123) == "12.3ms"
+        assert _fmt_s(1.5) == "1.50s"
+
+    def test_attrs_sorted_with_phases_bracketed(self):
+        text = _fmt_attrs({"verb": "execute", "cached": False,
+                           "phases": {"summarize": 0.08, "cascade": 0.05}})
+        assert text.startswith("cached=False verb=execute ")
+        assert text.endswith("phases[cascade=50.0ms,summarize=80.0ms]")
+
+    def test_empty_phases_omitted(self):
+        assert _fmt_attrs({"phases": {}, "a": 1}) == "a=1"
+
+
+class TestRenderWaterfall:
+    def test_header_and_tree_shape(self):
+        text = render_waterfall(_trace())
+        lines = text.splitlines()
+        assert lines[0] == (
+            f"trace {'t' * 32}  status=ok  sampled=True"
+            "  duration=400.0ms  spans=4  kept=sampled"
+        )
+        # children are indented under the root, sorted by start time
+        names = [line.split("|")[0].strip() for line in lines[1:]]
+        assert names == ["request", "queue_wait", "compile", "execute"]
+        assert lines[1].startswith("  request")
+        assert lines[2].startswith("    queue_wait")  # depth 1 -> 2 spaces more
+
+    def test_no_ansi_and_bars_fit_timeline(self):
+        text = render_waterfall(_trace(), width=20)
+        assert "\x1b" not in text
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 20
+            assert set(bar) <= {" ", "#"}
+            assert "#" in bar
+
+    def test_bar_offsets_follow_start_times(self):
+        lines = render_waterfall(_trace(), width=20).splitlines()
+        offsets = [line.split("|")[1].index("#") for line in lines[1:]]
+        # request and queue_wait start together; compile and execute later
+        assert offsets[0] == offsets[1] == 0
+        assert offsets[1] < offsets[2] < offsets[3]
+
+    def test_phase_attribution_rendered_on_compile_line(self):
+        compile_line = [
+            line for line in render_waterfall(_trace()).splitlines()
+            if line.strip().startswith("compile")
+        ][0]
+        assert "phases[cascade=50.0ms,summarize=80.0ms]" in compile_line
+        assert "cached=False" in compile_line
+
+    def test_orphan_span_becomes_a_root_not_lost(self):
+        doc = _trace()
+        doc["spans"].append(
+            _span("stitched", "not-in-doc", "request", 100.1, 100.2,
+                  attrs={"tier": "backend"})
+        )
+        text = render_waterfall(doc)
+        assert text.count("request") == 2  # both trees rendered
+        assert len(text.splitlines()) == 1 + 5
+
+    def test_error_status_and_truncation_surface(self):
+        doc = _trace()
+        doc["status"] = "error"
+        doc["spans_truncated"] = 3
+        doc["spans"][3]["status"] = "error"
+        doc["spans"][3]["attrs"] = {"error": "backend_died", "retryable": True}
+        text = render_waterfall(doc)
+        assert "status=error" in text.splitlines()[0]
+        assert "truncated=+3" in text.splitlines()[0]
+        assert any("error  " in line and "backend_died" in line
+                   for line in text.splitlines()[1:])
+
+    def test_empty_trace_renders_placeholder(self):
+        text = render_waterfall({"trace_id": "x", "status": "ok",
+                                 "duration_s": 0.0, "spans": []})
+        assert text.splitlines()[1] == "  (no spans)"
+
+    def test_zero_duration_spans_still_draw_a_tick(self):
+        doc = _trace()
+        doc["spans"].append(_span("r", "root", "route", 100.01, 100.01))
+        for line in render_waterfall(doc).splitlines()[1:]:
+            assert "#" in line.split("|")[1]
+
+
+class TestRenderRecent:
+    def test_table_lists_newest_first_with_store_line(self):
+        store = {"traces": 2, "max_traces": 512, "spans": 8,
+                 "max_spans": 8192, "offered": 10, "kept": 2,
+                 "sampled_out": 8, "evicted": 0}
+        older = _trace()
+        older["trace_id"] = "o" * 32
+        text = render_recent([_trace(), older], store)
+        lines = text.splitlines()
+        assert lines[0] == ("trace store: 2/512 trace(s), 8/8192 span(s), "
+                            "offered=10 kept=2 sampled_out=8 evicted=0")
+        assert lines[1].split() == ["trace_id", "status", "keep", "dur",
+                                    "spans", "verb"]
+        assert lines[3].startswith("t" * 32) and lines[4].startswith("o" * 32)
+        # the verb column comes from the root span's attrs
+        assert lines[3].rstrip().endswith("execute")
+
+    def test_empty_store_renders_placeholder(self):
+        text = render_recent([], None)
+        assert text.splitlines()[-1] == "(no traces kept)"
+        assert "trace store:" not in text
+
+    def test_writes_compose_into_stream(self):
+        out = io.StringIO()
+        out.write(render_recent([_trace()], None) + "\n")
+        assert out.getvalue().endswith("execute\n")

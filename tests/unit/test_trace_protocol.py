@@ -1,0 +1,142 @@
+"""Wire-schema stability of the protocol v7 tracing additions.
+
+Two contracts: the additive ``trace`` field on analyze/execute rides
+through serialize -> deserialize -> re-serialize byte-identically (and
+its absence reads as untraced -- a v6 document body is still a valid
+v7 body), and the ``trace`` verb's request/response documents follow
+the same canonical-roundtrip discipline as every other verb.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    PROTOCOL_VERSION,
+    AnalyzeRequest,
+    ExecuteRequest,
+    TraceRequest,
+    TraceResponse,
+    request_from_json,
+    response_from_json,
+)
+
+SOURCE = """
+program trace_protocol
+param N
+array A(10)
+
+main
+  do i = 1, N @ target
+    A[i] = A[i] + 1
+  end
+end
+"""
+
+CONTEXT = {"trace_id": "a" * 32, "parent_span_id": "b" * 16, "sampled": True}
+
+
+def _roundtrip(document_text, reader):
+    payload = json.loads(document_text)
+    return reader(payload).canonical_text()
+
+
+class TestProtocolVersion:
+    def test_tracing_ships_in_version_seven(self):
+        assert PROTOCOL_VERSION == 7
+
+
+class TestTraceFieldOnRequests:
+    def test_analyze_trace_roundtrips_byte_identically(self):
+        request = AnalyzeRequest(source=SOURCE, loop="target", trace=CONTEXT)
+        text = request.canonical_text()
+        assert _roundtrip(text, AnalyzeRequest.from_json) == text
+        assert _roundtrip(text, request_from_json) == text
+        again = request_from_json(json.loads(text))
+        assert again.trace == CONTEXT
+
+    def test_execute_trace_roundtrips_byte_identically(self):
+        request = ExecuteRequest(
+            source=SOURCE, loop="target", params={"N": 4},
+            arrays={"A": [0] * 10}, trace=CONTEXT,
+        )
+        text = request.canonical_text()
+        assert _roundtrip(text, ExecuteRequest.from_json) == text
+        assert request_from_json(json.loads(text)).trace == CONTEXT
+
+    def test_absent_trace_reads_as_untraced(self):
+        # additive tolerance: a v6-shaped body (no trace key at all)
+        # must decode under v7 exactly as an explicit null does
+        payload = AnalyzeRequest(source=SOURCE, loop="target").to_json()
+        assert payload["trace"] is None
+        del payload["trace"]
+        assert request_from_json(payload).trace is None
+
+    def test_non_object_trace_rejected(self):
+        payload = AnalyzeRequest(source=SOURCE, loop="target").to_json()
+        payload["trace"] = "not-a-context"
+        with pytest.raises(ValueError, match="'trace' must be a JSON object"):
+            request_from_json(payload)
+
+    def test_trace_is_copied_not_aliased(self):
+        context = dict(CONTEXT)
+        request = AnalyzeRequest(source=SOURCE, loop="target", trace=context)
+        request.to_json()["trace"]["sampled"] = False
+        assert context["sampled"] is True
+
+
+class TestTraceVerb:
+    def test_request_roundtrip_and_dispatch(self):
+        request = TraceRequest(trace_id="c" * 32, limit=25, status="error")
+        text = request.canonical_text()
+        assert _roundtrip(text, TraceRequest.from_json) == text
+        decoded = request_from_json(json.loads(text))
+        assert isinstance(decoded, TraceRequest)
+        assert decoded.trace_id == "c" * 32
+        assert decoded.limit == 25
+        assert decoded.status == "error"
+
+    def test_request_defaults(self):
+        decoded = TraceRequest.from_json(
+            {"kind": "trace", "version": PROTOCOL_VERSION}
+        )
+        assert decoded.trace_id is None
+        assert decoded.limit == 10
+        assert decoded.status is None
+
+    def test_request_validation(self):
+        base = {"kind": "trace", "version": PROTOCOL_VERSION}
+        with pytest.raises(ValueError, match="'trace_id' must be a string"):
+            TraceRequest.from_json(dict(base, trace_id=7))
+        with pytest.raises(ValueError, match="'status' must be a string"):
+            TraceRequest.from_json(dict(base, status=1))
+        with pytest.raises(ValueError, match="version"):
+            TraceRequest.from_json(dict(base, version=PROTOCOL_VERSION + 1))
+
+    def test_response_roundtrip_preserves_trace_documents(self):
+        doc = {
+            "trace_id": "d" * 32, "root_span_id": "r", "status": "ok",
+            "sampled": True, "start_s": 1.0, "duration_s": 0.25, "keep": "sampled",
+            "spans": [{"span_id": "r", "parent_span_id": None,
+                       "name": "request", "start_s": 1.0, "end_s": 1.25,
+                       "duration_s": 0.25, "status": "ok", "attrs": {}}],
+        }
+        response = TraceResponse(traces=[doc], store={"traces": 1, "kept": 1})
+        text = response.canonical_text()
+        assert _roundtrip(text, TraceResponse.from_json) == text
+        decoded = response_from_json(json.loads(text))
+        assert isinstance(decoded, TraceResponse)
+        assert decoded.traces == [doc]
+        assert decoded.store == {"traces": 1, "kept": 1}
+
+    def test_response_validation(self):
+        with pytest.raises(ValueError, match="'traces' must be a list"):
+            TraceResponse.from_json({
+                "kind": "trace", "version": PROTOCOL_VERSION,
+                "traces": {}, "store": {},
+            })
+
+    def test_empty_response_roundtrips(self):
+        response = TraceResponse()
+        decoded = response_from_json(json.loads(response.canonical_text()))
+        assert decoded.traces == [] and decoded.store == {}

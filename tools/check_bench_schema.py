@@ -28,7 +28,9 @@ KNOWN_VERSIONS = (1,)
 
 #: Known BENCH_serving.json document versions.  Version 2 added the
 #: multiproc front-tier section and the skew/multiplex loadgen keys.
-KNOWN_SERVING_VERSIONS = (1, 2)
+#: Version 3 added the per-summary "slowest" top-K table (latency,
+#: verb, trace id).
+KNOWN_SERVING_VERSIONS = (1, 2, 3)
 
 #: Known BENCH_speculation.json document versions.
 KNOWN_SPECULATION_VERSIONS = (1,)
@@ -58,6 +60,9 @@ _SERVING_SUMMARY_KEYS_V1 = {
 _SERVING_SUMMARY_KEYS_V2 = _SERVING_SUMMARY_KEYS_V1 | {
     "connections", "skew", "zipf_s",
 }
+#: Version 3 added the slowest-requests table.
+_SERVING_SUMMARY_KEYS_V3 = _SERVING_SUMMARY_KEYS_V2 | {"slowest"}
+_SERVING_SLOWEST_KEYS = {"latency_s", "trace_id", "verb"}
 #: Pool entries add the server-side cache deltas to the summary.
 _SERVING_POOL_EXTRA_KEYS = {"coalesced", "warm_hits"}
 _SERVING_LATENCY_KEYS = {"max_s", "mean_s", "p50_s", "p95_s", "p99_s"}
@@ -151,12 +156,24 @@ def _validate_load_summary(what: str, entry: dict, summary_keys: set,
         )
     if "skew" in entry and entry["skew"] not in ("uniform", "zipf"):
         errors.append(f"{what}: 'skew' must be 'uniform' or 'zipf'")
+    if "slowest" in entry:
+        slowest = entry["slowest"]
+        if not isinstance(slowest, list):
+            errors.append(f"{what}: 'slowest' must be a list")
+        else:
+            for slow in slowest:
+                errors.extend(_key_errors(
+                    f"{what} slowest entry", slow, _SERVING_SLOWEST_KEYS,
+                ))
     return errors
 
 
-def validate_multiproc_section(payload: dict) -> list:
+def validate_multiproc_section(payload: dict,
+                               summary_keys: set = None) -> list:
     """Schema problems of the multiproc front-tier section (empty =
     valid)."""
+    if summary_keys is None:
+        summary_keys = _SERVING_SUMMARY_KEYS_V2
     errors = _key_errors("multiproc", payload, _MULTIPROC_TOP_KEYS)
     if errors:
         return errors
@@ -189,8 +206,7 @@ def validate_multiproc_section(payload: dict) -> list:
                 continue
             for system, entry in level["systems"].items():
                 errors.extend(_validate_load_summary(
-                    f"{what} system {system!r}", entry,
-                    _SERVING_SUMMARY_KEYS_V2,
+                    f"{what} system {system!r}", entry, summary_keys,
                 ))
     zipf = payload["zipf"]
     errors.extend(_key_errors("multiproc zipf", zipf, _MULTIPROC_ZIPF_KEYS))
@@ -208,9 +224,9 @@ def validate_multiproc_section(payload: dict) -> list:
                 )
                 errors.extend(_validate_load_summary(
                     f"multiproc zipf system {system!r}", entry,
-                    _SERVING_SUMMARY_KEYS_V2, extra,
+                    summary_keys, extra,
                 ))
-                if set(entry) >= _SERVING_SUMMARY_KEYS_V2 and \
+                if set(entry) >= summary_keys and \
                         entry.get("skew") != "zipf":
                     errors.append(
                         f"multiproc zipf system {system!r}: summary must "
@@ -231,9 +247,11 @@ def validate_serving_doc(payload: dict) -> list:
     top_keys = _SERVING_TOP_KEYS if version == 1 else (
         _SERVING_TOP_KEYS | {"multiproc"}
     )
-    summary_keys = (
-        _SERVING_SUMMARY_KEYS_V1 if version == 1 else _SERVING_SUMMARY_KEYS_V2
-    )
+    summary_keys = {
+        1: _SERVING_SUMMARY_KEYS_V1,
+        2: _SERVING_SUMMARY_KEYS_V2,
+        3: _SERVING_SUMMARY_KEYS_V3,
+    }[version]
     errors = _key_errors("document", payload, top_keys)
     if errors:
         return errors
@@ -267,7 +285,9 @@ def validate_serving_doc(payload: dict) -> list:
                 _SERVING_POOL_EXTRA_KEYS,
             ))
     if version >= 2:
-        errors.extend(validate_multiproc_section(payload["multiproc"]))
+        errors.extend(
+            validate_multiproc_section(payload["multiproc"], summary_keys)
+        )
     return errors
 
 
